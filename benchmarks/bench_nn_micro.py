@@ -1,0 +1,75 @@
+"""Micro-benchmarks for the numpy NN framework.
+
+Throughput of the hot kernels (conv forward/backward, CBAM, Inception)
+and full-model inference for every registered architecture — the numbers
+that explain the ML share of the Table-I runtime column.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.models.registry import MODEL_REGISTRY, create_model
+from repro.nn.attention import CBAM
+from repro.nn.inception import InceptionB
+from repro.nn.layers import Conv2d
+
+SHAPE = (2, 8, 32, 32)
+
+
+@pytest.fixture(scope="module")
+def x():
+    return np.random.default_rng(0).standard_normal(SHAPE)
+
+
+def test_benchmark_conv_forward(benchmark, x):
+    conv = Conv2d(8, 8, 3, rng=np.random.default_rng(1))
+    out = benchmark(lambda: conv(x))
+    assert out.shape == SHAPE
+
+
+def test_benchmark_conv_backward(benchmark, x):
+    conv = Conv2d(8, 8, 3, rng=np.random.default_rng(1))
+    out = conv(x)
+    grad = np.ones_like(out)
+    benchmark(lambda: conv.backward(grad))
+
+
+def test_benchmark_cbam(benchmark, x):
+    cbam = CBAM(8, rng=np.random.default_rng(1))
+    out = benchmark(lambda: cbam(x))
+    assert out.shape == SHAPE
+
+
+def test_benchmark_inception_b(benchmark, x):
+    block = InceptionB(8, 8, rng=np.random.default_rng(1))
+    out = benchmark(lambda: block(x))
+    assert out.shape == SHAPE
+
+
+@pytest.mark.parametrize("name", sorted(MODEL_REGISTRY))
+def test_benchmark_model_inference(benchmark, name, x):
+    model = create_model(name, in_channels=8, base_channels=6, depth=3, seed=0)
+    model.eval()
+    out = benchmark(lambda: model(x))
+    assert out.shape == (2, 1, 32, 32)
+
+
+def test_benchmark_ir_fusion_training_step(benchmark, x):
+    from repro.nn.losses import MAELoss
+    from repro.nn.optim import Adam
+
+    model = create_model("ir_fusion", in_channels=8, base_channels=6, depth=3)
+    loss = MAELoss()
+    optimizer = Adam(model.parameters(), lr=1e-3)
+    target = np.zeros((2, 1, 32, 32))
+
+    def step():
+        prediction = model(x)
+        loss.forward(prediction, target)
+        model.zero_grad()
+        model.backward(loss.backward())
+        optimizer.step()
+
+    benchmark(step)

@@ -1,0 +1,91 @@
+"""Supporting study (Fig. 3 context) — solver convergence comparison.
+
+Residual-vs-iteration for CG, Jacobi-PCG and AMG-PCG on one PG system.
+Expected shape: AMG-PCG converges in an order of magnitude fewer
+iterations than plain CG — the property that makes rough-but-useful
+solutions available after 1-2 iterations.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from common import bench_config, save_artifact
+from repro.core.pipeline import IRFusionPipeline
+from repro.eval.report import format_sweep_table
+from repro.mna.stamper import build_reduced_system
+from repro.solvers.amg_pcg import AMGPCGSolver
+from repro.solvers.base import SolverOptions
+from repro.solvers.cg import CGSolver, JacobiPCGSolver
+
+
+@pytest.fixture(scope="module")
+def pg_system():
+    pipeline = IRFusionPipeline(bench_config())
+    train_designs, _ = pipeline.generate_designs()
+    return build_reduced_system(train_designs[0].grid)
+
+
+def test_solver_convergence_comparison(benchmark, pg_system, capsys):
+    options = SolverOptions(tol=1e-10, max_iterations=2000)
+
+    def run_all():
+        return {
+            "CG": CGSolver(options).solve(pg_system.matrix, pg_system.rhs),
+            "Jacobi-PCG": JacobiPCGSolver(options).solve(
+                pg_system.matrix, pg_system.rhs
+            ),
+            "AMG-PCG": AMGPCGSolver(options).solve(
+                pg_system.matrix, pg_system.rhs
+            ),
+        }
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    lines = [
+        f"PG system: n={pg_system.size}, nnz={pg_system.matrix.nnz}",
+        f"{'solver':<12s} {'iters':>6s} {'relres':>10s} "
+        f"{'setup(s)':>9s} {'solve(s)':>9s}",
+    ]
+    for name, result in results.items():
+        relres = pg_system.relative_residual(result.x)
+        lines.append(
+            f"{name:<12s} {result.iterations:>6d} {relres:>10.2e} "
+            f"{result.setup_seconds:>9.4f} {result.solve_seconds:>9.4f}"
+        )
+    # residual decay table over the first 12 iterations
+    depth = 12
+    series = {
+        name: (result.residual_norms + [result.residual_norms[-1]] * depth)[
+            : depth
+        ]
+        for name, result in results.items()
+    }
+    table = format_sweep_table(
+        list(range(depth)),
+        series,
+        title="Residual norm by iteration",
+        value_format="{:>10.2e}",
+    )
+    text = "\n".join(lines) + "\n\n" + table
+    save_artifact("solver_convergence.txt", text)
+    with capsys.disabled():
+        print("\n" + text)
+
+    assert results["AMG-PCG"].converged
+    assert results["AMG-PCG"].iterations * 2 < results["CG"].iterations
+
+
+def test_benchmark_amg_pcg_solve(benchmark, pg_system):
+    """Wall-clock of a full-accuracy AMG-PCG solve (setup cached)."""
+    solver = AMGPCGSolver(SolverOptions(tol=1e-10))
+    solver.setup(pg_system.matrix)
+    result = benchmark(lambda: solver.solve(pg_system.matrix, pg_system.rhs))
+    assert result.converged
+
+
+def test_benchmark_rough_two_iterations(benchmark, pg_system):
+    """Wall-clock of the fusion framework's 2-iteration rough solve."""
+    solver = AMGPCGSolver(SolverOptions(tol=1e-16, max_iterations=2))
+    solver.setup(pg_system.matrix)
+    result = benchmark(lambda: solver.solve(pg_system.matrix, pg_system.rhs))
+    assert result.iterations == 2

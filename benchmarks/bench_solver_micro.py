@@ -1,0 +1,91 @@
+"""Micro-benchmarks for the numerical substrate.
+
+Times the pieces a PowerRush-style flow is made of: SPICE parsing, grid
+construction, MNA stamping, AMG setup, one K-cycle application, and the
+feature-extraction stage.  These catch performance regressions in the
+substrate independent of any ML.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import generate_design, make_fake_spec
+from repro.features.fusion import FeatureConfig, assemble_feature_stack
+from repro.grid.netlist import PowerGrid
+from repro.mna.stamper import build_reduced_system
+from repro.solvers.amg import AMGOptions, build_hierarchy
+from repro.solvers.cycles import CyclePreconditioner
+from repro.solvers.powerrush import PowerRushSimulator
+from repro.spice.parser import parse_spice
+from repro.spice.writer import netlist_to_string
+
+
+@pytest.fixture(scope="module")
+def design():
+    return generate_design(make_fake_spec("bench", seed=1, pixels=32))
+
+
+@pytest.fixture(scope="module")
+def deck_text(design):
+    return netlist_to_string(design.netlist)
+
+
+@pytest.fixture(scope="module")
+def system(design):
+    return build_reduced_system(design.grid)
+
+
+def test_benchmark_spice_parse(benchmark, deck_text):
+    netlist = benchmark(lambda: parse_spice(deck_text))
+    assert len(netlist.resistors) > 1000
+
+
+def test_benchmark_grid_build(benchmark, design):
+    grid = benchmark(lambda: PowerGrid.from_netlist(design.netlist))
+    assert grid.num_nodes == design.grid.num_nodes
+
+
+def test_benchmark_mna_stamping(benchmark, design):
+    system = benchmark(lambda: build_reduced_system(design.grid, validate=False))
+    assert system.size > 0
+
+
+def test_benchmark_amg_setup(benchmark, system):
+    hierarchy = benchmark(lambda: build_hierarchy(system.matrix, AMGOptions()))
+    assert hierarchy.num_levels >= 2
+
+
+def test_benchmark_kcycle_apply(benchmark, system):
+    hierarchy = build_hierarchy(system.matrix, AMGOptions())
+    preconditioner = CyclePreconditioner(hierarchy)
+    rhs = np.ones(system.size)
+    out = benchmark(lambda: preconditioner.apply(rhs))
+    assert np.isfinite(out).all()
+
+
+def test_benchmark_feature_extraction(benchmark, design):
+    report = PowerRushSimulator(max_iterations=2).simulate_grid(design.grid)
+
+    def build():
+        return assemble_feature_stack(
+            design.geometry,
+            design.grid,
+            FeatureConfig(),
+            voltages=report.voltages,
+            supply_voltage=design.spec.supply_voltage,
+        )
+
+    stack = benchmark(build)
+    assert stack.num_channels >= 10
+
+
+def test_benchmark_golden_direct_solve(benchmark, system):
+    from repro.solvers.direct import DirectSolver
+
+    def solve():
+        return DirectSolver().solve(system.matrix, system.rhs)
+
+    result = benchmark(solve)
+    assert result.converged

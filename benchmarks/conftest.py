@@ -1,0 +1,6 @@
+"""Make the benchmarks directory importable as plain modules."""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))

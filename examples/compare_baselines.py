@@ -1,0 +1,38 @@
+"""Train and compare all seven IR-drop predictors (mini Table I).
+
+    python examples/compare_baselines.py
+
+Each baseline consumes the flat current / effective-distance / PDN-density
+features; IR-Fusion consumes the hierarchical numerical-structural stack.
+Runs a reduced configuration so the whole comparison finishes in a few
+minutes on CPU.
+"""
+
+from __future__ import annotations
+
+from repro import FusionConfig
+from repro.core.experiment import run_main_results
+from repro.eval.report import format_metrics_table
+from repro.train.trainer import TrainConfig
+
+
+def main() -> None:
+    config = FusionConfig(
+        pixels=32,
+        num_fake=8,
+        num_real_train=3,
+        num_real_test=2,
+        base_channels=6,
+        depth=3,
+        train=TrainConfig(epochs=8, batch_size=8),
+    )
+    print("Training 7 models (this is the long part) ...")
+    results = run_main_results(config)
+    print()
+    print(format_metrics_table(results, title="Mini Table I"))
+    best = min(results, key=lambda name: results[name].mae)
+    print(f"\nLowest MAE: {best}")
+
+
+if __name__ == "__main__":
+    main()

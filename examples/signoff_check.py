@@ -1,0 +1,57 @@
+"""IR-drop signoff with IR-Fusion: budget check + violation regions.
+
+    python examples/signoff_check.py
+
+Trains the fusion pipeline, analyses a held-out design and runs a
+signoff-style check of the predicted map against a drop budget (5 % of
+vdd), printing the violating regions a designer would need to fix — then
+verifies the verdict against the golden direct solve.
+"""
+
+from __future__ import annotations
+
+from repro import FusionConfig, IRFusionPipeline
+from repro.data.dataset import golden_ir_drop
+from repro.eval.signoff import check_ir_drop
+from repro.train.trainer import TrainConfig
+
+
+def main() -> None:
+    config = FusionConfig(
+        pixels=32,
+        num_fake=6,
+        num_real_train=2,
+        num_real_test=1,
+        base_channels=6,
+        depth=3,
+        train=TrainConfig(epochs=10, batch_size=8, use_curriculum=True),
+    )
+    pipeline = IRFusionPipeline(config)
+    print("Training IR-Fusion ...")
+    pipeline.train()
+
+    _, test_designs = pipeline.generate_designs()
+    design = test_designs[0]
+    vdd = design.spec.supply_voltage
+    budget = 0.05 * vdd
+
+    print(f"\nAnalysing {design.name!r}; budget = 5% of vdd = "
+          f"{budget * 1e3:.1f} mV")
+    result = pipeline.analyze_design(design)
+    predicted = result.signoff(budget)
+    print(f"\nPredicted verdict: {predicted.summary()}")
+    for i, region in enumerate(predicted.regions[:5], start=1):
+        r0, c0, r1, c1 = region.bounding_box
+        print(f"  region {i}: {region.pixel_count:4d} px, peak "
+              f"{region.worst_drop * 1e3:6.2f} mV, bbox "
+              f"rows {r0}-{r1} cols {c0}-{c1}")
+
+    golden_verdict = check_ir_drop(golden_ir_drop(design), budget)
+    print(f"\nGolden verdict   : {golden_verdict.summary()}")
+    agree = predicted.passed == golden_verdict.passed
+    print(f"\nPrediction and golden signoff {'AGREE' if agree else 'DISAGREE'} "
+          f"on pass/fail.")
+
+
+if __name__ == "__main__":
+    main()

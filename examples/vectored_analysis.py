@@ -1,0 +1,64 @@
+"""Vectored (multi-corner) static IR-drop analysis.
+
+    python examples/vectored_analysis.py
+
+Builds one synthetic design and runs three activity vectors against it —
+uniform background, left-half burst, right-half burst — reusing a single
+AMG hierarchy across the solves (the amortisation that makes vectored
+analysis cheap).  Reports the per-vector worst drops and the combined
+worst-case map, MAVIREC-style.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.synthetic import generate_design, make_fake_spec
+from repro.eval.report import ascii_map
+from repro.grid.raster import layer_values_image
+from repro.solvers.vectored import VectoredAnalyzer
+
+
+def main() -> None:
+    design = generate_design(make_fake_spec("vectored", seed=21, pixels=32))
+    grid = design.grid
+    print(f"Design: {grid.num_nodes} nodes, {len(grid.loads())} loads")
+
+    loads = grid.loads()
+    per_load = design.spec.total_current / len(loads)
+    mid_x = design.geometry.width_nm // 2
+    uniform = {n.index: per_load for n in loads}
+    left = {
+        n.index: (3.0 * per_load if n.structured.x < mid_x else 0.2 * per_load)
+        for n in loads
+    }
+    right = {
+        n.index: (3.0 * per_load if n.structured.x >= mid_x else 0.2 * per_load)
+        for n in loads
+    }
+
+    analyzer = VectoredAnalyzer(grid)
+    result = analyzer.run([uniform, left, right])
+    names = ["uniform", "left burst", "right burst"]
+    for name, drops in zip(names, result.per_vector_drop):
+        print(f"  {name:12s} worst drop {drops.max() * 1e3:6.2f} mV")
+    drop, node, vector = result.global_worst()
+    print(f"\nGlobal worst case: {drop * 1e3:.2f} mV at node "
+          f"{grid.node(node).name!r} under vector {names[vector]!r}")
+
+    worst_map = layer_values_image(
+        design.geometry, grid, result.worst_drop, layer=1
+    )
+    print("\nWorst-case drop map (max over all vectors):")
+    print(ascii_map(worst_map, 48))
+
+    share = {
+        name: float(np.mean(result.worst_vector == i))
+        for i, name in enumerate(names)
+    }
+    print("\nWhich vector dominates each node:",
+          {k: f"{v:.0%}" for k, v in share.items()})
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The sandboxed environment has no `wheel` package and no network, so PEP-517
+editable installs (which need bdist_wheel) fail.  This shim lets
+``pip install -e . --no-use-pep517 --no-build-isolation`` perform a legacy
+develop install; all metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

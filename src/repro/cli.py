@@ -1,0 +1,198 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Subcommands
+-----------
+``simulate``
+    Pure numerical analysis of a SPICE deck (PowerRush flow); prints the
+    worst drop, solver statistics and optionally a signoff verdict.
+``generate``
+    Emit a synthetic benchmark design (SPICE deck + ICCAD-style images)
+    into a directory.
+``train``
+    Train an IR-Fusion pipeline on a generated suite and save the model.
+``analyze``
+    Fused analysis of a deck with a previously trained model checkpoint.
+
+Every command prints plain text and returns a conventional exit status
+(0 = ok, 1 = failure / signoff violation), so the tool scripts cleanly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+import numpy as np
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.eval.signoff import check_ir_drop
+    from repro.grid.geometry import infer_geometry
+    from repro.solvers.powerrush import PowerRushSimulator
+
+    simulator = PowerRushSimulator(
+        max_iterations=args.iterations, tol=args.tol, preset=args.preset
+    )
+    report = simulator.simulate_file(args.deck)
+    print(f"nodes={report.grid.num_nodes} wires={report.grid.num_wires} "
+          f"pads={len(report.grid.pads())}")
+    print(f"iterations={report.solve.iterations} "
+          f"converged={report.solve.converged} "
+          f"residual={report.solve.final_residual:.3e}")
+    print(f"worst_drop_mV={report.worst_drop() * 1e3:.4f}")
+    if args.limit_mv is not None:
+        geometry = infer_geometry(report.grid)
+        verdict = check_ir_drop(
+            report.drop_image(geometry), args.limit_mv / 1e3
+        )
+        print(verdict.summary())
+        return 0 if verdict.passed else 1
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    from repro.data.dataset import golden_ir_drop
+    from repro.data.iccad import save_iccad_design
+    from repro.data.synthetic import generate_design, make_fake_spec, make_real_spec
+    from repro.features.current import load_current_map
+    from repro.features.density import pdn_density_map
+    from repro.features.distance import effective_distance_map
+
+    maker = make_fake_spec if args.kind == "fake" else make_real_spec
+    design = generate_design(
+        maker(args.name, seed=args.seed, pixels=args.pixels)
+    )
+    images = {
+        "current": load_current_map(design.geometry, design.grid),
+        "eff_dist": effective_distance_map(design.geometry, design.grid),
+        "pdn_density": pdn_density_map(design.geometry, design.grid),
+    }
+    if args.golden:
+        images["ir_drop"] = golden_ir_drop(design)
+    save_iccad_design(args.out, design.netlist, images)
+    print(f"wrote {args.kind} design {args.name!r} "
+          f"({design.grid.num_nodes} nodes) to {args.out}")
+    return 0
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    from repro.core.config import FusionConfig
+    from repro.core.pipeline import IRFusionPipeline
+    from repro.train.trainer import TrainConfig
+
+    config = FusionConfig(
+        pixels=args.pixels,
+        num_fake=args.fake,
+        num_real_train=args.real,
+        num_real_test=1,
+        data_seed=args.seed,
+        base_channels=args.channels,
+        train=TrainConfig(epochs=args.epochs, batch_size=8,
+                          use_curriculum=True),
+    )
+    pipeline = IRFusionPipeline(config)
+    history = pipeline.train()
+    pipeline.save_model(args.out)
+    train_raw, _ = pipeline.build_datasets()
+    meta = {
+        "in_channels": len(train_raw.channels),
+        "config": {
+            "pixels": config.pixels,
+            "base_channels": config.base_channels,
+            "depth": config.depth,
+            "solver_iterations": config.solver_iterations,
+        },
+        "final_loss": history.final_loss,
+    }
+    Path(str(args.out) + ".json").write_text(json.dumps(meta, indent=2))
+    print(f"trained {config.train.epochs} epochs "
+          f"(final loss {history.final_loss:.4f}); saved to {args.out}")
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.core.config import FusionConfig
+    from repro.core.pipeline import IRFusionPipeline
+    from repro.train.trainer import TrainConfig
+
+    meta = json.loads(Path(str(args.model) + ".json").read_text())
+    config = FusionConfig(
+        pixels=meta["config"]["pixels"],
+        base_channels=meta["config"]["base_channels"],
+        depth=meta["config"]["depth"],
+        solver_iterations=meta["config"]["solver_iterations"],
+        train=TrainConfig(),
+    )
+    pipeline = IRFusionPipeline(config)
+    pipeline.load_model(args.model, in_channels=meta["in_channels"])
+    result = pipeline.analyze_file(args.deck)
+    print(f"worst_predicted_drop_mV={result.worst_predicted_drop() * 1e3:.4f}")
+    print(f"solver_ms={result.solver_seconds * 1e3:.1f} "
+          f"features_ms={result.feature_seconds * 1e3:.1f} "
+          f"model_ms={result.model_seconds * 1e3:.1f}")
+    if args.save_map:
+        np.savetxt(args.save_map, result.predicted_drop, delimiter=",")
+        print(f"wrote drop map to {args.save_map}")
+    if args.limit_mv is not None:
+        verdict = result.signoff(args.limit_mv / 1e3)
+        print(verdict.summary())
+        return 0 if verdict.passed else 1
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="IR-Fusion static IR-drop analysis toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    simulate = sub.add_parser("simulate", help="numerical (PowerRush) analysis")
+    simulate.add_argument("deck", help="SPICE deck path")
+    simulate.add_argument("--iterations", type=int, default=1000)
+    simulate.add_argument("--tol", type=float, default=1e-10)
+    simulate.add_argument("--preset", choices=("quality", "fast"),
+                          default="quality")
+    simulate.add_argument("--limit-mv", type=float, default=None,
+                          help="signoff budget in millivolts")
+    simulate.set_defaults(func=_cmd_simulate)
+
+    generate = sub.add_parser("generate", help="emit a synthetic design")
+    generate.add_argument("out", help="output directory")
+    generate.add_argument("--kind", choices=("fake", "real"), default="fake")
+    generate.add_argument("--name", default="design")
+    generate.add_argument("--pixels", type=int, default=32)
+    generate.add_argument("--seed", type=int, default=0)
+    generate.add_argument("--golden", action="store_true",
+                          help="include the golden IR-drop image")
+    generate.set_defaults(func=_cmd_generate)
+
+    train = sub.add_parser("train", help="train and checkpoint IR-Fusion")
+    train.add_argument("out", help="model checkpoint path (.npz)")
+    train.add_argument("--pixels", type=int, default=32)
+    train.add_argument("--fake", type=int, default=8)
+    train.add_argument("--real", type=int, default=3)
+    train.add_argument("--epochs", type=int, default=12)
+    train.add_argument("--channels", type=int, default=6)
+    train.add_argument("--seed", type=int, default=7)
+    train.set_defaults(func=_cmd_train)
+
+    analyze = sub.add_parser("analyze", help="fused analysis with a checkpoint")
+    analyze.add_argument("model", help="checkpoint path from 'train'")
+    analyze.add_argument("deck", help="SPICE deck path")
+    analyze.add_argument("--limit-mv", type=float, default=None)
+    analyze.add_argument("--save-map", default=None,
+                         help="write the predicted map as CSV")
+    analyze.set_defaults(func=_cmd_analyze)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

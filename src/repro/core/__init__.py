@@ -1,0 +1,20 @@
+"""Top-level configuration, pipeline, and experiment runners."""
+
+from repro.core.config import FusionConfig
+from repro.core.experiment import (
+    AblationResult,
+    run_ablation_study,
+    run_main_results,
+    run_tradeoff_study,
+)
+from repro.core.pipeline import AnalysisResult, IRFusionPipeline
+
+__all__ = [
+    "AblationResult",
+    "AnalysisResult",
+    "FusionConfig",
+    "IRFusionPipeline",
+    "run_ablation_study",
+    "run_main_results",
+    "run_tradeoff_study",
+]

@@ -1,0 +1,278 @@
+"""The end-to-end IR-Fusion pipeline (Fig. 2).
+
+``spice deck → PowerGrid → rough AMG-PCG solution → hierarchical
+numerical-structural features → Inception Attention U-Net → IR-drop map``
+
+:class:`IRFusionPipeline` owns dataset generation, training-set
+preparation (augmentation, oversampling, curriculum) and inference on new
+designs, all driven by one :class:`~repro.core.config.FusionConfig`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.config import FusionConfig
+from repro.data.augment import augment_dataset, oversample
+from repro.data.dataset import DesignSample, IRDropDataset, build_sample
+from repro.data.synthetic import Design, generate_benchmark_suite
+from repro.features.fusion import assemble_feature_stack
+from repro.features.maps import FeatureStack
+from repro.grid.geometry import GridGeometry, infer_geometry
+from repro.grid.netlist import PowerGrid
+from repro.models.registry import create_model, preferred_loss
+from repro.nn.module import Module
+from repro.nn.serialize import load_state, save_state
+from repro.solvers.powerrush import PowerRushSimulator, SimulationReport
+from repro.spice.parser import parse_spice, parse_spice_file
+from repro.train.trainer import Trainer, TrainHistory
+
+
+@dataclass
+class AnalysisResult:
+    """Output of analysing one design end-to-end.
+
+    Attributes
+    ----------
+    predicted_drop:
+        The ML-refined bottom-layer IR-drop image (volts).
+    rough_drop:
+        The numerical rough solution's bottom-layer image (volts), i.e.
+        what the solver alone reports at the configured iteration budget;
+        ``None`` when the numerical stage is ablated.
+    report:
+        The rough solver's full :class:`SimulationReport` (``None`` when
+        ablated).
+    features:
+        The assembled input stack.
+    solver_seconds, feature_seconds, model_seconds:
+        Wall-clock breakdown of the three pipeline stages.
+    """
+
+    predicted_drop: np.ndarray
+    rough_drop: np.ndarray | None
+    report: SimulationReport | None
+    features: FeatureStack
+    solver_seconds: float
+    feature_seconds: float
+    model_seconds: float
+
+    @property
+    def total_seconds(self) -> float:
+        return self.solver_seconds + self.feature_seconds + self.model_seconds
+
+    def worst_predicted_drop(self) -> float:
+        return float(self.predicted_drop.max())
+
+    def signoff(self, limit: float):
+        """Run the signoff check on the predicted map.
+
+        Returns a :class:`repro.eval.signoff.SignoffReport`.
+        """
+        from repro.eval.signoff import check_ir_drop
+
+        return check_ir_drop(self.predicted_drop, limit)
+
+
+class IRFusionPipeline:
+    """Train-and-analyze orchestrator for one configuration."""
+
+    def __init__(self, config: FusionConfig | None = None) -> None:
+        self.config = config or FusionConfig()
+        self._designs: tuple[list[Design], list[Design]] | None = None
+        self._datasets: tuple[IRDropDataset, IRDropDataset] | None = None
+        self.model: Module | None = None
+        self.trainer: Trainer | None = None
+        self._trained_channels: int | None = None
+
+    # -- dataset ----------------------------------------------------------------
+
+    def generate_designs(self) -> tuple[list[Design], list[Design]]:
+        """(train designs, held-out real test designs), cached."""
+        if self._designs is None:
+            cfg = self.config
+            suite = generate_benchmark_suite(
+                num_fake=cfg.num_fake,
+                num_real=cfg.num_real_train + cfg.num_real_test,
+                pixels=cfg.pixels,
+                seed=cfg.data_seed,
+            )
+            fakes = [d for d in suite if d.is_fake]
+            reals = [d for d in suite if not d.is_fake]
+            train = fakes + reals[: cfg.num_real_train]
+            test = reals[cfg.num_real_train :]
+            self._designs = (train, test)
+        return self._designs
+
+    def build_datasets(self) -> tuple[IRDropDataset, IRDropDataset]:
+        """(raw train set, test set) of samples, cached."""
+        if self._datasets is None:
+            train_designs, test_designs = self.generate_designs()
+            cfg = self.config
+            budgets = cfg.solver_iteration_mix or (cfg.solver_iterations,)
+            train_samples = []
+            for budget in budgets:
+                train_samples.extend(
+                    IRDropDataset.from_designs(
+                        train_designs, cfg.features, budget, cfg.solver_preset
+                    ).samples
+                )
+            train = IRDropDataset(train_samples)
+            test = IRDropDataset.from_designs(
+                test_designs, cfg.features, cfg.solver_iterations,
+                cfg.solver_preset,
+            )
+            self._datasets = (train, test)
+        return self._datasets
+
+    def prepare_training_set(self, train: IRDropDataset) -> IRDropDataset:
+        """Apply rotation augmentation and family oversampling."""
+        cfg = self.config
+        prepared = augment_dataset(train) if cfg.augment else train
+        if cfg.oversample_fake > 1 or cfg.oversample_real > 1:
+            prepared = oversample(
+                prepared, cfg.oversample_fake, cfg.oversample_real
+            )
+        return prepared
+
+    # -- training ----------------------------------------------------------------
+
+    def build_model(self, in_channels: int) -> Module:
+        cfg = self.config
+        return create_model(
+            cfg.model_name,
+            in_channels=in_channels,
+            base_channels=cfg.base_channels,
+            depth=cfg.depth,
+            seed=cfg.model_seed,
+            **cfg.model_kwargs,
+        )
+
+    def train(self) -> TrainHistory:
+        """Build datasets and fit the configured model."""
+        train_raw, _ = self.build_datasets()
+        prepared = self.prepare_training_set(train_raw)
+        self.model = self.build_model(in_channels=len(prepared.channels))
+        self._trained_channels = len(prepared.channels)
+        loss = preferred_loss(self.config.model_name)
+        self.trainer = Trainer(self.model, loss=loss, config=self.config.train)
+        return self.trainer.fit(prepared)
+
+    # -- inference ----------------------------------------------------------------
+
+    def _require_trainer(self) -> Trainer:
+        if self.trainer is None:
+            raise RuntimeError("pipeline is untrained; call train() first")
+        return self.trainer
+
+    def predict_sample(self, sample: DesignSample) -> np.ndarray:
+        """IR-drop map (volts) for a prebuilt sample."""
+        return self._require_trainer().predict([sample])[0]
+
+    def analyze_file(self, path) -> AnalysisResult:
+        """Analyse a SPICE deck from disk."""
+        return self.analyze_netlist(parse_spice_file(path))
+
+    def analyze_text(self, text: str) -> AnalysisResult:
+        """Analyse a SPICE deck held in a string."""
+        return self.analyze_netlist(parse_spice(text))
+
+    def analyze_netlist(self, netlist) -> AnalysisResult:
+        """Analyse a parsed deck (geometry inferred from node names)."""
+        grid = PowerGrid.from_netlist(netlist)
+        geometry = infer_geometry(grid, align_pixels=2**self.config.depth)
+        return self.analyze_grid(
+            grid, geometry, supply_voltage=netlist.supply_voltage()
+        )
+
+    def analyze_design(self, design: Design) -> AnalysisResult:
+        """Analyse a generated synthetic design."""
+        return self.analyze_grid(
+            design.grid, design.geometry, design.spec.supply_voltage
+        )
+
+    def analyze_grid(
+        self,
+        grid: PowerGrid,
+        geometry: GridGeometry,
+        supply_voltage: float,
+    ) -> AnalysisResult:
+        """The full fusion flow on an arbitrary power grid."""
+        trainer = self._require_trainer()
+        cfg = self.config
+
+        report: SimulationReport | None = None
+        rough_drop = None
+        voltages = None
+        solver_seconds = 0.0
+        if cfg.features.use_numerical:
+            start = time.perf_counter()
+            simulator = PowerRushSimulator(
+                max_iterations=cfg.solver_iterations, preset=cfg.solver_preset
+            )
+            report = simulator.simulate_grid(grid, supply_voltage=supply_voltage)
+            solver_seconds = time.perf_counter() - start
+            voltages = report.voltages
+            rough_drop = report.drop_image(geometry, layer=1)
+
+        start = time.perf_counter()
+        features = assemble_feature_stack(
+            geometry,
+            grid,
+            cfg.features,
+            voltages=voltages,
+            supply_voltage=supply_voltage,
+        )
+        feature_seconds = time.perf_counter() - start
+
+        if (
+            self._trained_channels is not None
+            and features.num_channels != self._trained_channels
+        ):
+            raise ValueError(
+                f"design produces {features.num_channels} feature channels "
+                f"but the model was trained on {self._trained_channels}; "
+                "the metal-layer count must match the training designs"
+            )
+
+        start = time.perf_counter()
+        # Route through the trainer so residual (fusion) prediction logic
+        # is applied exactly as during evaluation.
+        probe = DesignSample(
+            name="analysis",
+            kind="real",
+            features=features,
+            label=np.zeros(features.shape),
+            rough_label=rough_drop,
+        )
+        predicted = trainer.predict([probe])[0]
+        model_seconds = time.perf_counter() - start
+
+        return AnalysisResult(
+            predicted_drop=predicted,
+            rough_drop=rough_drop,
+            report=report,
+            features=features,
+            solver_seconds=solver_seconds,
+            feature_seconds=feature_seconds,
+            model_seconds=model_seconds,
+        )
+
+    # -- persistence ----------------------------------------------------------------
+
+    def save_model(self, path) -> None:
+        """Checkpoint the trained model's weights."""
+        if self.model is None:
+            raise RuntimeError("no model to save; call train() first")
+        save_state(self.model, path)
+
+    def load_model(self, path, in_channels: int) -> None:
+        """Restore a checkpoint into a freshly built model."""
+        self.model = self.build_model(in_channels=in_channels)
+        load_state(self.model, path)
+        self._trained_channels = in_channels
+        loss = preferred_loss(self.config.model_name)
+        self.trainer = Trainer(self.model, loss=loss, config=self.config.train)

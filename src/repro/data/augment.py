@@ -1,0 +1,65 @@
+"""Data augmentation and oversampling (Section III-E, IV-A).
+
+"three operations are performed on each feature map: clockwise rotations
+of 90, 180, and 270 degrees.  Features originating from the same PG after
+these transformations are treated as new PG designs" — a fourfold dataset
+increase.  The evaluation additionally oversamples: "fake designs are
+doubled, and real ones are quintupled."
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.dataset import DesignSample, IRDropDataset
+from repro.features.maps import FeatureStack
+
+
+def _rot90_cw(image: np.ndarray, quarter_turns: int) -> np.ndarray:
+    """Clockwise rotation by ``quarter_turns`` * 90 degrees (2D trailing axes)."""
+    return np.rot90(image, k=-quarter_turns, axes=(-2, -1)).copy()
+
+
+def rotate_sample(sample: DesignSample, quarter_turns: int) -> DesignSample:
+    """A new sample rotated clockwise by ``quarter_turns`` * 90 degrees."""
+    if quarter_turns % 4 == 0:
+        return sample
+    turns = quarter_turns % 4
+    rotated_features = FeatureStack(
+        channels=list(sample.features.channels),
+        data=_rot90_cw(sample.features.data, turns),
+    )
+    return DesignSample(
+        name=f"{sample.name}_rot{90 * turns}",
+        kind=sample.kind,
+        features=rotated_features,
+        label=_rot90_cw(sample.label, turns),
+        rough_label=(
+            _rot90_cw(sample.rough_label, turns)
+            if sample.rough_label is not None
+            else None
+        ),
+    )
+
+
+def augment_dataset(dataset: IRDropDataset) -> IRDropDataset:
+    """Fourfold rotation augmentation (original + 90/180/270 cw)."""
+    augmented: list[DesignSample] = []
+    for sample in dataset:
+        augmented.append(sample)
+        for turns in (1, 2, 3):
+            augmented.append(rotate_sample(sample, turns))
+    return IRDropDataset(augmented)
+
+
+def oversample(
+    dataset: IRDropDataset, fake_factor: int = 2, real_factor: int = 5
+) -> IRDropDataset:
+    """Replicate samples per family (contest setup: fake x2, real x5)."""
+    if fake_factor < 1 or real_factor < 1:
+        raise ValueError("oversampling factors must be >= 1")
+    out: list[DesignSample] = []
+    for sample in dataset:
+        factor = fake_factor if sample.is_fake else real_factor
+        out.extend([sample] * factor)
+    return IRDropDataset(out)

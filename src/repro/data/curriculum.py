@@ -1,0 +1,102 @@
+"""Predefined curriculum learning (Section III-E, Fig. 5).
+
+The predefined curriculum has two parts:
+
+- a **difficulty measurer**: artificially generated (fake) designs are
+  "easier", real-world designs are "harder";
+- a **continuous training scheduler**: "the model adjusts the training
+  data subset after each epoch" — easy samples are always visible, hard
+  samples phase in linearly between two epochs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.dataset import DesignSample, IRDropDataset
+
+EASY = 0
+HARD = 1
+
+
+def difficulty_of(sample: DesignSample) -> int:
+    """The predefined difficulty measurer: fake = easy, real = hard."""
+    return EASY if sample.is_fake else HARD
+
+
+@dataclass(frozen=True)
+class CurriculumScheduler:
+    """Continuous scheduler over a fixed dataset.
+
+    Epoch *e* (0-based) of ``total_epochs`` exposes all easy samples plus
+    the first ``ramp(e)`` fraction of hard samples, where ``ramp`` rises
+    linearly from 0 at ``hard_start_epoch`` to 1 at ``hard_full_epoch``.
+    With the defaults the model sees only fakes for the first fifth of
+    training and the full mixture by three-fifths.
+
+    Attributes
+    ----------
+    total_epochs:
+        Planned epoch count (used only for the default ramp endpoints).
+    hard_start_epoch, hard_full_epoch:
+        Ramp endpoints; ``None`` derives them from ``total_epochs``
+        (20 % and 60 %).
+    """
+
+    total_epochs: int
+    hard_start_epoch: int | None = None
+    hard_full_epoch: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.total_epochs < 1:
+            raise ValueError("total_epochs must be >= 1")
+        start, full = self._endpoints()
+        if not 0 <= start <= full:
+            raise ValueError(
+                f"need 0 <= hard_start ({start}) <= hard_full ({full})"
+            )
+
+    def _endpoints(self) -> tuple[int, int]:
+        start = (
+            self.hard_start_epoch
+            if self.hard_start_epoch is not None
+            else max(0, round(0.2 * self.total_epochs))
+        )
+        full = (
+            self.hard_full_epoch
+            if self.hard_full_epoch is not None
+            else max(start, round(0.6 * self.total_epochs))
+        )
+        return start, full
+
+    def hard_fraction(self, epoch: int) -> float:
+        """Fraction of hard samples visible at *epoch* (0-based)."""
+        start, full = self._endpoints()
+        if epoch < start:
+            return 0.0
+        if epoch >= full or full == start:
+            return 1.0
+        return (epoch - start) / (full - start)
+
+    def subset_indices(self, dataset: IRDropDataset, epoch: int) -> list[int]:
+        """Indices of the samples visible at *epoch*, easy-first order.
+
+        Hard samples enter in a deterministic order (dataset order), so
+        consecutive epochs see nested subsets — the "continuous" property.
+        The subset is never empty: if the dataset has no easy samples the
+        first hard sample is always admitted.
+        """
+        easy = [i for i, s in enumerate(dataset) if difficulty_of(s) == EASY]
+        hard = [i for i, s in enumerate(dataset) if difficulty_of(s) == HARD]
+        count = int(np.ceil(self.hard_fraction(epoch) * len(hard)))
+        visible = easy + hard[:count]
+        if not visible and hard:
+            visible = hard[:1]
+        return visible
+
+    def subset(self, dataset: IRDropDataset, epoch: int) -> IRDropDataset:
+        """The visible sub-dataset at *epoch*."""
+        indices = self.subset_indices(dataset, epoch)
+        return IRDropDataset([dataset[i] for i in indices])

@@ -1,0 +1,126 @@
+"""Wire-current (electromigration-style) checking.
+
+EM signoff limits the sustained current through each wire segment.  With
+no width model in the netlist the check is expressed directly in amps per
+wire, optionally scaled per metal layer (upper layers are thicker and
+tolerate more current).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.grid.netlist import PowerGrid
+from repro.mna.post import branch_currents
+
+
+@dataclass(frozen=True)
+class WireViolation:
+    """One over-limit wire.
+
+    Attributes
+    ----------
+    wire_name:
+        The resistor's SPICE name.
+    node_a, node_b:
+        Endpoint node names.
+    current:
+        Magnitude of the current through the wire (amps).
+    limit:
+        The limit applied to this wire (amps).
+    """
+
+    wire_name: str
+    node_a: str
+    node_b: str
+    current: float
+    limit: float
+
+    @property
+    def overdrive(self) -> float:
+        """current / limit (> 1 by construction)."""
+        return self.current / self.limit
+
+
+@dataclass(frozen=True)
+class EMReport:
+    """Outcome of a wire-current check."""
+
+    limit: float
+    worst_current: float
+    violations: tuple[WireViolation, ...]
+
+    @property
+    def passed(self) -> bool:
+        return not self.violations
+
+    def summary(self) -> str:
+        if self.passed:
+            return (
+                f"PASS: no wire exceeds its limit "
+                f"(base {self.limit * 1e3:.2f} mA, layer-scaled); worst "
+                f"wire current {self.worst_current * 1e3:.2f} mA."
+            )
+        worst = self.violations[0]
+        return (
+            f"FAIL: {len(self.violations)} wire(s) over the "
+            f"{self.limit * 1e3:.2f} mA limit; worst is {worst.wire_name} "
+            f"({worst.node_a} -> {worst.node_b}) at "
+            f"{worst.current * 1e3:.2f} mA ({worst.overdrive:.1f}x)."
+        )
+
+
+def check_wire_currents(
+    grid: PowerGrid,
+    voltages: np.ndarray,
+    limit_amps: float,
+    layer_scale: dict[int, float] | None = None,
+) -> EMReport:
+    """Check every wire's current against a limit.
+
+    Parameters
+    ----------
+    grid, voltages:
+        The solved design.
+    limit_amps:
+        Base per-wire current limit.
+    layer_scale:
+        Optional per-metal-layer multiplier on the limit (e.g. ``{4: 4.0}``
+        lets thick top metal carry 4x); vias between layers use the lower
+        layer's scale.
+    """
+    if limit_amps <= 0:
+        raise ValueError("limit_amps must be positive")
+    currents = branch_currents(grid, voltages)
+    violations: list[WireViolation] = []
+    worst = 0.0
+    for k, wire in enumerate(grid.wires):
+        magnitude = abs(float(currents[k]))
+        worst = max(worst, magnitude)
+        limit = limit_amps
+        if layer_scale:
+            layers = [
+                grid.node(endpoint).layer
+                for endpoint in (wire.node_a, wire.node_b)
+            ]
+            layers = [layer for layer in layers if layer is not None]
+            if layers:
+                limit = limit_amps * layer_scale.get(min(layers), 1.0)
+        if magnitude > limit:
+            violations.append(
+                WireViolation(
+                    wire_name=wire.name,
+                    node_a=grid.node(wire.node_a).name,
+                    node_b=grid.node(wire.node_b).name,
+                    current=magnitude,
+                    limit=limit,
+                )
+            )
+    violations.sort(key=lambda v: v.overdrive, reverse=True)
+    return EMReport(
+        limit=limit_amps,
+        worst_current=worst,
+        violations=tuple(violations),
+    )

@@ -1,0 +1,100 @@
+"""Plain-text rendering of the paper's tables and figure data.
+
+Tables follow the paper's units: MAE and MIRDE in 1e-4 V, runtime in
+seconds.  :func:`ascii_map` renders an IR-drop image as character art for
+the Fig. 6 qualitative comparison (no plotting stack is available in this
+environment; the raw arrays are also saved by the benches).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.train.metrics import Metrics
+
+_SHADES = " .:-=+*#%@"
+
+
+def format_metrics_table(
+    rows: dict[str, Metrics], title: str = "Main results"
+) -> str:
+    """A Table-I-style text table from ``{method: metrics}``.
+
+    Metric units match the paper: MAE / MIRDE in 1e-4 V, runtime in s.
+    """
+    if not rows:
+        raise ValueError("no rows to format")
+    header = f"{'Method':<22s} {'MAE↓':>8s} {'F1↑':>6s} {'Runtime↓':>9s} {'MIRDE↓':>8s}"
+    ruler = "-" * len(header)
+    lines = [title, ruler, header, ruler]
+    for name, metrics in rows.items():
+        scaled = metrics.scaled(1e4)
+        lines.append(
+            f"{name:<22s} {scaled.mae:>8.2f} {scaled.f1:>6.2f} "
+            f"{scaled.runtime_seconds:>9.3f} {scaled.mirde:>8.2f}"
+        )
+    lines.append(ruler)
+    lines.append("(MAE and MIRDE in 1e-4 V; runtime in seconds)")
+    return "\n".join(lines)
+
+
+def format_sweep_table(
+    iterations: list[int],
+    series: dict[str, list[float]],
+    title: str = "Trade-off sweep",
+    value_format: str = "{:>10.3f}",
+) -> str:
+    """A Fig.-7-style table: one row per solver iteration count."""
+    names = list(series)
+    for name in names:
+        if len(series[name]) != len(iterations):
+            raise ValueError(
+                f"series {name!r} has {len(series[name])} values for "
+                f"{len(iterations)} iterations"
+            )
+    header = f"{'iters':>5s} " + " ".join(f"{name:>10s}" for name in names)
+    lines = [title, "-" * len(header), header, "-" * len(header)]
+    for i, iteration in enumerate(iterations):
+        cells = " ".join(value_format.format(series[name][i]) for name in names)
+        lines.append(f"{iteration:>5d} {cells}")
+    return "\n".join(lines)
+
+
+def ascii_map(image: np.ndarray, width: int = 48) -> str:
+    """Character-art rendering of a 2D map (dark = low, dense = high)."""
+    image = np.asarray(image, dtype=float)
+    if image.ndim != 2:
+        raise ValueError(f"expected a 2D map, got shape {image.shape}")
+    rows, cols = image.shape
+    width = min(width, cols)
+    height = max(1, round(rows * width / cols / 2))  # terminal cells are ~2:1
+    row_idx = np.linspace(0, rows - 1, height).round().astype(int)
+    col_idx = np.linspace(0, cols - 1, width).round().astype(int)
+    sampled = image[np.ix_(row_idx, col_idx)]
+    lo, hi = sampled.min(), sampled.max()
+    if hi - lo < 1e-30:
+        levels = np.zeros_like(sampled, dtype=int)
+    else:
+        levels = ((sampled - lo) / (hi - lo) * (len(_SHADES) - 1)).round().astype(int)
+    return "\n".join("".join(_SHADES[v] for v in line) for line in levels)
+
+
+def side_by_side(blocks: list[str], labels: list[str], gap: int = 3) -> str:
+    """Join several equal-height ascii blocks horizontally with labels."""
+    if len(blocks) != len(labels):
+        raise ValueError("one label per block required")
+    split = [b.splitlines() for b in blocks]
+    height = max(len(lines) for lines in split)
+    widths = [max((len(l) for l in lines), default=0) for lines in split]
+    out_lines = []
+    label_line = (" " * gap).join(
+        label.center(width) for label, width in zip(labels, widths)
+    )
+    out_lines.append(label_line)
+    for i in range(height):
+        row = (" " * gap).join(
+            (lines[i] if i < len(lines) else "").ljust(width)
+            for lines, width in zip(split, widths)
+        )
+        out_lines.append(row)
+    return "\n".join(out_lines)

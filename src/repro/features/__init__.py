@@ -1,0 +1,36 @@
+"""Hierarchical numerical-structural feature maps (Section III-C).
+
+Each PG design becomes a stack of 2D images over the die:
+
+- per-metal-layer *numerical* IR-drop maps from the rough AMG-PCG solution,
+- per-layer *current* maps (load current allocated by layer conductance),
+- the *effective distance* map (reciprocal of summed reciprocal distances
+  to the pads),
+- the *PDN density* map (stripe density per pixel),
+- the *resistance* map (each resistor spread over the pixels it crosses),
+- the *shortest-path resistance* map (Dijkstra resistance to the pads).
+
+:func:`~repro.features.fusion.assemble_feature_stack` builds the full
+fusion stack; ablation switches reproduce Fig. 8 variants.
+"""
+
+from repro.features.current import layer_current_maps, load_current_map
+from repro.features.density import pdn_density_map
+from repro.features.distance import effective_distance_map
+from repro.features.fusion import FeatureConfig, assemble_feature_stack
+from repro.features.maps import FeatureStack
+from repro.features.numerical import numerical_layer_maps
+from repro.features.resistance import resistance_map, shortest_path_resistance_map
+
+__all__ = [
+    "FeatureConfig",
+    "FeatureStack",
+    "assemble_feature_stack",
+    "effective_distance_map",
+    "layer_current_maps",
+    "load_current_map",
+    "numerical_layer_maps",
+    "pdn_density_map",
+    "resistance_map",
+    "shortest_path_resistance_map",
+]

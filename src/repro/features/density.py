@@ -1,0 +1,33 @@
+"""PDN density map.
+
+"The PDN density map is derived from the average PDN pitch within each
+grid" (Section III-C).  Density here is the count of PG nodes (stripe
+intersections / via landings) per pixel, optionally per layer; denser
+pixels have finer local pitch and hence lower local resistance.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.grid.geometry import GridGeometry
+from repro.grid.netlist import PowerGrid
+from repro.grid.raster import rasterize
+
+
+def pdn_density_map(
+    geometry: GridGeometry, grid: PowerGrid, layer: int | None = None
+) -> np.ndarray:
+    """Node density per pixel.
+
+    Parameters
+    ----------
+    layer:
+        Restrict to one metal layer; ``None`` counts nodes of all layers.
+    """
+    if layer is None:
+        nodes = [n for n in grid.nodes if n.structured is not None]
+    else:
+        nodes = grid.nodes_on_layer(layer)
+    ones = np.ones(len(nodes), dtype=float)
+    return rasterize(geometry, nodes, ones, reduce="sum")

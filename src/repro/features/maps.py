@@ -1,0 +1,112 @@
+"""Named feature-map stacks.
+
+A :class:`FeatureStack` pairs a ``(C, H, W)`` float array with channel
+names, so models and ablations can select channels symbolically instead of
+by magic index.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class FeatureStack:
+    """An ordered, named stack of equally sized 2D feature maps."""
+
+    channels: list[str]
+    data: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.data = np.asarray(self.data, dtype=float)
+        if self.data.ndim != 3:
+            raise ValueError(f"data must be (C, H, W), got shape {self.data.shape}")
+        if len(self.channels) != self.data.shape[0]:
+            raise ValueError(
+                f"{len(self.channels)} channel names for {self.data.shape[0]} maps"
+            )
+        if len(set(self.channels)) != len(self.channels):
+            raise ValueError("channel names must be unique")
+
+    # -- basic access --------------------------------------------------------
+
+    @property
+    def num_channels(self) -> int:
+        return self.data.shape[0]
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """Spatial shape (H, W)."""
+        return self.data.shape[1], self.data.shape[2]
+
+    def __getitem__(self, channel: str) -> np.ndarray:
+        return self.data[self.channels.index(channel)]
+
+    def __contains__(self, channel: str) -> bool:
+        return channel in self.channels
+
+    # -- construction helpers --------------------------------------------------
+
+    @classmethod
+    def from_dict(cls, maps: dict[str, np.ndarray]) -> "FeatureStack":
+        """Stack maps in dict insertion order."""
+        if not maps:
+            raise ValueError("cannot build an empty feature stack")
+        channels = list(maps)
+        data = np.stack([np.asarray(maps[c], dtype=float) for c in channels])
+        return cls(channels=channels, data=data)
+
+    def select(self, channels: list[str]) -> "FeatureStack":
+        """A new stack with only the requested channels, in that order."""
+        indices = [self.channels.index(c) for c in channels]
+        return FeatureStack(channels=list(channels), data=self.data[indices].copy())
+
+    def concat(self, other: "FeatureStack") -> "FeatureStack":
+        """Channel-wise concatenation of two stacks with matching shapes."""
+        if self.shape != other.shape:
+            raise ValueError(f"shape mismatch: {self.shape} vs {other.shape}")
+        return FeatureStack(
+            channels=self.channels + other.channels,
+            data=np.concatenate([self.data, other.data], axis=0),
+        )
+
+    # -- normalisation ----------------------------------------------------------
+
+    def normalized(self, mode: str = "minmax", eps: float = 1e-12) -> "FeatureStack":
+        """Per-channel normalisation.
+
+        ``"minmax"`` maps each channel to [0, 1]; ``"zscore"`` standardises
+        to zero mean / unit variance.  Constant channels map to zero.
+        """
+        if mode not in ("minmax", "zscore"):
+            raise ValueError(f"unknown normalisation mode {mode!r}")
+        out = np.empty_like(self.data)
+        for i in range(self.num_channels):
+            channel = self.data[i]
+            if mode == "minmax":
+                lo, hi = channel.min(), channel.max()
+                out[i] = (channel - lo) / (hi - lo) if hi - lo > eps else 0.0
+            else:
+                mu, sigma = channel.mean(), channel.std()
+                out[i] = (channel - mu) / sigma if sigma > eps else 0.0
+        return FeatureStack(channels=list(self.channels), data=out)
+
+    # -- serialisation -----------------------------------------------------------
+
+    def save(self, path: str | os.PathLike[str]) -> None:
+        """Write the stack to a compressed ``.npz`` file."""
+        np.savez_compressed(
+            path, data=self.data, channels=np.array(self.channels, dtype=object)
+        )
+
+    @classmethod
+    def load(cls, path: str | os.PathLike[str]) -> "FeatureStack":
+        """Load a stack written by :meth:`save`."""
+        with np.load(path, allow_pickle=True) as archive:
+            return cls(
+                channels=[str(c) for c in archive["channels"]],
+                data=archive["data"],
+            )

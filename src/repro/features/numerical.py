@@ -1,0 +1,47 @@
+"""Hierarchical numerical feature maps from rough solver solutions.
+
+Section III-C: "we construct hierarchical numerical features based on the
+numerical solution, according to the layer they belong to and their 2D
+spatial coordinate ... Each metal layer corresponds to a generated feature
+map."  Given a (rough) per-node voltage vector, this module emits one
+IR-drop image per metal layer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.grid.geometry import GridGeometry
+from repro.grid.netlist import PowerGrid
+from repro.grid.raster import layer_values_image
+
+
+def numerical_layer_maps(
+    geometry: GridGeometry,
+    grid: PowerGrid,
+    voltages: np.ndarray,
+    supply_voltage: float,
+    layers: list[int] | None = None,
+) -> dict[int, np.ndarray]:
+    """Per-layer rough IR-drop images from a per-grid-node voltage vector.
+
+    Parameters
+    ----------
+    voltages:
+        Full per-grid-node voltages (e.g. ``ReducedSystem.scatter`` of a
+        rough AMG-PCG iterate).
+    supply_voltage:
+        Pad voltage; maps hold ``vdd - v`` so hotter = larger drop.
+    layers:
+        Which metal layers to emit (default: every layer present).
+    """
+    if voltages.shape != (grid.num_nodes,):
+        raise ValueError(
+            f"expected {grid.num_nodes} voltages, got shape {voltages.shape}"
+        )
+    drop = supply_voltage - voltages
+    target_layers = layers if layers is not None else grid.layers_present()
+    return {
+        layer: layer_values_image(geometry, grid, drop, layer=layer, reduce="max")
+        for layer in target_layers
+    }

@@ -1,0 +1,119 @@
+"""Resistance-derived structural maps.
+
+Two PG-structure-level features from Section III-C:
+
+- the **resistance map** "distributes the resistance of each resistor
+  across overlapping grids": every wire's resistance is spread uniformly
+  over the pixels its straight-line span crosses;
+- the **shortest path resistance map** "is the average of the cumulative
+  resistance from each node to voltage sources": multi-source Dijkstra over
+  the wire-resistance graph, rasterised with a per-pixel mean.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.grid.geometry import GridGeometry
+from repro.grid.netlist import PowerGrid
+from repro.grid.raster import rasterize
+
+
+def _pixels_on_span(
+    geometry: GridGeometry,
+    start: tuple[int, int],
+    end: tuple[int, int],
+) -> list[tuple[int, int]]:
+    """Pixels visited by the straight segment from *start* to *end* (nm).
+
+    PG wires are axis-aligned, so simple per-axis stepping at pixel
+    resolution is exact; diagonal segments (vias render as points) are
+    sampled at pixel pitch.
+    """
+    (x0, y0), (x1, y1) = start, end
+    r0, c0 = geometry.to_pixel(x0, y0)
+    r1, c1 = geometry.to_pixel(x1, y1)
+    if (r0, c0) == (r1, c1):
+        return [(r0, c0)]
+    if r0 == r1:
+        lo, hi = sorted((c0, c1))
+        return [(r0, c) for c in range(lo, hi + 1)]
+    if c0 == c1:
+        lo, hi = sorted((r0, r1))
+        return [(r, c0) for r in range(lo, hi + 1)]
+    steps = max(abs(r1 - r0), abs(c1 - c0))
+    pixels = {
+        (
+            round(r0 + (r1 - r0) * t / steps),
+            round(c0 + (c1 - c0) * t / steps),
+        )
+        for t in range(steps + 1)
+    }
+    return sorted(pixels)
+
+
+def resistance_map(geometry: GridGeometry, grid: PowerGrid) -> np.ndarray:
+    """Total wire resistance per pixel, each wire spread over its span."""
+    image = np.zeros(geometry.shape, dtype=float)
+    for wire in grid.wires:
+        node_a = grid.node(wire.node_a)
+        node_b = grid.node(wire.node_b)
+        if node_a.structured is None or node_b.structured is None:
+            continue
+        pixels = _pixels_on_span(
+            geometry, node_a.structured.position, node_b.structured.position
+        )
+        share = wire.resistance / len(pixels)
+        for row, col in pixels:
+            image[row, col] += share
+    return image
+
+
+def shortest_path_resistances(grid: PowerGrid) -> np.ndarray:
+    """Per-node shortest-path resistance to the nearest pad.
+
+    Multi-source Dijkstra with wire resistance as edge weight, implemented
+    on the PowerGrid adjacency directly (no graph copy).  Floating nodes
+    get ``inf``.
+    """
+    import heapq
+
+    distances = np.full(grid.num_nodes, np.inf, dtype=float)
+    heap: list[tuple[float, int]] = []
+    for pad in grid.pads():
+        distances[pad.index] = 0.0
+        heapq.heappush(heap, (0.0, pad.index))
+    while heap:
+        dist, node = heapq.heappop(heap)
+        if dist > distances[node]:
+            continue
+        for wire in grid.wires_at(node):
+            other = wire.other(node)
+            candidate = dist + wire.resistance
+            if candidate < distances[other]:
+                distances[other] = candidate
+                heapq.heappush(heap, (candidate, other))
+    return distances
+
+
+def shortest_path_resistance_map(
+    geometry: GridGeometry,
+    grid: PowerGrid,
+    layer: int | None = 1,
+) -> np.ndarray:
+    """Per-pixel mean shortest-path resistance to the pads.
+
+    Parameters
+    ----------
+    layer:
+        Restrict to one metal layer's nodes (default: bottom layer, whose
+        cells experience the drop); ``None`` averages over all layers.
+    """
+    distances = shortest_path_resistances(grid)
+    if layer is None:
+        nodes = [n for n in grid.nodes if n.structured is not None]
+    else:
+        nodes = grid.nodes_on_layer(layer)
+    finite_nodes = [n for n in nodes if np.isfinite(distances[n.index])]
+    values = np.array([distances[n.index] for n in finite_nodes], dtype=float)
+    return rasterize(geometry, finite_nodes, values, reduce="mean")

@@ -1,0 +1,231 @@
+"""The power-grid container built by the spice parser / circuit generator.
+
+Section III-B: "The spice parser loads the spice file and creates a hash
+table of circuit nodes representing circuit connections. ... the PG is
+stored as a nodes list and wires map, which are linked to present their
+topologies."
+
+:class:`PowerGrid` is that structure: a node table (name → :class:`PGNode`
+with a dense integer id) and a wires map (per-node adjacency of
+:class:`PGWire` records).  It is the single input to MNA stamping,
+feature extraction and the synthetic generators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.spice.ast import CurrentSource, Netlist, Resistor, VoltageSource
+from repro.spice.nodes import GROUND, NodeName, is_structured_name, parse_node_name
+
+
+@dataclass(slots=True)
+class PGNode:
+    """One circuit node of the power grid.
+
+    Attributes
+    ----------
+    index:
+        Dense 0-based id, assigned in insertion order (file order).
+    name:
+        The SPICE node name.
+    structured:
+        Parsed coordinates when the name follows the contest grammar,
+        otherwise ``None`` (e.g. intermediate nodes of exotic decks).
+    load_current:
+        Total current drawn from this node by attached current sources.
+    pad_voltage:
+        Supply voltage if a voltage source pins this node, else ``None``.
+    """
+
+    index: int
+    name: str
+    structured: NodeName | None = None
+    load_current: float = 0.0
+    pad_voltage: float | None = None
+
+    @property
+    def is_pad(self) -> bool:
+        return self.pad_voltage is not None
+
+    @property
+    def layer(self) -> int | None:
+        return self.structured.layer if self.structured is not None else None
+
+
+@dataclass(frozen=True, slots=True)
+class PGWire:
+    """A resistive connection between two PG nodes (wire segment or via)."""
+
+    name: str
+    node_a: int
+    node_b: int
+    resistance: float
+
+    @property
+    def conductance(self) -> float:
+        return 1.0 / self.resistance
+
+    def other(self, node: int) -> int:
+        """The endpoint opposite to *node*."""
+        if node == self.node_a:
+            return self.node_b
+        if node == self.node_b:
+            return self.node_a
+        raise ValueError(f"node {node} is not an endpoint of wire {self.name!r}")
+
+
+class PowerGrid:
+    """Node table + wires map for one PG design.
+
+    Build one from a parsed SPICE deck with :meth:`from_netlist`.  Nodes are
+    indexed densely; ground is *not* a node (elements to ground record only
+    their PG-side endpoint).
+    """
+
+    def __init__(self) -> None:
+        self._nodes: list[PGNode] = []
+        self._index_of: dict[str, int] = {}
+        self._wires: list[PGWire] = []
+        self._adjacency: list[list[int]] = []
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def from_netlist(cls, netlist: Netlist) -> "PowerGrid":
+        """Build the node table and wires map from a parsed deck.
+
+        Ground-referenced resistors are rejected (a static PG is floating
+        from ground except through ideal sources); 0-ohm resistors are
+        rejected as well — collapse shorts upstream.
+        """
+        grid = cls()
+        for res in netlist.resistors:
+            grid._add_resistor(res)
+        for src in netlist.current_sources:
+            grid._add_current_source(src)
+        for pad in netlist.voltage_sources:
+            grid._add_voltage_source(pad)
+        return grid
+
+    def _intern(self, name: str) -> int:
+        if name == GROUND:
+            raise ValueError("ground cannot be interned as a PG node")
+        index = self._index_of.get(name)
+        if index is not None:
+            return index
+        index = len(self._nodes)
+        structured = parse_node_name(name) if is_structured_name(name) else None
+        self._nodes.append(PGNode(index=index, name=name, structured=structured))
+        self._index_of[name] = index
+        self._adjacency.append([])
+        return index
+
+    def _add_resistor(self, res: Resistor) -> None:
+        if res.is_short:
+            raise ValueError(
+                f"resistor {res.name!r} is a 0-ohm short; merge its nodes first"
+            )
+        if res.node_a == GROUND or res.node_b == GROUND:
+            raise ValueError(
+                f"resistor {res.name!r} touches ground; PG resistor networks "
+                "connect to ground only through sources"
+            )
+        if res.node_a == res.node_b:
+            raise ValueError(f"resistor {res.name!r} is a self-loop on {res.node_a!r}")
+        a = self._intern(res.node_a)
+        b = self._intern(res.node_b)
+        wire_index = len(self._wires)
+        self._wires.append(PGWire(res.name, a, b, res.resistance))
+        self._adjacency[a].append(wire_index)
+        self._adjacency[b].append(wire_index)
+
+    def _add_current_source(self, src: CurrentSource) -> None:
+        if src.node_to != GROUND:
+            raise ValueError(
+                f"current source {src.name!r} must sink to ground, "
+                f"got {src.node_to!r}"
+            )
+        index = self._intern(src.node_from)
+        self._nodes[index].load_current += src.current
+
+    def _add_voltage_source(self, pad: VoltageSource) -> None:
+        if pad.node_neg != GROUND:
+            raise ValueError(
+                f"voltage source {pad.name!r} must reference ground, "
+                f"got {pad.node_neg!r}"
+            )
+        index = self._intern(pad.node_pos)
+        node = self._nodes[index]
+        if node.pad_voltage is not None and node.pad_voltage != pad.voltage:
+            raise ValueError(
+                f"node {node.name!r} pinned to two voltages "
+                f"({node.pad_voltage} and {pad.voltage})"
+            )
+        node.pad_voltage = pad.voltage
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self._nodes)
+
+    @property
+    def num_wires(self) -> int:
+        return len(self._wires)
+
+    @property
+    def nodes(self) -> list[PGNode]:
+        return self._nodes
+
+    @property
+    def wires(self) -> list[PGWire]:
+        return self._wires
+
+    def node(self, key: str | int) -> PGNode:
+        """Node by name or dense index."""
+        if isinstance(key, str):
+            return self._nodes[self._index_of[key]]
+        return self._nodes[key]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._index_of
+
+    def index_of(self, name: str) -> int:
+        return self._index_of[name]
+
+    def wires_at(self, node: int) -> list[PGWire]:
+        """All wires incident on a node index."""
+        return [self._wires[i] for i in self._adjacency[node]]
+
+    def neighbors(self, node: int) -> list[int]:
+        """Indices of nodes directly connected to *node*."""
+        return [self._wires[i].other(node) for i in self._adjacency[node]]
+
+    def pads(self) -> list[PGNode]:
+        """All voltage-pinned nodes."""
+        return [n for n in self._nodes if n.is_pad]
+
+    def loads(self) -> list[PGNode]:
+        """All nodes with a nonzero attached current drain."""
+        return [n for n in self._nodes if n.load_current != 0.0]
+
+    def layers_present(self) -> list[int]:
+        """Sorted metal-layer indices that have at least one structured node."""
+        return sorted(
+            {n.structured.layer for n in self._nodes if n.structured is not None}
+        )
+
+    def nodes_on_layer(self, layer: int) -> list[PGNode]:
+        """Structured nodes on a given metal layer."""
+        return [
+            n
+            for n in self._nodes
+            if n.structured is not None and n.structured.layer == layer
+        ]
+
+    def degree(self, node: int) -> int:
+        return len(self._adjacency[node])
+
+    def total_load_current(self) -> float:
+        return sum(n.load_current for n in self._nodes)

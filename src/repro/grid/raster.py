@@ -1,0 +1,87 @@
+"""Rasterising per-node quantities onto the pixel grid.
+
+Every feature map and label in the pipeline is an image over the die;
+this module owns the scatter from (node, value) pairs to pixels, with the
+three reductions that occur in the paper's maps: worst-case (max), mean
+and sum.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.grid.geometry import GridGeometry
+from repro.grid.netlist import PGNode, PowerGrid
+
+
+def rasterize(
+    geometry: GridGeometry,
+    nodes: list[PGNode],
+    values: np.ndarray,
+    reduce: str = "max",
+    fill: float = 0.0,
+) -> np.ndarray:
+    """Scatter per-node *values* to an image.
+
+    Parameters
+    ----------
+    geometry:
+        Supplies the pixel mapping and output shape.
+    nodes:
+        Structured nodes to scatter; unstructured nodes are skipped.
+    values:
+        ``values[k]`` belongs to ``nodes[k]``.
+    reduce:
+        ``"max"`` (worst case within a pixel), ``"mean"`` or ``"sum"``.
+    fill:
+        Value for pixels containing no node.
+    """
+    if reduce not in ("max", "mean", "sum"):
+        raise ValueError(f"unknown reduction {reduce!r}")
+    if len(nodes) != len(values):
+        raise ValueError(
+            f"{len(nodes)} nodes but {len(values)} values"
+        )
+    shape = geometry.shape
+    if reduce == "max":
+        image = np.full(shape, -np.inf, dtype=float)
+    else:
+        image = np.zeros(shape, dtype=float)
+    counts = np.zeros(shape, dtype=np.int64)
+
+    for node, value in zip(nodes, values):
+        if node.structured is None:
+            continue
+        row, col = geometry.node_pixel(node.structured)
+        counts[row, col] += 1
+        if reduce == "max":
+            if value > image[row, col]:
+                image[row, col] = value
+        else:
+            image[row, col] += value
+
+    empty = counts == 0
+    if reduce == "mean":
+        occupied = ~empty
+        image[occupied] /= counts[occupied]
+    image[empty] = fill
+    return image
+
+
+def layer_values_image(
+    geometry: GridGeometry,
+    grid: PowerGrid,
+    full_values: np.ndarray,
+    layer: int,
+    reduce: str = "max",
+    fill: float = 0.0,
+) -> np.ndarray:
+    """Image of a per-grid-node vector restricted to one metal layer."""
+    if full_values.shape != (grid.num_nodes,):
+        raise ValueError(
+            f"expected one value per grid node ({grid.num_nodes}), "
+            f"got shape {full_values.shape}"
+        )
+    nodes = grid.nodes_on_layer(layer)
+    values = np.array([full_values[n.index] for n in nodes], dtype=float)
+    return rasterize(geometry, nodes, values, reduce=reduce, fill=fill)

@@ -1,0 +1,59 @@
+"""Post-processing of a solved PG: branch currents and KCL residuals.
+
+Given per-node voltages, every wire's current follows from Ohm's law;
+these are the quantities electromigration checks and power-routing
+debuggers consume.  Sign convention: ``current[k] > 0`` means conventional
+current flows from ``wires[k].node_a`` to ``wires[k].node_b``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.grid.netlist import PowerGrid
+
+
+def branch_currents(grid: PowerGrid, voltages: np.ndarray) -> np.ndarray:
+    """Per-wire currents (amps) from a per-grid-node voltage vector."""
+    if voltages.shape != (grid.num_nodes,):
+        raise ValueError(
+            f"expected {grid.num_nodes} voltages, got shape {voltages.shape}"
+        )
+    currents = np.empty(grid.num_wires, dtype=float)
+    for k, wire in enumerate(grid.wires):
+        currents[k] = (
+            voltages[wire.node_a] - voltages[wire.node_b]
+        ) * wire.conductance
+    return currents
+
+
+def kcl_residuals(grid: PowerGrid, voltages: np.ndarray) -> np.ndarray:
+    """Per-node current imbalance (amps): 0 at exact solutions.
+
+    For non-pad nodes the residual is the net wire current into the node
+    minus the load drawn there; for pads it is the (arbitrary) source
+    current and is reported as zero.
+    """
+    currents = branch_currents(grid, voltages)
+    residual = np.zeros(grid.num_nodes, dtype=float)
+    for k, wire in enumerate(grid.wires):
+        residual[wire.node_a] -= currents[k]
+        residual[wire.node_b] += currents[k]
+    for node in grid.nodes:
+        if node.is_pad:
+            residual[node.index] = 0.0
+        else:
+            residual[node.index] -= node.load_current
+    return residual
+
+
+def pad_currents(grid: PowerGrid, voltages: np.ndarray) -> dict[int, float]:
+    """Current supplied by each pad (amps), keyed by grid node index."""
+    currents = branch_currents(grid, voltages)
+    supplied: dict[int, float] = {n.index: 0.0 for n in grid.pads()}
+    for k, wire in enumerate(grid.wires):
+        if wire.node_a in supplied:
+            supplied[wire.node_a] += currents[k]
+        if wire.node_b in supplied:
+            supplied[wire.node_b] -= currents[k]
+    return supplied

@@ -1,0 +1,135 @@
+"""Conductance-matrix stamping.
+
+"Using this link table, the circuit generator constructs the circuit
+topology graph, enabling the extraction of the conductance matrix G for
+simulation" (Section III-B).  Stamping follows the classic MNA rules: a
+resistor of conductance g between nodes *a* and *b* adds ``+g`` to the two
+diagonal entries and ``-g`` to the two off-diagonals; a current source adds
+to the RHS; ideal voltage sources are either eliminated (reduced form) or
+given a branch-current unknown (full form).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.grid.netlist import PowerGrid
+from repro.grid.topology import validate_connectivity
+from repro.mna.system import FullMNASystem, ReducedSystem
+
+
+def build_reduced_system(grid: PowerGrid, validate: bool = True) -> ReducedSystem:
+    """Assemble the SPD reduced system ``G x = b`` over non-pad nodes.
+
+    Pad nodes are eliminated: their known voltage ``v_p`` moves coupling
+    terms ``g * v_p`` to the right-hand side.  Load currents enter the RHS
+    with a negative sign (current leaves the node into the cells).
+
+    Parameters
+    ----------
+    grid:
+        The power grid to stamp.
+    validate:
+        Run connectivity validation first (recommended; guarantees the
+        result is nonsingular).
+    """
+    if validate:
+        validate_connectivity(grid)
+
+    pad_voltages = {n.index: n.pad_voltage for n in grid.pads()}
+    unknown_indices = np.array(
+        [n.index for n in grid.nodes if not n.is_pad], dtype=np.int64
+    )
+    row_of = {int(g): r for r, g in enumerate(unknown_indices)}
+    n_unknown = len(unknown_indices)
+
+    rows: list[int] = []
+    cols: list[int] = []
+    vals: list[float] = []
+    rhs = np.zeros(n_unknown, dtype=float)
+
+    diag = np.zeros(n_unknown, dtype=float)
+    for wire in grid.wires:
+        g = wire.conductance
+        a_row = row_of.get(wire.node_a)
+        b_row = row_of.get(wire.node_b)
+        if a_row is not None:
+            diag[a_row] += g
+        if b_row is not None:
+            diag[b_row] += g
+        if a_row is not None and b_row is not None:
+            rows.extend((a_row, b_row))
+            cols.extend((b_row, a_row))
+            vals.extend((-g, -g))
+        elif a_row is not None:
+            rhs[a_row] += g * pad_voltages[wire.node_b]
+        elif b_row is not None:
+            rhs[b_row] += g * pad_voltages[wire.node_a]
+        # pad-to-pad wires contribute nothing to the reduced system
+
+    for node in grid.nodes:
+        row = row_of.get(node.index)
+        if row is not None and node.load_current:
+            rhs[row] -= node.load_current
+
+    rows.extend(range(n_unknown))
+    cols.extend(range(n_unknown))
+    vals.extend(diag)
+
+    matrix = sp.csr_matrix(
+        (vals, (rows, cols)), shape=(n_unknown, n_unknown), dtype=float
+    )
+    matrix.sum_duplicates()
+    return ReducedSystem(
+        matrix=matrix,
+        rhs=rhs,
+        unknown_indices=unknown_indices,
+        pad_voltages=pad_voltages,
+        num_grid_nodes=grid.num_nodes,
+    )
+
+
+def build_full_mna(grid: PowerGrid) -> FullMNASystem:
+    """Assemble the full MNA system with branch currents for pads.
+
+    Unknowns are ``[v_0 .. v_{n-1}, i_pad_0 .. i_pad_{m-1}]``.  Each pad
+    contributes a row ``v_p = V`` and a symmetric coupling column that adds
+    the branch current into the pad node's KCL equation.
+    """
+    n = grid.num_nodes
+    pads = grid.pads()
+    m = len(pads)
+    size = n + m
+
+    rows: list[int] = []
+    cols: list[int] = []
+    vals: list[float] = []
+    rhs = np.zeros(size, dtype=float)
+
+    diag = np.zeros(n, dtype=float)
+    for wire in grid.wires:
+        g = wire.conductance
+        diag[wire.node_a] += g
+        diag[wire.node_b] += g
+        rows.extend((wire.node_a, wire.node_b))
+        cols.extend((wire.node_b, wire.node_a))
+        vals.extend((-g, -g))
+    rows.extend(range(n))
+    cols.extend(range(n))
+    vals.extend(diag)
+
+    for node in grid.nodes:
+        if node.load_current:
+            rhs[node.index] -= node.load_current
+
+    for k, pad in enumerate(pads):
+        branch = n + k
+        rows.extend((pad.index, branch))
+        cols.extend((branch, pad.index))
+        vals.extend((1.0, 1.0))
+        rhs[branch] = pad.pad_voltage
+
+    matrix = sp.csr_matrix((vals, (rows, cols)), shape=(size, size), dtype=float)
+    matrix.sum_duplicates()
+    return FullMNASystem(matrix=matrix, rhs=rhs, num_nodes=n)

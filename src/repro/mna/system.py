@@ -1,0 +1,104 @@
+"""Linear-system containers produced by MNA stamping."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.sparse as sp
+
+
+@dataclass(frozen=True)
+class ReducedSystem:
+    """``G x = b`` over the unknown (non-pad) nodes of a power grid.
+
+    ``G`` is symmetric positive-definite whenever every unknown node has a
+    resistive path to a pad.  ``unknown_indices[i]`` maps row *i* back to
+    the :class:`~repro.grid.netlist.PowerGrid` node index; ``pad_voltages``
+    maps pinned node indices to their supply voltage.
+
+    Attributes
+    ----------
+    matrix:
+        CSR conductance matrix over unknowns (n_unknown x n_unknown).
+    rhs:
+        Right-hand side: injected currents plus pad-coupling terms.
+    unknown_indices:
+        Grid node index for each matrix row.
+    pad_voltages:
+        ``{grid_node_index: volts}`` for eliminated pad nodes.
+    num_grid_nodes:
+        Total node count of the originating grid (for scattering back).
+    """
+
+    matrix: sp.csr_matrix
+    rhs: np.ndarray
+    unknown_indices: np.ndarray
+    pad_voltages: dict[int, float]
+    num_grid_nodes: int
+
+    @property
+    def size(self) -> int:
+        return self.matrix.shape[0]
+
+    def scatter(self, x: np.ndarray) -> np.ndarray:
+        """Expand an unknown-space solution to a per-grid-node voltage vector.
+
+        Pad nodes receive their pinned voltage.
+        """
+        if x.shape != (self.size,):
+            raise ValueError(f"expected shape ({self.size},), got {x.shape}")
+        full = np.empty(self.num_grid_nodes, dtype=float)
+        full[self.unknown_indices] = x
+        for node_index, volts in self.pad_voltages.items():
+            full[node_index] = volts
+        return full
+
+    def gather(self, full: np.ndarray) -> np.ndarray:
+        """Restrict a per-grid-node vector to the unknown subspace."""
+        if full.shape != (self.num_grid_nodes,):
+            raise ValueError(
+                f"expected shape ({self.num_grid_nodes},), got {full.shape}"
+            )
+        return full[self.unknown_indices].copy()
+
+    def residual_norm(self, x: np.ndarray) -> float:
+        """Two-norm of ``b - Gx`` for a candidate solution."""
+        return float(np.linalg.norm(self.rhs - self.matrix @ x))
+
+    def relative_residual(self, x: np.ndarray) -> float:
+        """``||b - Gx|| / ||b||`` (0 if b is the zero vector)."""
+        denom = float(np.linalg.norm(self.rhs))
+        if denom == 0.0:
+            return 0.0
+        return self.residual_norm(x) / denom
+
+
+@dataclass(frozen=True)
+class FullMNASystem:
+    """Textbook MNA: node voltages plus branch currents for voltage sources.
+
+    The matrix is symmetric but indefinite; it is solved directly (sparse
+    LU) and only used to validate the reduced formulation.
+
+    Attributes
+    ----------
+    matrix:
+        CSR MNA matrix of size (n_nodes + n_vsrc).
+    rhs:
+        Stacked current injections and source voltages.
+    num_nodes:
+        Number of node-voltage unknowns (all grid nodes).
+    """
+
+    matrix: sp.csr_matrix
+    rhs: np.ndarray
+    num_nodes: int
+
+    @property
+    def num_branch_currents(self) -> int:
+        return self.matrix.shape[0] - self.num_nodes
+
+    def split_solution(self, x: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Split a solution vector into (node voltages, branch currents)."""
+        return x[: self.num_nodes].copy(), x[self.num_nodes :].copy()

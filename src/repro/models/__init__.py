@@ -1,0 +1,34 @@
+"""IR-drop prediction models: IR-Fusion and the six baselines of Table I.
+
+Every model maps a ``(N, C, H, W)`` feature stack to a ``(N, 1, H, W)``
+IR-drop image and shares the constructor signature
+``Model(in_channels, base_channels=8, seed=0)``, so the evaluation harness
+can swap them freely.  :mod:`repro.models.registry` provides name-based
+construction and each model's preferred training loss.
+"""
+
+from repro.models.contest_winner import ContestWinner
+from repro.models.ir_fusion_net import IRFusionNet
+from repro.models.iredge import IREDGe
+from repro.models.irpnet import IRPnet
+from repro.models.maunet import MAUnet
+from repro.models.mavirec import MAVIREC
+from repro.models.pgau import PGAU
+from repro.models.registry import MODEL_REGISTRY, create_model, preferred_loss
+from repro.models.unet_blocks import ConvBlock, FlexUNet, UpBlock
+
+__all__ = [
+    "ContestWinner",
+    "ConvBlock",
+    "FlexUNet",
+    "IREDGe",
+    "IRFusionNet",
+    "IRPnet",
+    "MAUnet",
+    "MAVIREC",
+    "MODEL_REGISTRY",
+    "PGAU",
+    "UpBlock",
+    "create_model",
+    "preferred_loss",
+]

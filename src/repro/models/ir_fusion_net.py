@@ -1,0 +1,77 @@
+"""The Inception Attention U-Net at the heart of IR-Fusion (Fig. 4).
+
+Encoder: Inception-A → Inception-B → Inception-C across the three scales
+("this systematic ordering ... minimizes information loss during
+downsampling").  Skips pass through attention gates; every decoder stage
+is followed by a CBAM block ("to focus on various scales and directions in
+subsequent decoder stages"); a 1x1 regression head emits the IR-drop map.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.attention import CBAM
+from repro.nn.containers import Sequential
+from repro.nn.inception import InceptionA, InceptionB, InceptionC
+from repro.nn.layers import BatchNorm2d, Identity
+from repro.nn.module import Module
+from repro.models.unet_blocks import FlexUNet
+
+
+def _inception_encoder(
+    scale: int, in_channels: int, out_channels: int, rng: np.random.Generator
+) -> Module:
+    """Inception-A/B/C by scale, with a BN to stabilise the concat output."""
+    blocks = {0: InceptionA, 1: InceptionB, 2: InceptionC}
+    block_cls = blocks.get(scale, InceptionC)
+    return Sequential(
+        block_cls(in_channels, out_channels, rng=rng),
+        BatchNorm2d(out_channels),
+    )
+
+
+class IRFusionNet(FlexUNet):
+    """Inception Attention U-Net.
+
+    Parameters
+    ----------
+    in_channels:
+        Width of the hierarchical numerical-structural feature stack.
+    base_channels:
+        First-scale width (paper-scale models use 32+; the benchmarks run
+        reduced widths for CPU feasibility).
+    use_inception:
+        Ablation switch ("w/o Inception"): plain double-conv encoders.
+    use_cbam:
+        Ablation switch ("w/o CBAM"): identity decoder post-blocks.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        base_channels: int = 8,
+        depth: int = 3,
+        seed: int = 0,
+        use_inception: bool = True,
+        use_cbam: bool = True,
+    ) -> None:
+        from repro.models.unet_blocks import default_encoder
+
+        encoder = _inception_encoder if use_inception else default_encoder
+        post = (
+            (lambda channels, rng: CBAM(channels, rng=rng))
+            if use_cbam
+            else (lambda channels, rng: Identity())
+        )
+        super().__init__(
+            in_channels=in_channels,
+            base_channels=base_channels,
+            depth=depth,
+            encoder_factory=encoder,
+            use_attention_gate=True,
+            decoder_post_factory=post,
+            seed=seed,
+        )
+        self.use_inception = use_inception
+        self.use_cbam = use_cbam

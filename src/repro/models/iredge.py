@@ -1,0 +1,31 @@
+"""IREDGe (Chhabria et al., ASPDAC'21): plain encoder-decoder.
+
+The EDGe network is a vanilla U-Net that turns power/current images into a
+static IR-drop image — no attention, no multiscale blocks.  It is the
+earliest (and simplest) of the Table I baselines.
+"""
+
+from __future__ import annotations
+
+from repro.models.unet_blocks import FlexUNet, default_encoder
+
+
+class IREDGe(FlexUNet):
+    """Vanilla encoder-decoder (U-Net) IR-drop predictor."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        base_channels: int = 8,
+        depth: int = 3,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(
+            in_channels=in_channels,
+            base_channels=base_channels,
+            depth=depth,
+            encoder_factory=default_encoder,
+            use_attention_gate=False,
+            decoder_post_factory=None,
+            seed=seed,
+        )

@@ -1,0 +1,94 @@
+"""IRPnet (Meng et al., DATE'24): pyramid features + Kirchhoff loss.
+
+IRPnet "utilizes a pyramid model to capture global features and introduces
+a loss function with Kirchhoff's law constraints".  The pyramid here is an
+FPN-style head on a shared encoder: every scale's features are projected
+to a common width, upsampled to full resolution and summed before the
+regression head.  Its preferred training loss is
+:class:`~repro.nn.losses.KirchhoffLoss`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers import BatchNorm2d, Conv2d, MaxPool2d, ReLU, UpsampleNearest
+from repro.nn.containers import Sequential
+from repro.nn.module import Module
+from repro.models.unet_blocks import ConvBlock
+
+
+class IRPnet(Module):
+    """Feature-pyramid IR-drop predictor."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        base_channels: int = 8,
+        depth: int = 3,
+        seed: int = 0,
+    ) -> None:
+        super().__init__()
+        if depth < 1:
+            raise ValueError("depth must be >= 1")
+        rng = np.random.default_rng(seed)
+        self.depth = depth
+        widths = [base_channels * (2**i) for i in range(depth + 1)]
+
+        self.encoders: list[Module] = []
+        self.pools: list[Module] = []
+        current = in_channels
+        for scale in range(depth + 1):
+            self.encoders.append(ConvBlock(current, widths[scale], rng=rng))
+            if scale < depth:
+                self.pools.append(MaxPool2d(2))
+            current = widths[scale]
+
+        pyramid_width = base_channels
+        self.laterals: list[Module] = [
+            Conv2d(widths[scale], pyramid_width, 1, padding=0, rng=rng)
+            for scale in range(depth + 1)
+        ]
+        self.upsamplers: list[Module] = [
+            UpsampleNearest(2**scale) for scale in range(depth + 1)
+        ]
+        final = Conv2d(pyramid_width, 1, 1, padding=0, rng=rng)
+        final.weight.data[:] = 0.0  # zero start, as in the U-Net heads
+        if final.bias is not None:
+            final.bias.data[:] = 0.0
+        self.head = Sequential(
+            Conv2d(pyramid_width, pyramid_width, 3, rng=rng),
+            BatchNorm2d(pyramid_width),
+            ReLU(),
+            final,
+        )
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        h, w = x.shape[2:]
+        factor = 2**self.depth
+        if h % factor or w % factor:
+            raise ValueError(
+                f"input {h}x{w} must be divisible by 2**depth = {factor}"
+            )
+        fused = None
+        for scale in range(self.depth + 1):
+            x = self.encoders[scale](x)
+            contribution = self.upsamplers[scale](self.laterals[scale](x))
+            fused = contribution if fused is None else fused + contribution
+            if scale < self.depth:
+                x = self.pools[scale](x)
+        return self.head(fused)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        grad_fused = self.head.backward(grad_output)
+        grad_deeper = None
+        for scale in reversed(range(self.depth + 1)):
+            grad_enc_out = self.laterals[scale].backward(
+                self.upsamplers[scale].backward(grad_fused)
+            )
+            if scale < self.depth:
+                assert grad_deeper is not None
+                grad_enc_out = grad_enc_out + self.pools[scale].backward(grad_deeper)
+            grad_deeper = self.encoders[scale].backward(grad_enc_out)
+        assert grad_deeper is not None
+        return grad_deeper

@@ -1,0 +1,79 @@
+"""MAUnet (Wang et al., DAC'24): multiscale attention U-Net.
+
+MAUnet's distinguishing pieces are (i) multiscale encoder blocks that run
+3x3 and 5x5 kernels in parallel, (ii) residual connections around the
+blocks, and (iii) channel attention in the decoder.  It is the strongest
+pure-ML baseline in Table I.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.attention import ChannelAttention
+from repro.nn.containers import Sequential
+from repro.nn.layers import BatchNorm2d, Conv2d, ReLU
+from repro.nn.module import Module
+from repro.models.unet_blocks import FlexUNet
+
+
+class MultiScaleBlock(Module):
+    """Parallel 3x3 / 5x5 convolutions with a residual 1x1 shortcut."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        half = out_channels // 2
+        rest = out_channels - half
+        self.branch3 = Sequential(
+            Conv2d(in_channels, half, 3, rng=rng), BatchNorm2d(half), ReLU()
+        )
+        self.branch5 = Sequential(
+            Conv2d(in_channels, rest, 5, rng=rng), BatchNorm2d(rest), ReLU()
+        )
+        self.shortcut = Conv2d(in_channels, out_channels, 1, padding=0, rng=rng)
+        self._half = half
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        merged = np.concatenate([self.branch3(x), self.branch5(x)], axis=1)
+        return merged + self.shortcut(x)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        grad = self.shortcut.backward(grad_output)
+        grad = grad + self.branch3.backward(grad_output[:, : self._half])
+        grad = grad + self.branch5.backward(grad_output[:, self._half :])
+        return grad
+
+
+def _multiscale_encoder(
+    scale: int, in_channels: int, out_channels: int, rng: np.random.Generator
+) -> Module:
+    return MultiScaleBlock(in_channels, out_channels, rng=rng)
+
+
+class MAUnet(FlexUNet):
+    """Multiscale encoder + channel attention decoder U-Net."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        base_channels: int = 8,
+        depth: int = 3,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(
+            in_channels=in_channels,
+            base_channels=base_channels,
+            depth=depth,
+            encoder_factory=_multiscale_encoder,
+            use_attention_gate=False,
+            decoder_post_factory=lambda channels, rng: ChannelAttention(
+                channels, rng=rng
+            ),
+            seed=seed,
+        )

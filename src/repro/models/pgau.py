@@ -1,0 +1,33 @@
+"""PGAU (Guo et al., GLSVLSI'24): attention U-Net + label smoothing.
+
+PGAU is the authors' previous model and IR-Fusion's architectural
+ancestor: a U-Net with attention gates on the skip connections, trained
+with label-distribution smoothing that emphasises hotspot labels.  The
+smoothing is realised by the :class:`~repro.nn.losses.WeightedHotspotLoss`
+preferred loss.
+"""
+
+from __future__ import annotations
+
+from repro.models.unet_blocks import FlexUNet, default_encoder
+
+
+class PGAU(FlexUNet):
+    """Attention U-Net (gated skips, plain conv encoders)."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        base_channels: int = 8,
+        depth: int = 3,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(
+            in_channels=in_channels,
+            base_channels=base_channels,
+            depth=depth,
+            encoder_factory=default_encoder,
+            use_attention_gate=True,
+            decoder_post_factory=None,
+            seed=seed,
+        )

@@ -1,0 +1,206 @@
+"""Shared U-Net machinery.
+
+:class:`FlexUNet` is a configurable encoder-decoder skeleton: the models
+of Table I differ only in the encoder block family, the skip treatment
+(plain vs attention gate) and the decoder post-block (none / CBAM /
+channel attention), so they are all thin configurations of this class.
+Forward/backward of the skip topology is handled once, here.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.nn.attention import AttentionGate
+from repro.nn.containers import Sequential
+from repro.nn.layers import BatchNorm2d, Conv2d, MaxPool2d, ReLU, UpsampleNearest
+from repro.nn.module import Module
+
+
+class ConvBlock(Sequential):
+    """The classic U-Net double conv: (conv3 → BN → ReLU) x 2."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        rng = rng or np.random.default_rng(0)
+        super().__init__(
+            Conv2d(in_channels, out_channels, 3, rng=rng),
+            BatchNorm2d(out_channels),
+            ReLU(),
+            Conv2d(out_channels, out_channels, 3, rng=rng),
+            BatchNorm2d(out_channels),
+            ReLU(),
+        )
+
+
+class UpBlock(Sequential):
+    """Decoder upsampling: nearest x2 followed by a 3x3 conv."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        rng = rng or np.random.default_rng(0)
+        super().__init__(
+            UpsampleNearest(2),
+            Conv2d(in_channels, out_channels, 3, rng=rng),
+            BatchNorm2d(out_channels),
+            ReLU(),
+        )
+
+
+EncoderFactory = Callable[[int, int, int, np.random.Generator], Module]
+PostFactory = Callable[[int, np.random.Generator], Module]
+
+
+def default_encoder(
+    scale: int, in_channels: int, out_channels: int, rng: np.random.Generator
+) -> Module:
+    """Plain double-conv encoder block (scale index unused)."""
+    return ConvBlock(in_channels, out_channels, rng=rng)
+
+
+class FlexUNet(Module):
+    """Configurable U-Net.
+
+    Parameters
+    ----------
+    in_channels:
+        Input feature channels.
+    base_channels:
+        Width of the first scale; scale *i* uses ``base * 2**i``.
+    depth:
+        Number of down/upsampling stages (input H, W must be divisible by
+        ``2**depth``).
+    encoder_factory:
+        Builds the encoder block for each scale,
+        ``(scale, in, out, rng) -> Module``.
+    use_attention_gate:
+        Filter each skip with an :class:`AttentionGate` driven by the
+        decoder signal.
+    decoder_post_factory:
+        Optional per-scale block appended after each decoder stage
+        (e.g. CBAM), ``(channels, rng) -> Module``.
+    out_channels:
+        Output channels of the regression head (1 for IR drop).
+    seed:
+        Weight-init seed; construction order fixes all weights.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        base_channels: int = 8,
+        depth: int = 3,
+        encoder_factory: EncoderFactory = default_encoder,
+        use_attention_gate: bool = False,
+        decoder_post_factory: PostFactory | None = None,
+        out_channels: int = 1,
+        seed: int = 0,
+    ) -> None:
+        super().__init__()
+        if depth < 1:
+            raise ValueError("depth must be >= 1")
+        rng = np.random.default_rng(seed)
+        self.depth = depth
+        widths = [base_channels * (2**i) for i in range(depth)]
+        bottleneck_width = base_channels * (2**depth)
+
+        self.encoders: list[Module] = []
+        self.pools: list[Module] = []
+        current = in_channels
+        for scale, width in enumerate(widths):
+            self.encoders.append(encoder_factory(scale, current, width, rng))
+            self.pools.append(MaxPool2d(2))
+            current = width
+        self.bottleneck = ConvBlock(current, bottleneck_width, rng=rng)
+
+        self.ups: list[Module] = []
+        self.gates: list[Module | None] = []
+        self.decoders: list[Module] = []
+        self.posts: list[Module | None] = []
+        current = bottleneck_width
+        for scale in reversed(range(depth)):
+            width = widths[scale]
+            self.ups.append(UpBlock(current, width, rng=rng))
+            self.gates.append(
+                AttentionGate(width, width, rng=rng) if use_attention_gate else None
+            )
+            self.decoders.append(ConvBlock(2 * width, width, rng=rng))
+            self.posts.append(
+                decoder_post_factory(width, rng) if decoder_post_factory else None
+            )
+            current = width
+        self.head = Conv2d(current, out_channels, 1, padding=0, rng=rng)
+        # Zero-initialised head: the untrained network predicts exactly 0,
+        # so under residual (fusion) learning the starting point *is* the
+        # rough numerical solution and training can only refine it.
+        self.head.weight.data[:] = 0.0
+        if self.head.bias is not None:
+            self.head.bias.data[:] = 0.0
+        self._skip_widths: list[int] = widths
+
+    # -- forward ---------------------------------------------------------------
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        h, w = x.shape[2:]
+        factor = 2**self.depth
+        if h % factor or w % factor:
+            raise ValueError(
+                f"input {h}x{w} must be divisible by 2**depth = {factor}"
+            )
+        skips: list[np.ndarray] = []
+        for encoder, pool in zip(self.encoders, self.pools):
+            x = encoder(x)
+            skips.append(x)
+            x = pool(x)
+        x = self.bottleneck(x)
+        for stage, (up, gate, decoder, post) in enumerate(
+            zip(self.ups, self.gates, self.decoders, self.posts)
+        ):
+            scale = self.depth - 1 - stage
+            x = up(x)
+            skip = skips[scale]
+            if gate is not None:
+                skip = gate(skip, x)
+            x = decoder(np.concatenate([skip, x], axis=1))
+            if post is not None:
+                x = post(x)
+        return self.head(x)
+
+    # -- backward ----------------------------------------------------------------
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        grad = self.head.backward(grad_output)
+        skip_grads: dict[int, np.ndarray] = {}
+        for stage in reversed(range(self.depth)):
+            scale = self.depth - 1 - stage
+            up = self.ups[stage]
+            gate = self.gates[stage]
+            decoder = self.decoders[stage]
+            post = self.posts[stage]
+            if post is not None:
+                grad = post.backward(grad)
+            grad_cat = decoder.backward(grad)
+            width = self._skip_widths[scale]
+            grad_skip = grad_cat[:, :width]
+            grad_up = grad_cat[:, width:]
+            if gate is not None:
+                grad_skip, grad_gate_signal = gate.backward(grad_skip)
+                grad_up = grad_up + grad_gate_signal
+            skip_grads[scale] = grad_skip
+            grad = up.backward(grad_up)
+        grad = self.bottleneck.backward(grad)
+        for scale in reversed(range(self.depth)):
+            grad = self.pools[scale].backward(grad)
+            grad = grad + skip_grads[scale]
+            grad = self.encoders[scale].backward(grad)
+        return grad

@@ -1,0 +1,54 @@
+"""Composite module containers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Module
+
+
+class Sequential(Module):
+    """Chain of modules: forward in order, backward in reverse."""
+
+    def __init__(self, *modules: Module) -> None:
+        super().__init__()
+        self.modules = list(modules)
+
+    def append(self, module: Module) -> "Sequential":
+        self.modules.append(module)
+        return self
+
+    def __len__(self) -> int:
+        return len(self.modules)
+
+    def __getitem__(self, index: int) -> Module:
+        return self.modules[index]
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        for module in self.modules:
+            x = module(x)
+        return x
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        for module in reversed(self.modules):
+            grad_output = module.backward(grad_output)
+        return grad_output
+
+
+class Residual(Module):
+    """``y = x + body(x)``; channel counts of x and body(x) must match."""
+
+    def __init__(self, body: Module) -> None:
+        super().__init__()
+        self.body = body
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        out = self.body(x)
+        if out.shape != x.shape:
+            raise ValueError(
+                f"residual shape mismatch: body {out.shape} vs input {x.shape}"
+            )
+        return x + out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        return grad_output + self.body.backward(grad_output)

@@ -1,0 +1,214 @@
+"""Vectorised conv/pool primitives (im2col family).
+
+All convolution layers reduce to three primitives: :func:`im2col`
+(patch extraction via stride tricks), a batched matmul, and
+:func:`col2im` (the scatter-add adjoint of im2col).  Kernels, strides and
+paddings are ``(height, width)`` pairs so the asymmetric 1x7 / 7x1 kernels
+of Inception-B/C come for free.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from numpy.lib.stride_tricks import as_strided
+
+Pair = tuple[int, int]
+
+
+def to_pair(value: int | Pair) -> Pair:
+    """Normalise an int or pair to a (height, width) pair."""
+    if isinstance(value, int):
+        return (value, value)
+    pair = tuple(value)
+    if len(pair) != 2:
+        raise ValueError(f"expected an int or pair, got {value!r}")
+    return (int(pair[0]), int(pair[1]))
+
+
+def conv_output_shape(
+    input_hw: Pair, kernel: Pair, stride: Pair, padding: Pair
+) -> Pair:
+    """Spatial output shape of a convolution."""
+    h, w = input_hw
+    kh, kw = kernel
+    sh, sw = stride
+    ph, pw = padding
+    out_h = (h + 2 * ph - kh) // sh + 1
+    out_w = (w + 2 * pw - kw) // sw + 1
+    if out_h <= 0 or out_w <= 0:
+        raise ValueError(
+            f"non-positive conv output {out_h}x{out_w} for input {h}x{w}, "
+            f"kernel {kernel}, stride {stride}, padding {padding}"
+        )
+    return (out_h, out_w)
+
+
+def im2col(
+    x: np.ndarray, kernel: Pair, stride: Pair, padding: Pair
+) -> np.ndarray:
+    """Extract sliding patches: ``(N, C*kh*kw, out_h*out_w)``."""
+    n, c, h, w = x.shape
+    kh, kw = kernel
+    sh, sw = stride
+    ph, pw = padding
+    out_h, out_w = conv_output_shape((h, w), kernel, stride, padding)
+    padded = np.pad(x, ((0, 0), (0, 0), (ph, ph), (pw, pw)))
+    s0, s1, s2, s3 = padded.strides
+    windows = as_strided(
+        padded,
+        shape=(n, c, kh, kw, out_h, out_w),
+        strides=(s0, s1, s2, s3, s2 * sh, s3 * sw),
+        writeable=False,
+    )
+    return np.ascontiguousarray(windows).reshape(n, c * kh * kw, out_h * out_w)
+
+
+def col2im(
+    cols: np.ndarray,
+    x_shape: tuple[int, int, int, int],
+    kernel: Pair,
+    stride: Pair,
+    padding: Pair,
+) -> np.ndarray:
+    """Adjoint of :func:`im2col`: scatter-add patches back to image space."""
+    n, c, h, w = x_shape
+    kh, kw = kernel
+    sh, sw = stride
+    ph, pw = padding
+    out_h, out_w = conv_output_shape((h, w), kernel, stride, padding)
+    expected = (n, c * kh * kw, out_h * out_w)
+    if cols.shape != expected:
+        raise ValueError(f"cols shape {cols.shape} != expected {expected}")
+    blocks = cols.reshape(n, c, kh, kw, out_h, out_w)
+    padded = np.zeros((n, c, h + 2 * ph, w + 2 * pw), dtype=cols.dtype)
+    for i in range(kh):
+        for j in range(kw):
+            padded[:, :, i : i + sh * out_h : sh, j : j + sw * out_w : sw] += (
+                blocks[:, :, i, j]
+            )
+    if ph == 0 and pw == 0:
+        return padded
+    return padded[:, :, ph : ph + h, pw : pw + w]
+
+
+def conv2d_forward(
+    x: np.ndarray,
+    weight: np.ndarray,
+    bias: np.ndarray | None,
+    stride: Pair,
+    padding: Pair,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Convolution forward; returns (output, cached patch matrix)."""
+    filters, in_channels, kh, kw = weight.shape
+    if x.shape[1] != in_channels:
+        raise ValueError(
+            f"input has {x.shape[1]} channels, weight expects {in_channels}"
+        )
+    cols = im2col(x, (kh, kw), stride, padding)
+    out_h, out_w = conv_output_shape(x.shape[2:], (kh, kw), stride, padding)
+    flat = np.matmul(weight.reshape(filters, -1), cols)  # (N, F, L)
+    out = flat.reshape(x.shape[0], filters, out_h, out_w)
+    if bias is not None:
+        out = out + bias.reshape(1, filters, 1, 1)
+    return out, cols
+
+
+def conv2d_backward(
+    grad_output: np.ndarray,
+    cols: np.ndarray,
+    x_shape: tuple[int, int, int, int],
+    weight: np.ndarray,
+    stride: Pair,
+    padding: Pair,
+    with_bias: bool,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray | None]:
+    """Gradients (d_input, d_weight, d_bias) of a convolution."""
+    n = grad_output.shape[0]
+    filters = weight.shape[0]
+    grad_flat = grad_output.reshape(n, filters, -1)  # (N, F, L)
+    grad_weight = np.einsum("nfl,nkl->fk", grad_flat, cols).reshape(weight.shape)
+    grad_bias = grad_output.sum(axis=(0, 2, 3)) if with_bias else None
+    grad_cols = np.matmul(weight.reshape(filters, -1).T, grad_flat)  # (N, K, L)
+    kernel = (weight.shape[2], weight.shape[3])
+    grad_input = col2im(grad_cols, x_shape, kernel, stride, padding)
+    return grad_input, grad_weight, grad_bias
+
+
+def maxpool2d_forward(
+    x: np.ndarray, kernel: Pair
+) -> tuple[np.ndarray, np.ndarray]:
+    """Non-overlapping max pooling; returns (output, argmax mask).
+
+    Stride equals kernel and the spatial dims must divide evenly — the
+    only configuration the models use (2x2).
+    """
+    n, c, h, w = x.shape
+    kh, kw = kernel
+    if h % kh or w % kw:
+        raise ValueError(f"input {h}x{w} not divisible by pool {kernel}")
+    oh, ow = h // kh, w // kw
+    blocks = x.reshape(n, c, oh, kh, ow, kw)
+    flat = blocks.transpose(0, 1, 2, 4, 3, 5).reshape(n, c, oh, ow, kh * kw)
+    arg = flat.argmax(axis=-1)
+    out = np.take_along_axis(flat, arg[..., None], axis=-1)[..., 0]
+    return out, arg
+
+
+def maxpool2d_backward(
+    grad_output: np.ndarray,
+    arg: np.ndarray,
+    x_shape: tuple[int, int, int, int],
+    kernel: Pair,
+) -> np.ndarray:
+    """Route gradients to the argmax positions."""
+    n, c, h, w = x_shape
+    kh, kw = kernel
+    oh, ow = h // kh, w // kw
+    flat = np.zeros((n, c, oh, ow, kh * kw), dtype=grad_output.dtype)
+    np.put_along_axis(flat, arg[..., None], grad_output[..., None], axis=-1)
+    blocks = flat.reshape(n, c, oh, ow, kh, kw).transpose(0, 1, 2, 4, 3, 5)
+    return blocks.reshape(n, c, h, w)
+
+
+def avgpool2d_forward(x: np.ndarray, kernel: Pair, padding: Pair = (0, 0),
+                      stride: Pair | None = None) -> np.ndarray:
+    """Average pooling via im2col (supports overlapping windows)."""
+    kh, kw = kernel
+    stride = stride or kernel
+    n, c = x.shape[:2]
+    cols = im2col(x, kernel, stride, padding)
+    out_h, out_w = conv_output_shape(x.shape[2:], kernel, stride, padding)
+    means = cols.reshape(n, c, kh * kw, -1).mean(axis=2)
+    return means.reshape(n, c, out_h, out_w)
+
+
+def avgpool2d_backward(
+    grad_output: np.ndarray,
+    x_shape: tuple[int, int, int, int],
+    kernel: Pair,
+    padding: Pair = (0, 0),
+    stride: Pair | None = None,
+) -> np.ndarray:
+    """Adjoint of average pooling: spread gradients uniformly."""
+    kh, kw = kernel
+    stride = stride or kernel
+    n, c = x_shape[:2]
+    grad_flat = grad_output.reshape(n, c, 1, -1) / (kh * kw)
+    grad_cols = np.broadcast_to(
+        grad_flat, (n, c, kh * kw, grad_flat.shape[-1])
+    ).reshape(n, c * kh * kw, -1)
+    return col2im(np.ascontiguousarray(grad_cols), x_shape, kernel, stride, padding)
+
+
+def upsample_nearest_forward(x: np.ndarray, factor: int) -> np.ndarray:
+    """Nearest-neighbour upsampling by an integer factor."""
+    return x.repeat(factor, axis=2).repeat(factor, axis=3)
+
+
+def upsample_nearest_backward(grad_output: np.ndarray, factor: int) -> np.ndarray:
+    """Adjoint of nearest upsampling: sum each factor x factor block."""
+    n, c, h, w = grad_output.shape
+    if h % factor or w % factor:
+        raise ValueError(f"gradient {h}x{w} not divisible by factor {factor}")
+    blocks = grad_output.reshape(n, c, h // factor, factor, w // factor, factor)
+    return blocks.sum(axis=(3, 5))

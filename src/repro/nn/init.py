@@ -1,0 +1,44 @@
+"""Weight initialisers.
+
+All initialisers take an explicit ``numpy.random.Generator`` so model
+construction is fully deterministic under a seed — a requirement for the
+ablation study, where variants must differ only in architecture.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def kaiming_normal(
+    shape: tuple[int, ...], fan_in: int, rng: np.random.Generator
+) -> np.ndarray:
+    """He initialisation for ReLU-family activations."""
+    if fan_in <= 0:
+        raise ValueError(f"fan_in must be positive, got {fan_in}")
+    std = np.sqrt(2.0 / fan_in)
+    return rng.normal(0.0, std, size=shape)
+
+
+def xavier_uniform(
+    shape: tuple[int, ...], fan_in: int, fan_out: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Glorot initialisation for sigmoid/tanh paths."""
+    if fan_in <= 0 or fan_out <= 0:
+        raise ValueError("fan_in and fan_out must be positive")
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape)
+
+
+class RngState:
+    """A shared generator handed through model construction.
+
+    Models create one from their seed and pass it to every layer, so layer
+    creation order fully determines the weights.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self.generator = np.random.default_rng(seed)
+
+    def __call__(self) -> np.random.Generator:
+        return self.generator

@@ -1,0 +1,458 @@
+"""Core layers with explicit forward/backward passes."""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.special import expit
+
+from repro.nn.functional import (
+    Pair,
+    avgpool2d_backward,
+    avgpool2d_forward,
+    col2im,
+    conv2d_backward,
+    conv2d_forward,
+    conv_output_shape,
+    im2col,
+    maxpool2d_backward,
+    maxpool2d_forward,
+    to_pair,
+    upsample_nearest_backward,
+    upsample_nearest_forward,
+)
+from repro.nn.init import kaiming_normal
+from repro.nn.module import Module, Parameter
+
+
+def _resolve_padding(padding: int | Pair | str, kernel: Pair) -> Pair:
+    if padding == "same":
+        kh, kw = kernel
+        if kh % 2 == 0 or kw % 2 == 0:
+            raise ValueError("'same' padding requires odd kernel sizes")
+        return ((kh - 1) // 2, (kw - 1) // 2)
+    return to_pair(padding)  # type: ignore[arg-type]
+
+
+class Conv2d(Module):
+    """2D convolution (im2col-based) with optional bias."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel: int | Pair,
+        stride: int | Pair = 1,
+        padding: int | Pair | str = "same",
+        bias: bool = True,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.kernel = to_pair(kernel)
+        self.stride = to_pair(stride)
+        self.padding = _resolve_padding(padding, self.kernel)
+        kh, kw = self.kernel
+        fan_in = in_channels * kh * kw
+        self.weight = Parameter(
+            kaiming_normal((out_channels, in_channels, kh, kw), fan_in, rng),
+            name="weight",
+        )
+        self.bias = Parameter(np.zeros(out_channels), name="bias") if bias else None
+        self._cols: np.ndarray | None = None
+        self._x_shape: tuple[int, int, int, int] | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        out, cols = conv2d_forward(
+            x,
+            self.weight.data,
+            self.bias.data if self.bias is not None else None,
+            self.stride,
+            self.padding,
+        )
+        self._cols = cols
+        self._x_shape = x.shape
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cols is None or self._x_shape is None:
+            raise RuntimeError("backward called before forward")
+        grad_input, grad_weight, grad_bias = conv2d_backward(
+            grad_output,
+            self._cols,
+            self._x_shape,
+            self.weight.data,
+            self.stride,
+            self.padding,
+            with_bias=self.bias is not None,
+        )
+        self.weight.grad += grad_weight
+        if self.bias is not None and grad_bias is not None:
+            self.bias.grad += grad_bias
+        return grad_input
+
+
+class ConvTranspose2d(Module):
+    """Transposed convolution (the adjoint of :class:`Conv2d`).
+
+    Weight shape follows the torch convention ``(in, out, kh, kw)``;
+    output spatial size is ``(H-1)*stride - 2*padding + kernel``.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel: int | Pair,
+        stride: int | Pair = 2,
+        padding: int | Pair = 0,
+        bias: bool = True,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.kernel = to_pair(kernel)
+        self.stride = to_pair(stride)
+        self.padding = to_pair(padding)
+        kh, kw = self.kernel
+        fan_in = in_channels * kh * kw
+        self.weight = Parameter(
+            kaiming_normal((in_channels, out_channels, kh, kw), fan_in, rng),
+            name="weight",
+        )
+        self.bias = Parameter(np.zeros(out_channels), name="bias") if bias else None
+        self.out_channels = out_channels
+        self._x: np.ndarray | None = None
+        self._out_shape: tuple[int, int, int, int] | None = None
+
+    def _output_hw(self, input_hw: Pair) -> Pair:
+        h, w = input_hw
+        kh, kw = self.kernel
+        sh, sw = self.stride
+        ph, pw = self.padding
+        return ((h - 1) * sh - 2 * ph + kh, (w - 1) * sw - 2 * pw + kw)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        n, c_in, h, w = x.shape
+        out_h, out_w = self._output_hw((h, w))
+        out_shape = (n, self.out_channels, out_h, out_w)
+        # conv-transpose forward == conv backward-data with x as the gradient
+        w_mat = self.weight.data.reshape(c_in, -1)  # (Cin, Cout*kh*kw)
+        grad_cols = np.matmul(w_mat.T, x.reshape(n, c_in, -1))
+        out = col2im(grad_cols, out_shape, self.kernel, self.stride, self.padding)
+        if self.bias is not None:
+            out = out + self.bias.data.reshape(1, -1, 1, 1)
+        self._x = x
+        self._out_shape = out_shape
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._x is None or self._out_shape is None:
+            raise RuntimeError("backward called before forward")
+        x = self._x
+        n, c_in = x.shape[:2]
+        cols = im2col(grad_output, self.kernel, self.stride, self.padding)
+        x_flat = x.reshape(n, c_in, -1)
+        self.weight.grad += np.einsum("nfl,nkl->fk", x_flat, cols).reshape(
+            self.weight.data.shape
+        )
+        if self.bias is not None:
+            self.bias.grad += grad_output.sum(axis=(0, 2, 3))
+        w_mat = self.weight.data.reshape(c_in, -1)
+        grad_input = np.matmul(w_mat, cols).reshape(x.shape)
+        return grad_input
+
+
+class BatchNorm2d(Module):
+    """Batch normalisation over (N, H, W) per channel with running stats."""
+
+    buffer_names = ("running_mean", "running_var")
+
+    def __init__(self, channels: int, eps: float = 1e-5, momentum: float = 0.1) -> None:
+        super().__init__()
+        self.gamma = Parameter(np.ones(channels), name="gamma")
+        self.beta = Parameter(np.zeros(channels), name="beta")
+        self.eps = eps
+        self.momentum = momentum
+        self.running_mean = np.zeros(channels)
+        self.running_var = np.ones(channels)
+        self._cache: tuple | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if self.training:
+            mean = x.mean(axis=(0, 2, 3))
+            var = x.var(axis=(0, 2, 3))
+            self.running_mean = (
+                (1 - self.momentum) * self.running_mean + self.momentum * mean
+            )
+            self.running_var = (
+                (1 - self.momentum) * self.running_var + self.momentum * var
+            )
+        else:
+            mean, var = self.running_mean, self.running_var
+        std = np.sqrt(var + self.eps)
+        x_hat = (x - mean.reshape(1, -1, 1, 1)) / std.reshape(1, -1, 1, 1)
+        self._cache = (x_hat, std)
+        return self.gamma.data.reshape(1, -1, 1, 1) * x_hat + self.beta.data.reshape(
+            1, -1, 1, 1
+        )
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        x_hat, std = self._cache
+        self.gamma.grad += (grad_output * x_hat).sum(axis=(0, 2, 3))
+        self.beta.grad += grad_output.sum(axis=(0, 2, 3))
+        gamma = self.gamma.data.reshape(1, -1, 1, 1)
+        grad_x_hat = grad_output * gamma
+        if not self.training:
+            return grad_x_hat / std.reshape(1, -1, 1, 1)
+        count = grad_output.shape[0] * grad_output.shape[2] * grad_output.shape[3]
+        sum_g = grad_x_hat.sum(axis=(0, 2, 3), keepdims=True)
+        sum_gx = (grad_x_hat * x_hat).sum(axis=(0, 2, 3), keepdims=True)
+        return (
+            grad_x_hat - sum_g / count - x_hat * sum_gx / count
+        ) / std.reshape(1, -1, 1, 1)
+
+
+class ReLU(Module):
+    """Rectified linear unit."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._mask = x > 0
+        return np.where(self._mask, x, 0.0)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise RuntimeError("backward called before forward")
+        return np.where(self._mask, grad_output, 0.0)
+
+
+class LeakyReLU(Module):
+    """Leaky ReLU with configurable negative slope."""
+
+    def __init__(self, slope: float = 0.01) -> None:
+        super().__init__()
+        self.slope = slope
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._mask = x > 0
+        return np.where(self._mask, x, self.slope * x)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise RuntimeError("backward called before forward")
+        return np.where(self._mask, grad_output, self.slope * grad_output)
+
+
+class Sigmoid(Module):
+    """Logistic sigmoid."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._out: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._out = expit(x)
+        return self._out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._out is None:
+            raise RuntimeError("backward called before forward")
+        return grad_output * self._out * (1.0 - self._out)
+
+
+class Tanh(Module):
+    """Hyperbolic tangent."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._out: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._out = np.tanh(x)
+        return self._out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._out is None:
+            raise RuntimeError("backward called before forward")
+        return grad_output * (1.0 - self._out**2)
+
+
+class Identity(Module):
+    """Pass-through (useful as an ablation stand-in)."""
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return x
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        return grad_output
+
+
+class MaxPool2d(Module):
+    """Non-overlapping max pooling (stride == kernel)."""
+
+    def __init__(self, kernel: int | Pair = 2) -> None:
+        super().__init__()
+        self.kernel = to_pair(kernel)
+        self._arg: np.ndarray | None = None
+        self._x_shape: tuple[int, int, int, int] | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        out, arg = maxpool2d_forward(x, self.kernel)
+        self._arg = arg
+        self._x_shape = x.shape
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._arg is None or self._x_shape is None:
+            raise RuntimeError("backward called before forward")
+        return maxpool2d_backward(grad_output, self._arg, self._x_shape, self.kernel)
+
+
+class AvgPool2d(Module):
+    """Average pooling; supports overlapping windows via explicit stride."""
+
+    def __init__(
+        self,
+        kernel: int | Pair = 2,
+        stride: int | Pair | None = None,
+        padding: int | Pair = 0,
+    ) -> None:
+        super().__init__()
+        self.kernel = to_pair(kernel)
+        self.stride = to_pair(stride) if stride is not None else self.kernel
+        self.padding = to_pair(padding)
+        self._x_shape: tuple[int, int, int, int] | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._x_shape = x.shape
+        return avgpool2d_forward(x, self.kernel, self.padding, self.stride)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._x_shape is None:
+            raise RuntimeError("backward called before forward")
+        return avgpool2d_backward(
+            grad_output, self._x_shape, self.kernel, self.padding, self.stride
+        )
+
+
+class GlobalAvgPool(Module):
+    """Mean over spatial dims, keeping (N, C, 1, 1)."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._x_shape: tuple[int, int, int, int] | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._x_shape = x.shape
+        return x.mean(axis=(2, 3), keepdims=True)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._x_shape is None:
+            raise RuntimeError("backward called before forward")
+        n, c, h, w = self._x_shape
+        return np.broadcast_to(grad_output / (h * w), self._x_shape).copy()
+
+
+class GlobalMaxPool(Module):
+    """Max over spatial dims, keeping (N, C, 1, 1)."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._x: np.ndarray | None = None
+        self._out: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._x = x
+        self._out = x.max(axis=(2, 3), keepdims=True)
+        return self._out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._x is None or self._out is None:
+            raise RuntimeError("backward called before forward")
+        mask = self._x == self._out
+        # split gradient across ties to keep the adjoint exact
+        counts = mask.sum(axis=(2, 3), keepdims=True)
+        return mask * (grad_output / counts)
+
+
+class UpsampleNearest(Module):
+    """Nearest-neighbour upsampling by an integer factor."""
+
+    def __init__(self, factor: int = 2) -> None:
+        super().__init__()
+        if factor < 1:
+            raise ValueError("factor must be >= 1")
+        self.factor = factor
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return upsample_nearest_forward(x, self.factor)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        return upsample_nearest_backward(grad_output, self.factor)
+
+
+class Linear(Module):
+    """Fully connected layer over (N, F) inputs (CBAM channel MLP)."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        bias: bool = True,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.weight = Parameter(
+            kaiming_normal((out_features, in_features), in_features, rng),
+            name="weight",
+        )
+        self.bias = Parameter(np.zeros(out_features), name="bias") if bias else None
+        self._x: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 2:
+            raise ValueError(f"Linear expects (N, F) input, got shape {x.shape}")
+        self._x = x
+        out = x @ self.weight.data.T
+        if self.bias is not None:
+            out = out + self.bias.data
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._x is None:
+            raise RuntimeError("backward called before forward")
+        self.weight.grad += grad_output.T @ self._x
+        if self.bias is not None:
+            self.bias.grad += grad_output.sum(axis=0)
+        return grad_output @ self.weight.data
+
+
+class Concat(Module):
+    """Channel-axis concatenation of a list of tensors."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._splits: list[int] | None = None
+
+    def forward(self, xs: list[np.ndarray]) -> np.ndarray:
+        if not xs:
+            raise ValueError("cannot concatenate an empty list")
+        self._splits = [x.shape[1] for x in xs]
+        return np.concatenate(xs, axis=1)
+
+    def backward(self, grad_output: np.ndarray) -> list[np.ndarray]:
+        if self._splits is None:
+            raise RuntimeError("backward called before forward")
+        grads = []
+        start = 0
+        for width in self._splits:
+            grads.append(grad_output[:, start : start + width])
+            start += width
+        return grads

@@ -1,0 +1,23 @@
+"""Model checkpointing: state dicts to/from ``.npz`` archives."""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.nn.module import Module
+
+
+def save_state(module: Module, path: str | os.PathLike[str]) -> None:
+    """Write a module's state dict to a compressed npz archive."""
+    state = module.state_dict()
+    if not state:
+        raise ValueError("module has no parameters to save")
+    np.savez_compressed(path, **state)
+
+
+def load_state(module: Module, path: str | os.PathLike[str]) -> None:
+    """Load an archive written by :func:`save_state` into *module*."""
+    with np.load(path) as archive:
+        module.load_state_dict({key: archive[key] for key in archive.files})

@@ -1,0 +1,52 @@
+"""Human-readable module summaries.
+
+``summarize(model)`` prints the module tree with per-node parameter
+counts — the quick sanity check for architecture experiments.
+"""
+
+from __future__ import annotations
+
+from repro.nn.module import Module, _collect_named
+
+
+def _tree_lines(module: Module, name: str, depth: int) -> list[str]:
+    indent = "  " * depth
+    own = sum(
+        leaf.size
+        for attr, value in module.__dict__.items()
+        for _, leaf in _collect_named(value, attr)
+        if not isinstance(leaf, Module)
+    )
+    total = module.num_parameters()
+    lines = [
+        f"{indent}{name}: {type(module).__name__} "
+        f"(params: {total:,}{f', own: {own:,}' if own and own != total else ''})"
+    ]
+    for attr, value in module.__dict__.items():
+        for sub_path, leaf in _collect_named(value, attr):
+            if isinstance(leaf, Module):
+                lines.extend(_tree_lines(leaf, sub_path, depth + 1))
+    return lines
+
+
+def summarize(module: Module, name: str = "model", max_lines: int = 200) -> str:
+    """The module tree as indented text (truncated past *max_lines*)."""
+    lines = _tree_lines(module, name, 0)
+    if len(lines) > max_lines:
+        hidden = len(lines) - max_lines
+        lines = lines[:max_lines] + [f"... ({hidden} more modules)"]
+    return "\n".join(lines)
+
+
+def parameter_table(module: Module) -> str:
+    """One line per parameter: path, shape, size."""
+    rows = [f"{'path':<50s} {'shape':>18s} {'size':>10s}"]
+    rows.append("-" * len(rows[0]))
+    total = 0
+    for path, parameter in module.named_parameters():
+        shape = "x".join(str(d) for d in parameter.shape) or "scalar"
+        rows.append(f"{path:<50s} {shape:>18s} {parameter.size:>10,d}")
+        total += parameter.size
+    rows.append("-" * len(rows[0]))
+    rows.append(f"{'total':<50s} {'':>18s} {total:>10,d}")
+    return "\n".join(rows)

@@ -1,0 +1,5 @@
+"""Power-grid optimisation utilities built on the analysis substrate."""
+
+from repro.opt.pad_placement import PadPlacementResult, greedy_pad_placement
+
+__all__ = ["PadPlacementResult", "greedy_pad_placement"]

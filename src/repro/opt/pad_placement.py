@@ -1,0 +1,140 @@
+"""Greedy power-pad placement.
+
+A classic use of a fast IR-drop engine: given a PG whose worst drop
+violates budget, where should extra pads go?  The greedy loop evaluates
+each candidate top-layer node by *actually re-solving the grid* with a pad
+added there (the AMG solver is fast enough to brute-force modest candidate
+sets) and commits the pad that minimises the worst drop, repeating until
+the budget is met or the pad budget is exhausted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.grid.netlist import PowerGrid
+from repro.solvers.powerrush import PowerRushSimulator
+from repro.spice.ast import Netlist, VoltageSource
+
+
+@dataclass
+class PadPlacementResult:
+    """Outcome of the greedy placement.
+
+    Attributes
+    ----------
+    added_pads:
+        Node names that received a new pad, in commit order.
+    worst_drop_history:
+        Worst drop before any addition and after each commit.
+    final_netlist:
+        The netlist with the new voltage sources appended.
+    met_budget:
+        Whether the final worst drop is within the requested budget.
+    """
+
+    added_pads: list[str]
+    worst_drop_history: list[float]
+    final_netlist: Netlist
+    met_budget: bool
+
+    @property
+    def improvement(self) -> float:
+        """Absolute worst-drop reduction achieved (volts)."""
+        return self.worst_drop_history[0] - self.worst_drop_history[-1]
+
+
+def _with_extra_pads(
+    netlist: Netlist, pads: list[str], voltage: float
+) -> Netlist:
+    out = Netlist(
+        title=netlist.title,
+        resistors=list(netlist.resistors),
+        current_sources=list(netlist.current_sources),
+        voltage_sources=list(netlist.voltage_sources),
+    )
+    for k, node in enumerate(pads, start=1):
+        out.voltage_sources.append(
+            VoltageSource(f"Vopt{k}", node, "0", voltage)
+        )
+    return out
+
+
+def greedy_pad_placement(
+    netlist: Netlist,
+    budget_volts: float,
+    max_new_pads: int = 3,
+    max_candidates: int = 24,
+    simulator: PowerRushSimulator | None = None,
+) -> PadPlacementResult:
+    """Add pads greedily until the worst drop meets *budget_volts*.
+
+    Parameters
+    ----------
+    netlist:
+        The design to fix (must already contain at least one pad).
+    budget_volts:
+        Target worst-case drop.
+    max_new_pads:
+        Pad budget.
+    max_candidates:
+        Candidate pool size per round: the top-layer nodes with the
+        largest current drop (the most starved regions).
+    simulator:
+        Solver to use (default: converged quality AMG-PCG).
+    """
+    if budget_volts <= 0:
+        raise ValueError("budget_volts must be positive")
+    if max_new_pads < 1:
+        raise ValueError("max_new_pads must be >= 1")
+    simulator = simulator or PowerRushSimulator(tol=1e-10)
+
+    added: list[str] = []
+    current = netlist
+    report = simulator.simulate_netlist(current)
+    history = [report.worst_drop()]
+
+    for _ in range(max_new_pads):
+        if history[-1] <= budget_volts:
+            break
+        grid = report.grid
+        top_layer = max(grid.layers_present())
+        candidates = [
+            node
+            for node in grid.nodes_on_layer(top_layer)
+            if not node.is_pad
+        ]
+        candidates.sort(key=lambda n: report.ir_drop[n.index], reverse=True)
+        candidates = candidates[:max_candidates]
+        if not candidates:
+            break
+
+        best_name: str | None = None
+        best_worst = history[-1]
+        best_report = None
+        for candidate in candidates:
+            trial = _with_extra_pads(
+                current, added + [candidate.name], report.supply_voltage
+            )
+            trial_report = simulator.simulate_netlist(trial)
+            worst = trial_report.worst_drop()
+            if worst < best_worst:
+                best_worst = worst
+                best_name = candidate.name
+                best_report = trial_report
+        if best_name is None:
+            break  # no candidate improves; stop early
+        added.append(best_name)
+        history.append(best_worst)
+        report = best_report
+        current = _with_extra_pads(netlist, added, report.supply_voltage)
+
+    final = _with_extra_pads(netlist, added, report.supply_voltage)
+    return PadPlacementResult(
+        added_pads=added,
+        worst_drop_history=history,
+        final_netlist=final,
+        met_budget=history[-1] <= budget_volts,
+    )

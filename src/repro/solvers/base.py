@@ -1,0 +1,124 @@
+"""Common solver interfaces and result containers."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Protocol
+
+import numpy as np
+import scipy.sparse as sp
+
+
+@dataclass(frozen=True)
+class SolverOptions:
+    """Iteration controls shared by every iterative solver.
+
+    Attributes
+    ----------
+    tol:
+        Relative-residual convergence tolerance (``||r||/||b||``).
+    max_iterations:
+        Hard iteration cap.  The fusion framework deliberately sets this
+        low (1-10) to obtain rough solutions quickly.
+    record_history:
+        Record the residual norm after every iteration (small overhead).
+    """
+
+    tol: float = 1e-8
+    max_iterations: int = 1000
+    record_history: bool = True
+
+    def __post_init__(self) -> None:
+        if self.tol < 0:
+            raise ValueError(f"tol must be non-negative, got {self.tol}")
+        if self.max_iterations < 0:
+            raise ValueError(
+                f"max_iterations must be non-negative, got {self.max_iterations}"
+            )
+
+
+@dataclass
+class SolveResult:
+    """Outcome of one linear solve.
+
+    Attributes
+    ----------
+    x:
+        The (possibly rough) solution vector.
+    iterations:
+        Iterations actually performed.
+    converged:
+        Whether the relative residual dropped below the tolerance.
+    residual_norms:
+        ``||b - Ax_k||`` after each iteration (index 0 = initial residual)
+        when history recording is on.
+    setup_seconds, solve_seconds:
+        Wall-clock split between preconditioner setup and iteration.
+    """
+
+    x: np.ndarray
+    iterations: int
+    converged: bool
+    residual_norms: list[float] = field(default_factory=list)
+    setup_seconds: float = 0.0
+    solve_seconds: float = 0.0
+
+    @property
+    def final_residual(self) -> float:
+        """Last recorded residual norm (``nan`` when history is off)."""
+        if not self.residual_norms:
+            return float("nan")
+        return self.residual_norms[-1]
+
+    def convergence_factor(self) -> float:
+        """Geometric-mean per-iteration residual reduction factor."""
+        if len(self.residual_norms) < 2 or self.residual_norms[0] == 0.0:
+            return float("nan")
+        first, last = self.residual_norms[0], self.residual_norms[-1]
+        if last == 0.0:
+            return 0.0
+        steps = len(self.residual_norms) - 1
+        return float((last / first) ** (1.0 / steps))
+
+
+class LinearOperator(Protocol):
+    """Anything that can be applied to a vector (preconditioners)."""
+
+    def apply(self, r: np.ndarray) -> np.ndarray: ...
+
+
+class Solver(Protocol):
+    """Common protocol: solve ``A x = b`` from an optional initial guess."""
+
+    def solve(
+        self,
+        matrix: sp.csr_matrix,
+        rhs: np.ndarray,
+        x0: np.ndarray | None = None,
+    ) -> SolveResult: ...
+
+
+class Timer:
+    """Tiny context-free stopwatch used for setup/solve accounting."""
+
+    def __init__(self) -> None:
+        self._start = time.perf_counter()
+
+    def lap(self) -> float:
+        """Seconds since construction or the previous lap."""
+        now = time.perf_counter()
+        elapsed = now - self._start
+        self._start = now
+        return elapsed
+
+
+def check_system(matrix: sp.spmatrix, rhs: np.ndarray) -> sp.csr_matrix:
+    """Validate shapes and normalise the matrix to CSR."""
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        raise ValueError(f"matrix must be square, got shape {matrix.shape}")
+    if rhs.ndim != 1 or rhs.shape[0] != matrix.shape[0]:
+        raise ValueError(
+            f"rhs shape {rhs.shape} incompatible with matrix {matrix.shape}"
+        )
+    return sp.csr_matrix(matrix)

@@ -1,0 +1,128 @@
+"""Conjugate-gradient solvers: plain CG and Jacobi-preconditioned CG.
+
+These are the classical Krylov baselines (Chen & Chen, DAC'01 lineage) that
+AMG-PCG is compared against; they share the iteration skeleton used by
+:class:`~repro.solvers.amg_pcg.AMGPCGSolver`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.solvers.base import SolveResult, SolverOptions, Timer, check_system
+
+
+class CGSolver:
+    """Unpreconditioned conjugate gradients for SPD systems."""
+
+    def __init__(self, options: SolverOptions | None = None) -> None:
+        self.options = options or SolverOptions()
+
+    def solve(
+        self,
+        matrix: sp.spmatrix,
+        rhs: np.ndarray,
+        x0: np.ndarray | None = None,
+    ) -> SolveResult:
+        csr = check_system(matrix, rhs)
+        return _pcg(csr, rhs, x0, preconditioner=None, options=self.options)
+
+
+class JacobiPCGSolver:
+    """CG preconditioned by the inverse diagonal (point Jacobi)."""
+
+    def __init__(self, options: SolverOptions | None = None) -> None:
+        self.options = options or SolverOptions()
+
+    def solve(
+        self,
+        matrix: sp.spmatrix,
+        rhs: np.ndarray,
+        x0: np.ndarray | None = None,
+    ) -> SolveResult:
+        csr = check_system(matrix, rhs)
+        diag = csr.diagonal()
+        if np.any(diag <= 0.0):
+            raise ValueError("Jacobi preconditioning needs a positive diagonal")
+        inv_diag = 1.0 / diag
+
+        def precondition(r: np.ndarray) -> np.ndarray:
+            return inv_diag * r
+
+        return _pcg(csr, rhs, x0, preconditioner=precondition, options=self.options)
+
+
+def _pcg(
+    matrix: sp.csr_matrix,
+    rhs: np.ndarray,
+    x0: np.ndarray | None,
+    preconditioner,
+    options: SolverOptions,
+    flexible: bool = False,
+) -> SolveResult:
+    """Shared (optionally flexible) PCG iteration.
+
+    With ``flexible=True`` the Polak-Ribiere form of beta is used,
+    ``beta = z_{k+1}^T (r_{k+1} - r_k) / (z_k^T r_k)``, which tolerates a
+    preconditioner that varies between iterations (the K-cycle does).
+    """
+    timer = Timer()
+    n = rhs.shape[0]
+    x = np.zeros(n, dtype=float) if x0 is None else np.asarray(x0, dtype=float).copy()
+    r = rhs - matrix @ x
+    rhs_norm = float(np.linalg.norm(rhs))
+    target = options.tol * rhs_norm if rhs_norm > 0 else options.tol
+    history = [float(np.linalg.norm(r))] if options.record_history else []
+    setup = timer.lap()
+
+    if history and history[0] <= target:
+        return SolveResult(
+            x=x,
+            iterations=0,
+            converged=True,
+            residual_norms=history,
+            setup_seconds=setup,
+            solve_seconds=timer.lap(),
+        )
+
+    z = preconditioner(r) if preconditioner is not None else r.copy()
+    p = z.copy()
+    rz = float(r @ z)
+    converged = False
+    iterations = 0
+
+    for _ in range(options.max_iterations):
+        ap = matrix @ p
+        pap = float(p @ ap)
+        if pap <= 0.0:
+            # A lost positive-definiteness numerically; stop with best iterate.
+            break
+        alpha = rz / pap
+        x += alpha * p
+        r_new = r - alpha * ap
+        iterations += 1
+        res_norm = float(np.linalg.norm(r_new))
+        if options.record_history:
+            history.append(res_norm)
+        if res_norm <= target:
+            r = r_new
+            converged = True
+            break
+        z_new = preconditioner(r_new) if preconditioner is not None else r_new.copy()
+        if flexible:
+            beta = float(z_new @ (r_new - r)) / rz
+        else:
+            beta = float(r_new @ z_new) / rz
+        rz = float(r_new @ z_new)
+        p = z_new + beta * p
+        r = r_new
+
+    return SolveResult(
+        x=x,
+        iterations=iterations,
+        converged=converged,
+        residual_norms=history,
+        setup_seconds=setup,
+        solve_seconds=timer.lap(),
+    )

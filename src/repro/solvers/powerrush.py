@@ -1,0 +1,173 @@
+"""PowerRush-style end-to-end static PG simulator.
+
+The paper's numerical baseline: SPICE deck in, per-node voltages and
+IR-drop maps out, with AMG-PCG doing the solving.  Capping
+``max_iterations`` reproduces the rough-solution regime the fusion
+framework feeds into the ML model (and the Fig. 7 sweep).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.grid.geometry import GridGeometry
+from repro.grid.netlist import PowerGrid
+from repro.grid.raster import layer_values_image
+from repro.mna.stamper import build_reduced_system
+from repro.mna.system import ReducedSystem
+from repro.solvers.amg import AMGOptions
+from repro.solvers.amg_pcg import AMGPCGSolver
+from repro.solvers.base import SolveResult, SolverOptions
+from repro.solvers.cycles import CycleOptions
+from repro.spice.ast import Netlist
+from repro.spice.parser import parse_spice, parse_spice_file
+
+
+@dataclass
+class SimulationReport:
+    """Everything a static IR-drop run produces.
+
+    Attributes
+    ----------
+    grid:
+        The analysed power grid.
+    system:
+        The reduced linear system that was solved.
+    voltages:
+        Per-grid-node voltage vector (pads at their pinned value).
+    ir_drop:
+        Per-grid-node drop ``vdd - v``.
+    solve:
+        Solver statistics for the run.
+    supply_voltage:
+        The single supply level of the deck.
+    """
+
+    grid: PowerGrid
+    system: ReducedSystem
+    voltages: np.ndarray
+    ir_drop: np.ndarray
+    solve: SolveResult
+    supply_voltage: float
+
+    def worst_drop(self) -> float:
+        """Maximum IR drop over all nodes (the signoff quantity)."""
+        return float(self.ir_drop.max()) if self.ir_drop.size else 0.0
+
+    def drop_image(
+        self, geometry: GridGeometry, layer: int = 1, reduce: str = "max"
+    ) -> np.ndarray:
+        """IR-drop image for one metal layer (bottom layer by default)."""
+        return layer_values_image(
+            geometry, self.grid, self.ir_drop, layer=layer, reduce=reduce
+        )
+
+    def layer_drop_images(self, geometry: GridGeometry) -> dict[int, np.ndarray]:
+        """IR-drop image per metal layer present in the grid."""
+        return {
+            layer: self.drop_image(geometry, layer=layer)
+            for layer in self.grid.layers_present()
+        }
+
+
+#: Named solver configurations.  ``"quality"`` is the signoff setting
+#: (double pairwise aggregation + K-cycle); ``"fast"`` trades per-iteration
+#: cost for convergence rate (single-pass aggregation + damped-Jacobi
+#: V-cycle), which is the configuration the fusion framework and the Fig. 7
+#: trade-off sweep use for their 1-10 rough iterations.
+PRESETS: dict[str, tuple[AMGOptions, CycleOptions]] = {
+    "quality": (AMGOptions(), CycleOptions()),
+    "fast": (
+        AMGOptions(passes_per_level=1),
+        CycleOptions(
+            cycle="v", presmooth_sweeps=1, postsmooth_sweeps=0, smoother="jacobi"
+        ),
+    ),
+}
+
+
+class PowerRushSimulator:
+    """SPICE → PowerGrid → MNA → AMG-PCG, packaged as one object.
+
+    Parameters
+    ----------
+    max_iterations:
+        Outer PCG iteration cap; small values give the rough solutions
+        consumed by the fusion framework.
+    tol:
+        Relative-residual tolerance (reached ⇒ "golden-quality" solve).
+    preset:
+        ``"quality"`` or ``"fast"`` (see :data:`PRESETS`); ignored when
+        explicit ``amg_options``/``cycle_options`` are given.
+    amg_options, cycle_options:
+        Forwarded to the underlying solver, overriding the preset.
+
+    Iterations start from the flat guess ``v = vdd`` (zero drop), the
+    natural operating-point estimate a production simulator uses.
+    """
+
+    def __init__(
+        self,
+        max_iterations: int = 1000,
+        tol: float = 1e-10,
+        preset: str = "quality",
+        amg_options: AMGOptions | None = None,
+        cycle_options: CycleOptions | None = None,
+    ) -> None:
+        if preset not in PRESETS:
+            raise ValueError(
+                f"unknown preset {preset!r}; choose from {sorted(PRESETS)}"
+            )
+        preset_amg, preset_cycle = PRESETS[preset]
+        self.preset = preset
+        self.solver = AMGPCGSolver(
+            options=SolverOptions(tol=tol, max_iterations=max_iterations),
+            amg_options=amg_options or preset_amg,
+            cycle_options=cycle_options or preset_cycle,
+        )
+
+    # -- entry points --------------------------------------------------------
+
+    def simulate_file(self, path) -> SimulationReport:
+        """Simulate a SPICE deck stored on disk."""
+        return self.simulate_netlist(parse_spice_file(path))
+
+    def simulate_text(self, text: str) -> SimulationReport:
+        """Simulate a SPICE deck held in a string."""
+        return self.simulate_netlist(parse_spice(text))
+
+    def simulate_netlist(self, netlist: Netlist) -> SimulationReport:
+        """Simulate a parsed deck."""
+        grid = PowerGrid.from_netlist(netlist)
+        return self.simulate_grid(grid, supply_voltage=netlist.supply_voltage())
+
+    def simulate_grid(
+        self, grid: PowerGrid, supply_voltage: float | None = None
+    ) -> SimulationReport:
+        """Simulate an already-built :class:`PowerGrid`.
+
+        When *supply_voltage* is omitted it is taken from the pads (which
+        must then agree on a single level).
+        """
+        if supply_voltage is None:
+            levels = {n.pad_voltage for n in grid.pads()}
+            if len(levels) != 1:
+                raise ValueError(
+                    f"cannot infer a single supply voltage from pads: {levels}"
+                )
+            supply_voltage = levels.pop()
+        system = build_reduced_system(grid)
+        flat_guess = np.full(system.size, supply_voltage, dtype=float)
+        result = self.solver.solve(system.matrix, system.rhs, x0=flat_guess)
+        voltages = system.scatter(result.x)
+        ir_drop = supply_voltage - voltages
+        return SimulationReport(
+            grid=grid,
+            system=system,
+            voltages=voltages,
+            ir_drop=ir_drop,
+            solve=result,
+            supply_voltage=supply_voltage,
+        )

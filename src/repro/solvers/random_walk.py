@@ -1,0 +1,135 @@
+"""Random-walk PG solver (Qian, Nassif & Sapatnekar, TCAD'05).
+
+A classical stochastic alternative the paper's related-work section cites:
+the voltage of node *i* satisfies
+
+    v_i = sum_j p_ij v_j + b_i,   p_ij = g_ij / G_i,   b_i = -I_i / G_i
+
+which is exactly the expected outcome of a random walk that moves to
+neighbour *j* with probability ``p_ij``, collects reward ``b_i`` at every
+visit and absorbs with payoff ``v_pad`` when it reaches a pad.  The
+estimator here averages ``walks_per_node`` independent walks per node.
+
+It is not competitive with AMG-PCG (that is the point of the comparison)
+but gives statistically unbiased spot estimates without ever assembling
+the matrix — useful for incremental "what is the drop at this one cell?"
+queries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.grid.netlist import PowerGrid
+from repro.grid.topology import validate_connectivity
+
+
+@dataclass(frozen=True)
+class RandomWalkOptions:
+    """Estimator controls.
+
+    Attributes
+    ----------
+    walks_per_node:
+        Monte-Carlo sample count per queried node; error shrinks as
+        ``1/sqrt(walks_per_node)``.
+    max_steps:
+        Safety cap per walk (a connected PG absorbs long before this).
+    seed:
+        RNG seed.
+    """
+
+    walks_per_node: int = 200
+    max_steps: int = 100_000
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.walks_per_node < 1:
+            raise ValueError("walks_per_node must be >= 1")
+        if self.max_steps < 1:
+            raise ValueError("max_steps must be >= 1")
+
+
+class RandomWalkSolver:
+    """Monte-Carlo voltage estimation on a :class:`PowerGrid`."""
+
+    def __init__(self, options: RandomWalkOptions | None = None) -> None:
+        self.options = options or RandomWalkOptions()
+
+    def _prepare(self, grid: PowerGrid):
+        """Per-node transition tables (neighbour ids, cumulative probs, reward)."""
+        neighbors: list[np.ndarray] = []
+        cumulative: list[np.ndarray] = []
+        rewards = np.zeros(grid.num_nodes)
+        for node in grid.nodes:
+            wires = grid.wires_at(node.index)
+            conductances = np.array([w.conductance for w in wires])
+            total = conductances.sum()
+            if total <= 0 and not node.is_pad:
+                raise ValueError(
+                    f"node {node.name!r} has no conductance; walk cannot move"
+                )
+            neighbors.append(
+                np.array([w.other(node.index) for w in wires], dtype=np.int64)
+            )
+            cumulative.append(
+                np.cumsum(conductances / total) if total > 0 else np.array([])
+            )
+            rewards[node.index] = (
+                -node.load_current / total if total > 0 else 0.0
+            )
+        return neighbors, cumulative, rewards
+
+    def estimate_node(self, grid: PowerGrid, node: str | int) -> float:
+        """Voltage estimate for one node (spot query)."""
+        index = grid.index_of(node) if isinstance(node, str) else node
+        return float(self.solve_nodes(grid, [index])[0])
+
+    def solve_nodes(
+        self, grid: PowerGrid, indices: list[int]
+    ) -> np.ndarray:
+        """Voltage estimates for a list of node indices."""
+        validate_connectivity(grid)
+        neighbors, cumulative, rewards = self._prepare(grid)
+        pad_voltage = {n.index: n.pad_voltage for n in grid.pads()}
+        rng = np.random.default_rng(self.options.seed)
+        estimates = np.empty(len(indices))
+        for k, start in enumerate(indices):
+            if start in pad_voltage:
+                estimates[k] = pad_voltage[start]
+                continue
+            total = 0.0
+            for _ in range(self.options.walks_per_node):
+                total += self._walk(
+                    start, neighbors, cumulative, rewards, pad_voltage, rng
+                )
+            estimates[k] = total / self.options.walks_per_node
+        return estimates
+
+    def solve_grid(self, grid: PowerGrid) -> np.ndarray:
+        """Voltage estimates for every node (slow; for small grids/tests)."""
+        return self.solve_nodes(grid, list(range(grid.num_nodes)))
+
+    def _walk(
+        self,
+        start: int,
+        neighbors: list[np.ndarray],
+        cumulative: list[np.ndarray],
+        rewards: np.ndarray,
+        pad_voltage: dict[int, float],
+        rng: np.random.Generator,
+    ) -> float:
+        value = 0.0
+        node = start
+        for _ in range(self.options.max_steps):
+            value += rewards[node]
+            hop = int(np.searchsorted(cumulative[node], rng.random()))
+            node = int(neighbors[node][hop])
+            if node in pad_voltage:
+                return value + pad_voltage[node]
+        raise RuntimeError(
+            f"walk from node {start} exceeded {self.options.max_steps} steps; "
+            "is a pad reachable?"
+        )

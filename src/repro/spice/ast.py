@@ -1,0 +1,165 @@
+"""Dataclasses describing the elements of a power-grid SPICE netlist.
+
+Only the three element kinds that occur in static PG analysis are modelled:
+resistors, independent current sources (cell current drains) and independent
+voltage sources (power pads).  A :class:`Netlist` is an ordered container of
+those elements plus the title line.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+
+@dataclass(frozen=True, slots=True)
+class Resistor:
+    """A two-terminal resistor ``R<name> <node_a> <node_b> <ohms>``."""
+
+    name: str
+    node_a: str
+    node_b: str
+    resistance: float
+
+    def __post_init__(self) -> None:
+        if self.resistance < 0:
+            raise ValueError(
+                f"resistor {self.name!r} has negative resistance {self.resistance}"
+            )
+
+    @property
+    def conductance(self) -> float:
+        """Conductance in siemens; infinite resistance maps to zero."""
+        if self.resistance == 0.0:
+            raise ZeroDivisionError(
+                f"resistor {self.name!r} is a short (0 ohm); shorts must be "
+                "collapsed before conductance extraction"
+            )
+        return 1.0 / self.resistance
+
+    @property
+    def is_short(self) -> bool:
+        """True for 0-ohm resistors (via shorts that need node merging)."""
+        return self.resistance == 0.0
+
+
+@dataclass(frozen=True, slots=True)
+class Capacitor:
+    """``C<name> <node_a> <node_b> <farads>`` — decap or wire capacitance.
+
+    Capacitors are ignored by static analysis and consumed by
+    :mod:`repro.transient`; ground may appear on either terminal.
+    """
+
+    name: str
+    node_a: str
+    node_b: str
+    capacitance: float
+
+    def __post_init__(self) -> None:
+        if self.capacitance < 0:
+            raise ValueError(
+                f"capacitor {self.name!r} has negative capacitance "
+                f"{self.capacitance}"
+            )
+
+
+@dataclass(frozen=True, slots=True)
+class CurrentSource:
+    """``I<name> <node_from> <node_to> <amps>``.
+
+    In PG decks current sources sink current from a bottom-metal node to
+    ground, i.e. ``node_from`` is the PG node and ``node_to`` is ``0``.
+    """
+
+    name: str
+    node_from: str
+    node_to: str
+    current: float
+
+
+@dataclass(frozen=True, slots=True)
+class VoltageSource:
+    """``V<name> <node_pos> <node_neg> <volts>`` — a power pad."""
+
+    name: str
+    node_pos: str
+    node_neg: str
+    voltage: float
+
+
+@dataclass(slots=True)
+class Netlist:
+    """An ordered power-grid netlist.
+
+    Attributes
+    ----------
+    title:
+        Free-form title (the first comment line of the deck, if any).
+    resistors, current_sources, voltage_sources:
+        Elements in file order.
+    """
+
+    title: str = ""
+    resistors: list[Resistor] = field(default_factory=list)
+    current_sources: list[CurrentSource] = field(default_factory=list)
+    voltage_sources: list[VoltageSource] = field(default_factory=list)
+    capacitors: list[Capacitor] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return (
+            len(self.resistors)
+            + len(self.current_sources)
+            + len(self.voltage_sources)
+            + len(self.capacitors)
+        )
+
+    def elements(
+        self,
+    ) -> Iterator[Resistor | CurrentSource | VoltageSource | Capacitor]:
+        """Iterate over all elements, resistors first (file-order within kind)."""
+        yield from self.resistors
+        yield from self.current_sources
+        yield from self.voltage_sources
+        yield from self.capacitors
+
+    def node_names(self) -> set[str]:
+        """All node names referenced by any element, excluding ground."""
+        names: set[str] = set()
+        for res in self.resistors:
+            names.add(res.node_a)
+            names.add(res.node_b)
+        for src in self.current_sources:
+            names.add(src.node_from)
+            names.add(src.node_to)
+        for pad in self.voltage_sources:
+            names.add(pad.node_pos)
+            names.add(pad.node_neg)
+        for cap in self.capacitors:
+            names.add(cap.node_a)
+            names.add(cap.node_b)
+        names.discard("0")
+        return names
+
+    def total_load_current(self) -> float:
+        """Sum of all current-source magnitudes (the total chip load)."""
+        return sum(src.current for src in self.current_sources)
+
+    def supply_voltage(self) -> float:
+        """The pad voltage, assuming a single supply level.
+
+        Raises
+        ------
+        ValueError
+            If the deck has no voltage source or has pads at different
+            voltages (multi-domain decks must be split first).
+        """
+        voltages = {pad.voltage for pad in self.voltage_sources}
+        if not voltages:
+            raise ValueError("netlist has no voltage sources (power pads)")
+        if len(voltages) > 1:
+            raise ValueError(
+                f"netlist has multiple supply voltages {sorted(voltages)}; "
+                "split multi-domain decks before analysis"
+            )
+        return voltages.pop()

@@ -1,0 +1,76 @@
+"""Node-name grammar for power-grid decks.
+
+Following the ICCAD-2023 contest convention a PG node is named
+
+    ``n{net}_m{layer}_{x}_{y}``
+
+where *net* is the power-net index (1 for VDD), *layer* is the metal layer
+index (1 = bottom / cell layer) and *x*, *y* are the node coordinates in
+nanometres.  Ground is the literal name ``0``.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+GROUND = "0"
+
+_NODE_RE = re.compile(
+    r"^n(?P<net>\d+)_m(?P<layer>\d+)_(?P<x>-?\d+)_(?P<y>-?\d+)$"
+)
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class NodeName:
+    """A structured PG node name.
+
+    Ordering is lexicographic on (net, layer, x, y) which gives a stable,
+    geometry-aware node ordering used throughout the matrix assembly.
+    """
+
+    net: int
+    layer: int
+    x: int
+    y: int
+
+    def __str__(self) -> str:
+        return format_node_name(self.net, self.layer, self.x, self.y)
+
+    @property
+    def position(self) -> tuple[int, int]:
+        """(x, y) coordinate pair in nanometres."""
+        return (self.x, self.y)
+
+    def with_layer(self, layer: int) -> "NodeName":
+        """The same (net, x, y) location on a different metal layer."""
+        return NodeName(self.net, layer, self.x, self.y)
+
+
+def format_node_name(net: int, layer: int, x: int, y: int) -> str:
+    """Render a node name in the contest grammar."""
+    return f"n{net}_m{layer}_{x}_{y}"
+
+
+def parse_node_name(name: str) -> NodeName:
+    """Parse a contest-grammar node name.
+
+    Raises
+    ------
+    ValueError
+        If the name is ground or does not follow the grammar.
+    """
+    match = _NODE_RE.match(name)
+    if match is None:
+        raise ValueError(f"node name {name!r} does not match n*_m*_x_y grammar")
+    return NodeName(
+        net=int(match.group("net")),
+        layer=int(match.group("layer")),
+        x=int(match.group("x")),
+        y=int(match.group("y")),
+    )
+
+
+def is_structured_name(name: str) -> bool:
+    """Whether *name* follows the contest grammar (ground does not)."""
+    return _NODE_RE.match(name) is not None

@@ -1,0 +1,132 @@
+"""SPICE deck parser for static power-grid analysis.
+
+The parser accepts the subset of SPICE used by PG decks:
+
+- ``R<name> a b value`` resistors,
+- ``I<name> a b value`` independent current sources,
+- ``V<name> a b value`` independent voltage sources,
+- ``C<name> a b value`` capacitors (decap / wire cap; transient only),
+- ``*`` comment lines (the first one becomes the netlist title),
+- ``.end`` / ``.END`` terminator (optional),
+- engineering suffixes on values (``k``, ``m``, ``u``, ``n``, ``p``, ``f``,
+  ``meg``, ``g``, ``t``) and plain scientific notation.
+
+Everything else (subcircuits, capacitors, ...) raises
+:class:`SpiceParseError` — static PG decks must be purely resistive.
+"""
+
+from __future__ import annotations
+
+import os
+from repro.spice.ast import (
+    Capacitor,
+    CurrentSource,
+    Netlist,
+    Resistor,
+    VoltageSource,
+)
+
+
+class SpiceParseError(ValueError):
+    """Raised on malformed or unsupported SPICE input."""
+
+    def __init__(self, message: str, line_no: int | None = None) -> None:
+        if line_no is not None:
+            message = f"line {line_no}: {message}"
+        super().__init__(message)
+        self.line_no = line_no
+
+
+_SUFFIXES = {
+    "t": 1e12,
+    "g": 1e9,
+    "meg": 1e6,
+    "k": 1e3,
+    "m": 1e-3,
+    "u": 1e-6,
+    "n": 1e-9,
+    "p": 1e-12,
+    "f": 1e-15,
+}
+
+
+def parse_value(token: str, line_no: int | None = None) -> float:
+    """Parse a SPICE numeric token with optional engineering suffix.
+
+    ``meg`` must be checked before ``m`` (milli); suffix matching is
+    case-insensitive as in SPICE.
+    """
+    text = token.strip().lower()
+    if not text:
+        raise SpiceParseError("empty numeric token", line_no)
+    for suffix in ("meg", "t", "g", "k", "m", "u", "n", "p", "f"):
+        if text.endswith(suffix):
+            stem = text[: -len(suffix)]
+            try:
+                return float(stem) * _SUFFIXES[suffix]
+            except ValueError as exc:
+                raise SpiceParseError(
+                    f"bad numeric token {token!r}", line_no
+                ) from exc
+    try:
+        return float(text)
+    except ValueError as exc:
+        raise SpiceParseError(f"bad numeric token {token!r}", line_no) from exc
+
+
+def parse_spice(text: str) -> Netlist:
+    """Parse a SPICE deck from a string into a :class:`Netlist`."""
+    netlist = Netlist()
+    saw_title = False
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("*"):
+            if not saw_title:
+                netlist.title = line.lstrip("*").strip()
+                saw_title = True
+            continue
+        if line.startswith("."):
+            directive = line.split()[0].lower()
+            if directive in (".end", ".ends", ".op"):
+                if directive == ".end":
+                    break
+                continue
+            raise SpiceParseError(f"unsupported directive {directive!r}", line_no)
+        _parse_element_line(line, line_no, netlist)
+    return netlist
+
+
+def _parse_element_line(line: str, line_no: int, netlist: Netlist) -> None:
+    tokens = line.split()
+    if len(tokens) != 4:
+        raise SpiceParseError(
+            f"expected 'NAME node node value', got {len(tokens)} tokens", line_no
+        )
+    name, node_a, node_b, value_token = tokens
+    kind = name[0].upper()
+    value = parse_value(value_token, line_no)
+    if kind == "R":
+        if value < 0:
+            raise SpiceParseError(f"negative resistance {value}", line_no)
+        netlist.resistors.append(Resistor(name, node_a, node_b, value))
+    elif kind == "I":
+        netlist.current_sources.append(CurrentSource(name, node_a, node_b, value))
+    elif kind == "V":
+        netlist.voltage_sources.append(VoltageSource(name, node_a, node_b, value))
+    elif kind == "C":
+        if value < 0:
+            raise SpiceParseError(f"negative capacitance {value}", line_no)
+        netlist.capacitors.append(Capacitor(name, node_a, node_b, value))
+    else:
+        raise SpiceParseError(
+            f"unsupported element {name!r} (PG decks hold only R/I/V/C)",
+            line_no,
+        )
+
+
+def parse_spice_file(path: str | os.PathLike[str]) -> Netlist:
+    """Parse a SPICE deck from a file path."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return parse_spice(handle.read())

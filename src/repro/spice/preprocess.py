@@ -1,0 +1,79 @@
+"""Netlist preprocessing: collapsing 0-ohm shorts.
+
+Industrial decks model stacked vias and star connections as 0-ohm
+resistors; the PowerGrid builder (and any SPD solver) requires them to be
+merged first.  :func:`collapse_shorts` contracts every 0-ohm edge with a
+union-find pass and rewrites the remaining elements onto the surviving
+representative names.
+"""
+
+from __future__ import annotations
+
+from repro.spice.ast import CurrentSource, Netlist, Resistor, VoltageSource
+from repro.spice.nodes import GROUND
+
+
+class _UnionFind:
+    def __init__(self) -> None:
+        self._parent: dict[str, str] = {}
+
+    def find(self, item: str) -> str:
+        parent = self._parent.setdefault(item, item)
+        if parent != item:
+            root = self.find(parent)
+            self._parent[item] = root
+            return root
+        return item
+
+    def union(self, a: str, b: str) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return
+        # ground must always stay the representative of its class
+        if rb == GROUND:
+            ra, rb = rb, ra
+        self._parent[rb] = ra
+
+
+def collapse_shorts(netlist: Netlist) -> Netlist:
+    """A new netlist with all 0-ohm resistors contracted away.
+
+    Element order is preserved; shorts are dropped; any non-short element
+    whose two endpoints merged into one node is dropped as well (it no
+    longer carries current).  Node classes containing ground are renamed
+    to ground.
+    """
+    union = _UnionFind()
+    for res in netlist.resistors:
+        if res.is_short:
+            union.union(res.node_a, res.node_b)
+
+    def rename(node: str) -> str:
+        return union.find(node)
+
+    out = Netlist(title=netlist.title)
+    for res in netlist.resistors:
+        if res.is_short:
+            continue
+        a, b = rename(res.node_a), rename(res.node_b)
+        if a == b:
+            continue  # became a self-loop after contraction
+        out.resistors.append(Resistor(res.name, a, b, res.resistance))
+    for src in netlist.current_sources:
+        out.current_sources.append(
+            CurrentSource(
+                src.name, rename(src.node_from), rename(src.node_to), src.current
+            )
+        )
+    for pad in netlist.voltage_sources:
+        out.voltage_sources.append(
+            VoltageSource(
+                pad.name, rename(pad.node_pos), rename(pad.node_neg), pad.voltage
+            )
+        )
+    return out
+
+
+def count_shorts(netlist: Netlist) -> int:
+    """How many 0-ohm resistors the deck contains."""
+    return sum(1 for res in netlist.resistors if res.is_short)

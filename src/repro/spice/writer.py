@@ -1,0 +1,48 @@
+"""Serialise :class:`~repro.spice.ast.Netlist` objects back to SPICE text.
+
+The writer emits a deck the parser round-trips exactly (element order and
+values preserved); values are printed in repr-precision scientific notation
+so no information is lost.
+"""
+
+from __future__ import annotations
+
+import os
+from repro.spice.ast import Netlist
+
+
+def _format_value(value: float) -> str:
+    """Shortest exact decimal representation of a float."""
+    return repr(float(value))
+
+
+def netlist_to_string(netlist: Netlist) -> str:
+    """Render *netlist* as SPICE text."""
+    lines: list[str] = []
+    if netlist.title:
+        lines.append(f"* {netlist.title}")
+    for res in netlist.resistors:
+        lines.append(
+            f"{res.name} {res.node_a} {res.node_b} {_format_value(res.resistance)}"
+        )
+    for src in netlist.current_sources:
+        lines.append(
+            f"{src.name} {src.node_from} {src.node_to} {_format_value(src.current)}"
+        )
+    for pad in netlist.voltage_sources:
+        lines.append(
+            f"{pad.name} {pad.node_pos} {pad.node_neg} {_format_value(pad.voltage)}"
+        )
+    for cap in netlist.capacitors:
+        lines.append(
+            f"{cap.name} {cap.node_a} {cap.node_b} "
+            f"{_format_value(cap.capacitance)}"
+        )
+    lines.append(".end")
+    return "\n".join(lines) + "\n"
+
+
+def write_spice(netlist: Netlist, path: str | os.PathLike[str]) -> None:
+    """Write *netlist* to *path* as a SPICE deck."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(netlist_to_string(netlist))

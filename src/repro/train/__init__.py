@@ -1,0 +1,25 @@
+"""Training loop, learning-rate schedules and contest metrics."""
+
+from repro.train.metrics import (
+    Metrics,
+    f1_hotspot,
+    mae,
+    max_ir_drop_error,
+    evaluate_prediction,
+)
+from repro.train.schedule import ConstantLR, CosineLR, StepLR
+from repro.train.trainer import TrainConfig, Trainer, TrainHistory
+
+__all__ = [
+    "ConstantLR",
+    "CosineLR",
+    "Metrics",
+    "StepLR",
+    "TrainConfig",
+    "TrainHistory",
+    "Trainer",
+    "evaluate_prediction",
+    "f1_hotspot",
+    "mae",
+    "max_ir_drop_error",
+]

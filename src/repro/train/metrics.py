@@ -1,0 +1,117 @@
+"""Contest evaluation metrics (Section IV-A).
+
+- **MAE**: mean absolute error between predicted and golden IR-drop maps.
+- **F1**: hotspot classification score.  "IR drop values exceeding 90 % of
+  the maximum ground truth are classified as positive"; the same absolute
+  threshold is applied to the prediction.
+- **MIRDE**: maximum-IR-drop error — the prediction error in the region
+  where the golden drop peaks (the signoff-critical worst case).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def mae(prediction: np.ndarray, golden: np.ndarray) -> float:
+    """Mean absolute error (same units as the inputs)."""
+    prediction = np.asarray(prediction, dtype=float)
+    golden = np.asarray(golden, dtype=float)
+    if prediction.shape != golden.shape:
+        raise ValueError(f"shape mismatch {prediction.shape} vs {golden.shape}")
+    return float(np.mean(np.abs(prediction - golden)))
+
+
+def hotspot_mask(golden: np.ndarray, threshold: float = 0.9) -> np.ndarray:
+    """Boolean mask of golden hotspots (> threshold x golden max)."""
+    peak = float(np.max(golden))
+    return np.asarray(golden) > threshold * peak
+
+
+def f1_hotspot(
+    prediction: np.ndarray, golden: np.ndarray, threshold: float = 0.9
+) -> float:
+    """Hotspot F1 with the contest thresholding rule.
+
+    Both maps are thresholded at ``threshold x max(golden)``.  If the
+    golden map has no positives (flat map) the score is defined as 1.0
+    when the prediction also has none, else 0.0.
+    """
+    prediction = np.asarray(prediction, dtype=float)
+    golden = np.asarray(golden, dtype=float)
+    if prediction.shape != golden.shape:
+        raise ValueError(f"shape mismatch {prediction.shape} vs {golden.shape}")
+    cut = threshold * float(np.max(golden))
+    actual = golden > cut
+    predicted = prediction > cut
+    tp = int(np.sum(actual & predicted))
+    fp = int(np.sum(~actual & predicted))
+    fn = int(np.sum(actual & ~predicted))
+    if tp == 0:
+        return 1.0 if (fp == 0 and fn == 0) else 0.0
+    precision = tp / (tp + fp)
+    recall = tp / (tp + fn)
+    return 2.0 * precision * recall / (precision + recall)
+
+
+def max_ir_drop_error(prediction: np.ndarray, golden: np.ndarray) -> float:
+    """MIRDE: absolute error at the golden worst-drop location."""
+    prediction = np.asarray(prediction, dtype=float)
+    golden = np.asarray(golden, dtype=float)
+    if prediction.shape != golden.shape:
+        raise ValueError(f"shape mismatch {prediction.shape} vs {golden.shape}")
+    peak_index = np.unravel_index(int(np.argmax(golden)), golden.shape)
+    return float(abs(prediction[peak_index] - golden[peak_index]))
+
+
+@dataclass(frozen=True)
+class Metrics:
+    """Per-design (or averaged) metric bundle.
+
+    ``mae`` and ``mirde`` are in volts; ``runtime_seconds`` measures the
+    end-to-end inference path for the design(s).
+    """
+
+    mae: float
+    f1: float
+    mirde: float
+    runtime_seconds: float = 0.0
+
+    def scaled(self, factor: float = 1e4) -> "Metrics":
+        """Metrics with voltage errors multiplied (paper unit: 1e-4 V)."""
+        return Metrics(
+            mae=self.mae * factor,
+            f1=self.f1,
+            mirde=self.mirde * factor,
+            runtime_seconds=self.runtime_seconds,
+        )
+
+    @staticmethod
+    def average(items: list["Metrics"]) -> "Metrics":
+        """Arithmetic mean over designs (runtime summed is not meaningful,
+        so it is averaged too, matching per-design reporting)."""
+        if not items:
+            raise ValueError("cannot average an empty metric list")
+        return Metrics(
+            mae=float(np.mean([m.mae for m in items])),
+            f1=float(np.mean([m.f1 for m in items])),
+            mirde=float(np.mean([m.mirde for m in items])),
+            runtime_seconds=float(np.mean([m.runtime_seconds for m in items])),
+        )
+
+
+def evaluate_prediction(
+    prediction: np.ndarray,
+    golden: np.ndarray,
+    runtime_seconds: float = 0.0,
+    threshold: float = 0.9,
+) -> Metrics:
+    """All three accuracy metrics for one design."""
+    return Metrics(
+        mae=mae(prediction, golden),
+        f1=f1_hotspot(prediction, golden, threshold=threshold),
+        mirde=max_ir_drop_error(prediction, golden),
+        runtime_seconds=runtime_seconds,
+    )

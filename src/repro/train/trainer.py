@@ -1,0 +1,212 @@
+"""Mini-batch trainer with optional curriculum scheduling.
+
+Labels are scaled (volts → ``label_scale`` units, default mV x 10) before
+entering the network so losses and gradients are well conditioned;
+predictions are scaled back transparently in :meth:`Trainer.predict`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.data.curriculum import CurriculumScheduler
+from repro.data.dataset import DesignSample, IRDropDataset
+from repro.nn.losses import MAELoss, _Loss
+from repro.nn.module import Module
+from repro.nn.optim import Adam, clip_grad_norm
+from repro.train.schedule import ConstantLR
+
+
+@dataclass(frozen=True)
+class TrainConfig:
+    """Trainer knobs.
+
+    Attributes
+    ----------
+    epochs, batch_size, lr:
+        Standard loop controls (Adam optimiser).
+    label_scale:
+        Multiplier applied to labels (and inverted on prediction); IR
+        drops are ~1e-3 V, so 1e3 conditions the regression to ~1.
+    grad_clip:
+        Global gradient-norm clip (0 disables).
+    use_curriculum:
+        Use the fake-easy/real-hard continuous scheduler.
+    residual:
+        Fusion-style residual learning: the network regresses the
+        *correction* to the rough numerical solution and predictions are
+        ``rough + correction`` ("the model can begin training from a point
+        that is much closer to the target label", Section IV-B).  Applied
+        only when every sample carries a rough numerical solution; pure-ML
+        baselines (no numerical stage) fall back to direct regression
+        automatically.
+    shuffle_seed:
+        Seed for per-epoch batch shuffling.
+    early_stop_patience:
+        When > 0 and a validation set is passed to :meth:`Trainer.fit`,
+        stop after this many epochs without validation-MAE improvement and
+        restore the best weights seen.
+    """
+
+    epochs: int = 10
+    batch_size: int = 4
+    lr: float = 2e-3
+    label_scale: float = 20.0
+    grad_clip: float = 5.0
+    use_curriculum: bool = False
+    residual: bool = True
+    shuffle_seed: int = 0
+    early_stop_patience: int = 0
+
+
+@dataclass
+class TrainHistory:
+    """Per-epoch training record."""
+
+    epoch_losses: list[float] = field(default_factory=list)
+    epoch_sizes: list[int] = field(default_factory=list)
+    learning_rates: list[float] = field(default_factory=list)
+    validation_mae: list[float] = field(default_factory=list)
+    stopped_early: bool = False
+
+    @property
+    def final_loss(self) -> float:
+        if not self.epoch_losses:
+            raise ValueError("no epochs recorded")
+        return self.epoch_losses[-1]
+
+    @property
+    def best_validation_mae(self) -> float:
+        if not self.validation_mae:
+            raise ValueError("no validation metrics recorded")
+        return min(self.validation_mae)
+
+
+class Trainer:
+    """Fits a model to an :class:`IRDropDataset`."""
+
+    def __init__(
+        self,
+        model: Module,
+        loss: _Loss | None = None,
+        config: TrainConfig | None = None,
+        lr_schedule=None,
+    ) -> None:
+        self.model = model
+        self.loss = loss or MAELoss()
+        self.config = config or TrainConfig()
+        self.lr_schedule = lr_schedule or ConstantLR(self.config.lr)
+        self.optimizer = Adam(model.parameters(), lr=self.config.lr)
+
+    # -- fitting --------------------------------------------------------------
+
+    def fit(
+        self,
+        dataset: IRDropDataset,
+        validation: IRDropDataset | None = None,
+    ) -> TrainHistory:
+        """Train for ``config.epochs`` epochs; returns the loss history.
+
+        With a *validation* set, validation MAE is recorded per epoch and
+        (when ``early_stop_patience`` > 0) training stops once it
+        stagnates, restoring the best weights seen.
+        """
+        if len(dataset) == 0:
+            raise ValueError("cannot train on an empty dataset")
+        rng = np.random.default_rng(self.config.shuffle_seed)
+        scheduler = (
+            CurriculumScheduler(total_epochs=self.config.epochs)
+            if self.config.use_curriculum
+            else None
+        )
+        history = TrainHistory()
+        best_mae = float("inf")
+        best_state: dict | None = None
+        stale_epochs = 0
+        self.model.train()
+        for epoch in range(self.config.epochs):
+            subset = (
+                scheduler.subset(dataset, epoch) if scheduler else dataset
+            )
+            lr = float(self.lr_schedule(epoch))
+            self.optimizer.lr = lr
+            epoch_loss = self._run_epoch(subset, rng)
+            history.epoch_losses.append(epoch_loss)
+            history.epoch_sizes.append(len(subset))
+            history.learning_rates.append(lr)
+            if validation is not None and len(validation) > 0:
+                mae = self._validation_mae(validation)
+                history.validation_mae.append(mae)
+                if mae < best_mae - 1e-12:
+                    best_mae = mae
+                    stale_epochs = 0
+                    if self.config.early_stop_patience > 0:
+                        best_state = self.model.state_dict()
+                else:
+                    stale_epochs += 1
+                    if (
+                        self.config.early_stop_patience > 0
+                        and stale_epochs >= self.config.early_stop_patience
+                    ):
+                        history.stopped_early = True
+                        break
+        if best_state is not None and history.validation_mae and (
+            history.validation_mae[-1] > best_mae
+        ):
+            self.model.load_state_dict(best_state)
+        return history
+
+    def _validation_mae(self, validation: IRDropDataset) -> float:
+        predictions = self.predict(validation)
+        errors = [
+            float(np.abs(p - s.label).mean())
+            for p, s in zip(predictions, validation)
+        ]
+        return float(np.mean(errors))
+
+    def _uses_residual(self, samples: list[DesignSample]) -> bool:
+        return self.config.residual and all(
+            s.rough_label is not None for s in samples
+        )
+
+    def _run_epoch(self, dataset: IRDropDataset, rng: np.random.Generator) -> float:
+        x, y = dataset.as_arrays()
+        if self._uses_residual(dataset.samples):
+            rough = np.stack(
+                [s.rough_label[None, :, :] for s in dataset.samples]
+            )
+            y = y - rough
+        y = y * self.config.label_scale
+        order = rng.permutation(len(dataset))
+        total_loss = 0.0
+        batches = 0
+        for start in range(0, len(order), self.config.batch_size):
+            batch = order[start : start + self.config.batch_size]
+            prediction = self.model(x[batch])
+            loss_value = self.loss.forward(prediction, y[batch])
+            self.model.zero_grad()
+            self.model.backward(self.loss.backward())
+            if self.config.grad_clip > 0:
+                clip_grad_norm(self.model.parameters(), self.config.grad_clip)
+            self.optimizer.step()
+            total_loss += loss_value
+            batches += 1
+        return total_loss / max(batches, 1)
+
+    # -- inference ---------------------------------------------------------------
+
+    def predict(self, samples: list[DesignSample] | IRDropDataset) -> np.ndarray:
+        """Predict IR-drop maps (volts), shape ``(N, H, W)``."""
+        items = list(samples)
+        if not items:
+            raise ValueError("nothing to predict")
+        x = np.stack([s.features.data for s in items])
+        self.model.eval()
+        out = self.model(x)
+        self.model.train()
+        prediction = out[:, 0] / self.config.label_scale
+        if self._uses_residual(items):
+            prediction = prediction + np.stack([s.rough_label for s in items])
+        return prediction

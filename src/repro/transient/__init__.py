@@ -1,0 +1,30 @@
+"""Transient (dynamic) IR-drop analysis.
+
+The paper's introduction situates static analysis next to transient
+simulation ("direct solvers such as KLU and Cholmod are usually employed
+for transient simulation with a constant time step"); MAVIREC targets the
+dynamic problem.  This package provides that substrate: capacitor
+stamping, piecewise-linear current waveforms, and a backward-Euler
+integrator that factors ``G + C/h`` once per (constant) step size and
+reuses it across the whole simulation window — exactly the KLU/Cholmod
+usage pattern.
+"""
+
+from repro.transient.simulator import TransientResult, TransientSimulator
+from repro.transient.stamper import build_capacitance_matrix
+from repro.transient.waveforms import (
+    ConstantWaveform,
+    PiecewiseLinearWaveform,
+    PulseWaveform,
+    StepWaveform,
+)
+
+__all__ = [
+    "ConstantWaveform",
+    "PiecewiseLinearWaveform",
+    "PulseWaveform",
+    "StepWaveform",
+    "TransientResult",
+    "TransientSimulator",
+    "build_capacitance_matrix",
+]

@@ -1,0 +1,91 @@
+"""Current waveforms for transient analysis.
+
+Each waveform is a callable ``i(t) -> amps``; vectorised sampling over a
+time grid is provided by :meth:`Waveform.sample`.  The PWL form matches
+SPICE ``PWL(t1 v1 t2 v2 ...)`` semantics: linear interpolation between
+breakpoints, clamped to the end values outside the span.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+class Waveform:
+    """Base: scalar evaluation plus vectorised sampling."""
+
+    def __call__(self, t: float) -> float:
+        raise NotImplementedError
+
+    def sample(self, times: np.ndarray) -> np.ndarray:
+        """Evaluate on a whole time grid."""
+        return np.array([self(float(t)) for t in times], dtype=float)
+
+
+@dataclass(frozen=True)
+class ConstantWaveform(Waveform):
+    """A DC draw: ``i(t) = value``."""
+
+    value: float
+
+    def __call__(self, t: float) -> float:
+        return self.value
+
+    def sample(self, times: np.ndarray) -> np.ndarray:
+        return np.full(len(times), self.value, dtype=float)
+
+
+@dataclass(frozen=True)
+class StepWaveform(Waveform):
+    """Jump from ``before`` to ``after`` at ``at_time``."""
+
+    before: float
+    after: float
+    at_time: float
+
+    def __call__(self, t: float) -> float:
+        return self.after if t >= self.at_time else self.before
+
+
+@dataclass(frozen=True)
+class PulseWaveform(Waveform):
+    """Rectangular pulse: ``high`` on [start, start+width), else ``low``."""
+
+    low: float
+    high: float
+    start: float
+    width: float
+
+    def __post_init__(self) -> None:
+        if self.width <= 0:
+            raise ValueError("pulse width must be positive")
+
+    def __call__(self, t: float) -> float:
+        if self.start <= t < self.start + self.width:
+            return self.high
+        return self.low
+
+
+class PiecewiseLinearWaveform(Waveform):
+    """SPICE-style PWL waveform from (time, value) breakpoints."""
+
+    def __init__(self, points: list[tuple[float, float]]) -> None:
+        if len(points) < 2:
+            raise ValueError("PWL needs at least two breakpoints")
+        times = [p[0] for p in points]
+        if any(b <= a for a, b in zip(times, times[1:])):
+            raise ValueError("PWL breakpoints must be strictly increasing")
+        self._times = np.array(times, dtype=float)
+        self._values = np.array([p[1] for p in points], dtype=float)
+
+    def __call__(self, t: float) -> float:
+        return float(np.interp(t, self._times, self._values))
+
+    def sample(self, times: np.ndarray) -> np.ndarray:
+        return np.interp(times, self._times, self._values)
+
+    @property
+    def duration(self) -> float:
+        return float(self._times[-1] - self._times[0])

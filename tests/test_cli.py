@@ -1,0 +1,109 @@
+"""Tests for the command-line interface (driven in-process)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.spice.writer import write_spice
+
+
+@pytest.fixture()
+def deck_path(tmp_path, fake_design):
+    path = tmp_path / "design.sp"
+    write_spice(fake_design.netlist, path)
+    return path
+
+
+@pytest.fixture()
+def deck4_path(tmp_path):
+    """A 4-metal-layer deck matching the CLI trainer's default stack."""
+    from repro.data.synthetic import generate_design, make_fake_spec
+
+    design = generate_design(
+        make_fake_spec("cli4", seed=5, pixels=16, num_layers=4)
+    )
+    path = tmp_path / "design4.sp"
+    write_spice(design.netlist, path)
+    return path
+
+
+class TestSimulate:
+    def test_basic(self, deck_path, capsys):
+        assert main(["simulate", str(deck_path)]) == 0
+        out = capsys.readouterr().out
+        assert "worst_drop_mV=" in out
+        assert "converged=True" in out
+
+    def test_signoff_pass(self, deck_path, capsys):
+        code = main(["simulate", str(deck_path), "--limit-mv", "10000"])
+        assert code == 0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_signoff_fail(self, deck_path, capsys):
+        code = main(["simulate", str(deck_path), "--limit-mv", "0.001"])
+        assert code == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_iteration_cap(self, deck_path, capsys):
+        assert main(["simulate", str(deck_path), "--iterations", "2"]) == 0
+        assert "iterations=2" in capsys.readouterr().out
+
+    def test_fast_preset(self, deck_path, capsys):
+        assert main(
+            ["simulate", str(deck_path), "--preset", "fast", "--iterations", "3"]
+        ) == 0
+
+
+class TestGenerate:
+    def test_generates_directory(self, tmp_path, capsys):
+        out_dir = tmp_path / "gen"
+        code = main(
+            ["generate", str(out_dir), "--pixels", "16", "--seed", "3",
+             "--golden"]
+        )
+        assert code == 0
+        assert (out_dir / "netlist.sp").exists()
+        assert (out_dir / "current_map.csv").exists()
+        assert (out_dir / "ir_drop_map.csv").exists()
+
+    def test_generated_deck_simulates(self, tmp_path, capsys):
+        out_dir = tmp_path / "gen"
+        main(["generate", str(out_dir), "--pixels", "16", "--kind", "real"])
+        assert main(["simulate", str(out_dir / "netlist.sp")]) == 0
+
+
+class TestTrainAnalyze:
+    def test_train_then_analyze(self, tmp_path, deck4_path, capsys):
+        model = tmp_path / "model.npz"
+        code = main(
+            ["train", str(model), "--pixels", "16", "--fake", "2",
+             "--real", "1", "--epochs", "1", "--channels", "4"]
+        )
+        assert code == 0
+        assert model.exists()
+        meta = json.loads((tmp_path / "model.npz.json").read_text())
+        assert meta["in_channels"] > 0
+
+        map_csv = tmp_path / "map.csv"
+        code = main(
+            ["analyze", str(model), str(deck4_path), "--save-map", str(map_csv)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "worst_predicted_drop_mV=" in out
+        drop = np.loadtxt(map_csv, delimiter=",")
+        assert drop.ndim == 2
+
+    def test_analyze_with_signoff(self, tmp_path, deck4_path, capsys):
+        model = tmp_path / "model.npz"
+        main(
+            ["train", str(model), "--pixels", "16", "--fake", "2",
+             "--real", "1", "--epochs", "1", "--channels", "4"]
+        )
+        code = main(
+            ["analyze", str(model), str(deck4_path), "--limit-mv", "10000"]
+        )
+        assert code == 0
+        assert "PASS" in capsys.readouterr().out

@@ -1,0 +1,42 @@
+"""Unit tests for FusionConfig."""
+
+import pytest
+
+from repro.core.config import FusionConfig
+from repro.features.fusion import FeatureConfig
+
+
+class TestValidation:
+    def test_defaults_valid(self):
+        config = FusionConfig()
+        assert config.pixels % (2**config.depth) == 0
+
+    def test_pixels_divisibility_enforced(self):
+        with pytest.raises(ValueError):
+            FusionConfig(pixels=20, depth=3)
+
+    def test_empty_training_suite_rejected(self):
+        with pytest.raises(ValueError):
+            FusionConfig(num_fake=0, num_real_train=0)
+
+    def test_negative_solver_iterations_rejected(self):
+        with pytest.raises(ValueError):
+            FusionConfig(solver_iterations=-1)
+
+
+class TestWith:
+    def test_with_overrides_field(self):
+        config = FusionConfig()
+        changed = config.with_(model_name="pgau")
+        assert changed.model_name == "pgau"
+        assert config.model_name == "ir_fusion"  # original untouched
+
+    def test_with_nested_features(self):
+        config = FusionConfig()
+        changed = config.with_(features=FeatureConfig(use_numerical=False))
+        assert not changed.features.use_numerical
+        assert config.features.use_numerical
+
+    def test_with_validates(self):
+        with pytest.raises(ValueError):
+            FusionConfig().with_(pixels=17)

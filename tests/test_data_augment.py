@@ -1,0 +1,77 @@
+"""Unit tests for augmentation and oversampling."""
+
+import numpy as np
+import pytest
+
+from repro.data.augment import augment_dataset, oversample, rotate_sample
+from repro.data.dataset import IRDropDataset
+
+
+class TestRotateSample:
+    def test_zero_turns_is_identity(self, fake_sample):
+        assert rotate_sample(fake_sample, 0) is fake_sample
+        assert rotate_sample(fake_sample, 4) is fake_sample
+
+    def test_rotation_changes_layout(self, fake_sample):
+        rotated = rotate_sample(fake_sample, 1)
+        assert not np.allclose(rotated.label, fake_sample.label)
+
+    def test_four_rotations_identity(self, fake_sample):
+        out = fake_sample
+        for _ in range(4):
+            out = rotate_sample(out, 1)
+        assert np.allclose(out.label, fake_sample.label)
+        assert np.allclose(out.features.data, fake_sample.features.data)
+
+    def test_rotation_consistent_between_features_and_label(self, fake_sample):
+        """The pixel that held the max drop moves with the features."""
+        rotated = rotate_sample(fake_sample, 1)
+        # clockwise rotation: (r, c) -> (c, H-1-r)
+        h = fake_sample.label.shape[0]
+        r, c = np.unravel_index(
+            fake_sample.label.argmax(), fake_sample.label.shape
+        )
+        r2, c2 = np.unravel_index(rotated.label.argmax(), rotated.label.shape)
+        assert (r2, c2) == (c, h - 1 - r)
+
+    def test_rough_label_rotated_too(self, fake_sample):
+        rotated = rotate_sample(fake_sample, 2)
+        assert np.allclose(
+            rotated.rough_label, np.rot90(fake_sample.rough_label, k=-2)
+        )
+
+    def test_names_tagged(self, fake_sample):
+        assert rotate_sample(fake_sample, 3).name.endswith("_rot270")
+
+    def test_kind_preserved(self, real_sample):
+        assert rotate_sample(real_sample, 1).kind == "real"
+
+
+class TestAugmentDataset:
+    def test_fourfold(self, tiny_dataset):
+        augmented = augment_dataset(tiny_dataset)
+        assert len(augmented) == 4 * len(tiny_dataset)
+
+    def test_originals_kept(self, tiny_dataset):
+        augmented = augment_dataset(tiny_dataset)
+        assert augmented[0] is tiny_dataset[0]
+
+    def test_unique_names(self, tiny_dataset):
+        names = [s.name for s in augment_dataset(tiny_dataset)]
+        assert len(set(names)) == len(names)
+
+
+class TestOversample:
+    def test_contest_factors(self, tiny_dataset):
+        out = oversample(tiny_dataset, fake_factor=2, real_factor=5)
+        kinds = [s.kind for s in out]
+        assert kinds.count("fake") == 2
+        assert kinds.count("real") == 5
+
+    def test_factor_one_is_identity_content(self, tiny_dataset):
+        out = oversample(tiny_dataset, 1, 1)
+        assert [s.name for s in out] == [s.name for s in tiny_dataset]
+
+    def test_invalid_factors(self, tiny_dataset):
+        with pytest.raises(ValueError):
+            oversample(tiny_dataset, fake_factor=0)

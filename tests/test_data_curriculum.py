@@ -1,0 +1,71 @@
+"""Unit tests for predefined curriculum learning."""
+
+import pytest
+
+from repro.data.curriculum import EASY, HARD, CurriculumScheduler, difficulty_of
+from repro.data.dataset import IRDropDataset
+
+
+class TestDifficultyMeasurer:
+    def test_fake_is_easy(self, fake_sample):
+        assert difficulty_of(fake_sample) == EASY
+
+    def test_real_is_hard(self, real_sample):
+        assert difficulty_of(real_sample) == HARD
+
+
+class TestScheduler:
+    def test_hard_fraction_ramp(self):
+        scheduler = CurriculumScheduler(
+            total_epochs=10, hard_start_epoch=2, hard_full_epoch=6
+        )
+        assert scheduler.hard_fraction(0) == 0.0
+        assert scheduler.hard_fraction(1) == 0.0
+        assert scheduler.hard_fraction(4) == pytest.approx(0.5)
+        assert scheduler.hard_fraction(6) == 1.0
+        assert scheduler.hard_fraction(99) == 1.0
+
+    def test_default_endpoints(self):
+        scheduler = CurriculumScheduler(total_epochs=10)
+        assert scheduler.hard_fraction(0) == 0.0
+        assert scheduler.hard_fraction(9) == 1.0
+
+    def test_early_epoch_excludes_hard(self, tiny_dataset):
+        scheduler = CurriculumScheduler(
+            total_epochs=10, hard_start_epoch=5, hard_full_epoch=8
+        )
+        subset = scheduler.subset(tiny_dataset, epoch=0)
+        assert all(s.is_fake for s in subset)
+
+    def test_late_epoch_includes_all(self, tiny_dataset):
+        scheduler = CurriculumScheduler(total_epochs=10)
+        subset = scheduler.subset(tiny_dataset, epoch=9)
+        assert len(subset) == len(tiny_dataset)
+
+    def test_subsets_are_nested(self, fake_sample, real_sample):
+        dataset = IRDropDataset(
+            [fake_sample, real_sample, real_sample, real_sample]
+        )
+        scheduler = CurriculumScheduler(
+            total_epochs=6, hard_start_epoch=1, hard_full_epoch=4
+        )
+        previous: set[int] = set()
+        for epoch in range(6):
+            current = set(scheduler.subset_indices(dataset, epoch))
+            assert previous.issubset(current)
+            previous = current
+
+    def test_never_empty_even_all_hard(self, real_sample):
+        dataset = IRDropDataset([real_sample, real_sample])
+        scheduler = CurriculumScheduler(
+            total_epochs=10, hard_start_epoch=5, hard_full_epoch=8
+        )
+        assert len(scheduler.subset_indices(dataset, 0)) >= 1
+
+    def test_invalid_epochs(self):
+        with pytest.raises(ValueError):
+            CurriculumScheduler(total_epochs=0)
+        with pytest.raises(ValueError):
+            CurriculumScheduler(
+                total_epochs=5, hard_start_epoch=4, hard_full_epoch=2
+            )

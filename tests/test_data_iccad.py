@@ -1,0 +1,40 @@
+"""Unit tests for the ICCAD-2023-style design directory format."""
+
+import numpy as np
+import pytest
+
+from repro.data.iccad import load_iccad_design, save_iccad_design
+
+
+def test_roundtrip(tmp_path, fake_design, rng):
+    images = {
+        "current": rng.random((16, 16)),
+        "eff_dist": rng.random((16, 16)),
+        "pdn_density": rng.random((16, 16)),
+        "ir_drop": rng.random((16, 16)),
+    }
+    save_iccad_design(tmp_path / "d1", fake_design.netlist, images)
+    netlist, loaded = load_iccad_design(tmp_path / "d1")
+    assert len(netlist.resistors) == len(fake_design.netlist.resistors)
+    for key, image in images.items():
+        assert np.allclose(loaded[key], image)
+
+
+def test_partial_images(tmp_path, fake_design, rng):
+    save_iccad_design(
+        tmp_path / "d2", fake_design.netlist, {"current": rng.random((8, 8))}
+    )
+    _, loaded = load_iccad_design(tmp_path / "d2")
+    assert set(loaded) == {"current"}
+
+
+def test_unknown_image_key_rejected(tmp_path, fake_design):
+    with pytest.raises(ValueError):
+        save_iccad_design(
+            tmp_path / "d3", fake_design.netlist, {"bogus": np.zeros((2, 2))}
+        )
+
+
+def test_missing_netlist_raises(tmp_path):
+    with pytest.raises(FileNotFoundError):
+        load_iccad_design(tmp_path / "nowhere")

@@ -1,0 +1,123 @@
+"""Unit tests for the synthetic design generator."""
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import (
+    DesignSpec,
+    generate_benchmark_suite,
+    generate_design,
+    make_fake_spec,
+    make_real_spec,
+    synthesize_current_image,
+)
+from repro.grid.topology import validate_connectivity
+
+
+class TestDesignSpec:
+    def test_invalid_kind(self):
+        with pytest.raises(ValueError):
+            DesignSpec(name="x", kind="synthetic")
+
+    def test_too_small(self):
+        with pytest.raises(ValueError):
+            DesignSpec(name="x", pixels=4)
+
+    def test_single_layer_rejected(self):
+        with pytest.raises(ValueError):
+            DesignSpec(name="x", num_layers=1)
+
+    def test_dropout_bounds(self):
+        with pytest.raises(ValueError):
+            DesignSpec(name="x", stripe_dropout=0.9)
+
+
+class TestCurrentImage:
+    def test_total_conserved(self):
+        spec = make_fake_spec("x", seed=1, pixels=16)
+        rng = np.random.default_rng(1)
+        image = synthesize_current_image(spec, rng)
+        assert image.sum() == pytest.approx(spec.total_current)
+
+    def test_non_negative(self):
+        spec = make_real_spec("x", seed=2, pixels=16)
+        image = synthesize_current_image(spec, np.random.default_rng(2))
+        assert image.min() >= 0.0
+
+    def test_macros_create_contrast(self):
+        smooth_spec = make_fake_spec("a", seed=3, pixels=16)
+        macro_spec = make_real_spec("b", seed=3, pixels=16)
+        smooth = synthesize_current_image(smooth_spec, np.random.default_rng(3))
+        rough = synthesize_current_image(macro_spec, np.random.default_rng(3))
+        assert rough.max() / rough.mean() > smooth.max() / smooth.mean() * 0.8
+
+
+class TestGenerateDesign:
+    def test_fake_design_properties(self, fake_design):
+        assert fake_design.is_fake
+        assert fake_design.grid.num_nodes > 100
+        assert len(fake_design.grid.pads()) == fake_design.spec.num_pads
+        validate_connectivity(fake_design.grid)
+
+    def test_real_design_irregular(self, real_design):
+        assert not real_design.is_fake
+        validate_connectivity(real_design.grid)
+
+    def test_loads_on_bottom_layer_only(self, fake_design):
+        for node in fake_design.grid.loads():
+            assert node.layer == 1
+
+    def test_pads_on_top_layer_only(self, fake_design):
+        top = max(fake_design.grid.layers_present())
+        for pad in fake_design.grid.pads():
+            assert pad.layer == top
+
+    def test_total_load_close_to_spec(self, fake_design):
+        # every pixel has a bottom-layer tap in the regular fake layout
+        assert fake_design.grid.total_load_current() == pytest.approx(
+            fake_design.spec.total_current, rel=1e-9
+        )
+
+    def test_deterministic_under_seed(self):
+        a = generate_design(make_fake_spec("a", seed=9, pixels=16))
+        b = generate_design(make_fake_spec("a", seed=9, pixels=16))
+        assert a.grid.num_nodes == b.grid.num_nodes
+        assert np.allclose(a.current_image, b.current_image)
+        assert [w.resistance for w in a.grid.wires] == [
+            w.resistance for w in b.grid.wires
+        ]
+
+    def test_different_seeds_differ(self):
+        a = generate_design(make_fake_spec("a", seed=1, pixels=16))
+        b = generate_design(make_fake_spec("a", seed=2, pixels=16))
+        assert not np.allclose(a.current_image, b.current_image)
+
+    def test_real_has_resistance_jitter(self, real_design):
+        """Parallel segments of equal length should have unequal resistance."""
+        resistances = [w.resistance for w in real_design.grid.wires]
+        assert len(set(np.round(resistances, 9))) > len(resistances) // 2
+
+    def test_layer_count_respected(self):
+        design = generate_design(make_fake_spec("a", seed=1, pixels=16, num_layers=4))
+        assert design.grid.layers_present() == [1, 2, 3, 4]
+
+
+class TestBenchmarkSuite:
+    def test_composition(self):
+        suite = generate_benchmark_suite(num_fake=2, num_real=1, pixels=16)
+        kinds = [d.kind for d in suite]
+        assert kinds == ["fake", "fake", "real"]
+
+    def test_unique_names(self):
+        suite = generate_benchmark_suite(num_fake=3, num_real=2, pixels=16)
+        names = [d.name for d in suite]
+        assert len(set(names)) == len(names)
+
+    def test_all_connected(self):
+        for design in generate_benchmark_suite(2, 2, pixels=16, seed=3):
+            validate_connectivity(design.grid)
+
+    def test_seed_stability(self):
+        a = generate_benchmark_suite(1, 1, pixels=16, seed=5)
+        b = generate_benchmark_suite(1, 1, pixels=16, seed=5)
+        assert np.allclose(a[0].current_image, b[0].current_image)

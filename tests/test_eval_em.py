@@ -1,0 +1,68 @@
+"""Tests for the wire-current (EM) checker."""
+
+import numpy as np
+import pytest
+
+from repro.eval.em import check_wire_currents
+from repro.grid.netlist import PowerGrid
+from repro.solvers.powerrush import PowerRushSimulator
+from repro.spice.parser import parse_spice
+
+
+@pytest.fixture(scope="module")
+def solved(fake_design):
+    report = PowerRushSimulator(tol=1e-12).simulate_grid(fake_design.grid)
+    return fake_design.grid, report.voltages
+
+
+class TestCheckWireCurrents:
+    def test_generous_limit_passes(self, solved):
+        grid, voltages = solved
+        report = check_wire_currents(grid, voltages, limit_amps=1e3)
+        assert report.passed
+        assert "PASS" in report.summary()
+        assert report.worst_current > 0
+
+    def test_tight_limit_fails(self, solved):
+        grid, voltages = solved
+        report = check_wire_currents(grid, voltages, limit_amps=1e-9)
+        assert not report.passed
+        assert "FAIL" in report.summary()
+        assert report.violations[0].overdrive >= report.violations[-1].overdrive
+
+    def test_violation_fields(self):
+        grid = PowerGrid.from_netlist(
+            parse_spice("R1 a b 2\nI1 b 0 0.5\nV1 a 0 1\n")
+        )
+        report_sim = PowerRushSimulator(tol=1e-12).simulate_grid(grid)
+        report = check_wire_currents(grid, report_sim.voltages, limit_amps=0.1)
+        assert len(report.violations) == 1
+        violation = report.violations[0]
+        assert violation.wire_name == "R1"
+        assert violation.current == pytest.approx(0.5, rel=1e-6)
+        assert violation.overdrive == pytest.approx(5.0, rel=1e-6)
+
+    def test_layer_scaling_relaxes_upper_metal(self, solved):
+        grid, voltages = solved
+        base = check_wire_currents(grid, voltages, limit_amps=1e-3)
+        relaxed = check_wire_currents(
+            grid,
+            voltages,
+            limit_amps=1e-3,
+            layer_scale={1: 1.0, 2: 10.0, 3: 10.0},
+        )
+        assert len(relaxed.violations) <= len(base.violations)
+
+    def test_limit_validation(self, solved):
+        grid, voltages = solved
+        with pytest.raises(ValueError):
+            check_wire_currents(grid, voltages, limit_amps=0.0)
+
+    def test_worst_current_is_max_branch(self, solved):
+        from repro.mna.post import branch_currents
+
+        grid, voltages = solved
+        report = check_wire_currents(grid, voltages, limit_amps=1e3)
+        assert report.worst_current == pytest.approx(
+            np.abs(branch_currents(grid, voltages)).max()
+        )

@@ -1,0 +1,63 @@
+"""Tests for machine-readable result export."""
+
+import json
+
+import pytest
+
+from repro.eval.tables import (
+    load_metrics_csv,
+    metrics_to_records,
+    save_metrics_csv,
+    save_metrics_json,
+    sweep_to_records,
+)
+from repro.train.metrics import Metrics
+
+
+@pytest.fixture()
+def rows():
+    return {
+        "IR-Fusion (Ours)": Metrics(0.72e-4, 0.71, 3.05e-4, 6.98),
+        "MAUnet": Metrics(1.06e-4, 0.62, 4.38e-4, 2.31),
+    }
+
+
+class TestMetricsExport:
+    def test_records_shape(self, rows):
+        records = metrics_to_records(rows)
+        assert len(records) == 2
+        assert records[0]["method"] == "IR-Fusion (Ours)"
+        assert records[0]["f1"] == 0.71
+
+    def test_csv_roundtrip(self, tmp_path, rows):
+        path = tmp_path / "t1.csv"
+        save_metrics_csv(rows, path)
+        loaded = load_metrics_csv(path)
+        assert set(loaded) == set(rows)
+        for name in rows:
+            assert loaded[name].mae == pytest.approx(rows[name].mae)
+            assert loaded[name].runtime_seconds == pytest.approx(
+                rows[name].runtime_seconds
+            )
+
+    def test_json_export(self, tmp_path, rows):
+        path = tmp_path / "t1.json"
+        save_metrics_json(rows, path)
+        records = json.loads(path.read_text())
+        assert len(records) == 2
+        assert {r["method"] for r in records} == set(rows)
+
+
+class TestSweepExport:
+    def test_records(self):
+        records = sweep_to_records(
+            [1, 2], {"powerrush": [1.0, 0.5], "fusion": [0.4, 0.3]}
+        )
+        assert records == [
+            {"iterations": 1, "powerrush": 1.0, "fusion": 0.4},
+            {"iterations": 2, "powerrush": 0.5, "fusion": 0.3},
+        ]
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            sweep_to_records([1, 2], {"a": [1.0]})

@@ -1,0 +1,113 @@
+"""Unit tests for fusion-stack assembly and its ablation switches."""
+
+import numpy as np
+import pytest
+
+from repro.features.fusion import FeatureConfig, assemble_feature_stack, channel_names
+from repro.solvers.powerrush import PowerRushSimulator
+
+
+@pytest.fixture(scope="module")
+def rough(fake_design):
+    return PowerRushSimulator(max_iterations=2).simulate_grid(fake_design.grid)
+
+
+class TestFullStack:
+    def test_channel_layout(self, fake_design, rough):
+        stack = assemble_feature_stack(
+            fake_design.geometry,
+            fake_design.grid,
+            FeatureConfig(),
+            voltages=rough.voltages,
+            supply_voltage=1.05,
+        )
+        layers = fake_design.grid.layers_present()
+        expected = channel_names(FeatureConfig(), layers)
+        assert stack.channels == expected
+        # 3 layers: 3 numerical + 3 current + 4 structural = 10
+        assert stack.num_channels == 2 * len(layers) + 4
+
+    def test_structural_channels_normalized(self, fake_design, rough):
+        stack = assemble_feature_stack(
+            fake_design.geometry,
+            fake_design.grid,
+            FeatureConfig(),
+            voltages=rough.voltages,
+            supply_voltage=1.05,
+        )
+        assert stack["effective_distance"].max() == pytest.approx(1.0)
+        assert stack["pdn_density"].min() == pytest.approx(0.0)
+
+    def test_numerical_channels_keep_physical_scale(self, fake_design, rough):
+        config = FeatureConfig(numerical_scale=20.0)
+        stack = assemble_feature_stack(
+            fake_design.geometry,
+            fake_design.grid,
+            config,
+            voltages=rough.voltages,
+            supply_voltage=1.05,
+        )
+        raw = assemble_feature_stack(
+            fake_design.geometry,
+            fake_design.grid,
+            FeatureConfig(normalize=False),
+            voltages=rough.voltages,
+            supply_voltage=1.05,
+        )
+        assert np.allclose(stack["numerical_m1"], 20.0 * raw["numerical_m1"])
+
+    def test_missing_voltages_raise(self, fake_design):
+        with pytest.raises(ValueError, match="requires voltages"):
+            assemble_feature_stack(
+                fake_design.geometry, fake_design.grid, FeatureConfig()
+            )
+
+
+class TestAblations:
+    def test_without_numerical(self, fake_design):
+        config = FeatureConfig(use_numerical=False)
+        stack = assemble_feature_stack(
+            fake_design.geometry, fake_design.grid, config
+        )
+        assert not any(c.startswith("numerical") for c in stack.channels)
+
+    def test_flat_representation(self, fake_design, rough):
+        config = FeatureConfig(hierarchical=False)
+        stack = assemble_feature_stack(
+            fake_design.geometry,
+            fake_design.grid,
+            config,
+            voltages=rough.voltages,
+            supply_voltage=1.05,
+        )
+        assert stack.channels == [
+            "numerical",
+            "current",
+            "effective_distance",
+            "pdn_density",
+        ]
+
+    def test_flat_without_numerical_is_iredge_triple(self, fake_design):
+        config = FeatureConfig(use_numerical=False, hierarchical=False)
+        stack = assemble_feature_stack(
+            fake_design.geometry, fake_design.grid, config
+        )
+        assert stack.channels == ["current", "effective_distance", "pdn_density"]
+
+    def test_channel_names_helper_consistent(self, fake_design, rough):
+        for config in (
+            FeatureConfig(),
+            FeatureConfig(use_numerical=False),
+            FeatureConfig(hierarchical=False),
+            FeatureConfig(use_numerical=False, hierarchical=False),
+        ):
+            stack = assemble_feature_stack(
+                fake_design.geometry,
+                fake_design.grid,
+                config,
+                voltages=rough.voltages,
+                supply_voltage=1.05,
+            )
+            assert stack.channels == channel_names(
+                config, fake_design.grid.layers_present()
+            )

@@ -1,0 +1,111 @@
+"""Unit tests for geometry and the pixel mapping."""
+
+import pytest
+
+from repro.grid.geometry import (
+    GridGeometry,
+    LayerInfo,
+    default_layer_stack,
+    infer_geometry,
+)
+from repro.spice.nodes import NodeName
+
+
+def make_geometry(pixels=16, pixel_nm=1000, layers=3):
+    return GridGeometry(
+        width_nm=pixels * pixel_nm,
+        height_nm=pixels * pixel_nm,
+        pixel_w_nm=pixel_nm,
+        pixel_h_nm=pixel_nm,
+        layers=default_layer_stack(layers, base_pitch_nm=pixel_nm),
+    )
+
+
+class TestLayerInfo:
+    def test_bad_direction(self):
+        with pytest.raises(ValueError):
+            LayerInfo(index=1, pitch_nm=100, direction="x")
+
+    def test_bad_pitch(self):
+        with pytest.raises(ValueError):
+            LayerInfo(index=1, pitch_nm=0, direction="h")
+
+
+class TestGridGeometry:
+    def test_shape(self):
+        geometry = make_geometry(pixels=16)
+        assert geometry.shape == (16, 16)
+
+    def test_to_pixel_maps_floor_division(self):
+        geometry = make_geometry()
+        assert geometry.to_pixel(0, 0) == (0, 0)
+        assert geometry.to_pixel(999, 999) == (0, 0)
+        assert geometry.to_pixel(1000, 0) == (0, 1)
+        assert geometry.to_pixel(0, 1000) == (1, 0)
+
+    def test_to_pixel_clamps(self):
+        geometry = make_geometry(pixels=4)
+        assert geometry.to_pixel(10**9, 10**9) == (3, 3)
+        assert geometry.to_pixel(-5, -5) == (0, 0)
+
+    def test_node_pixel(self):
+        geometry = make_geometry()
+        assert geometry.node_pixel(NodeName(1, 1, 2000, 3000)) == (3, 2)
+
+    def test_pixel_center_roundtrip(self):
+        geometry = make_geometry()
+        x, y = geometry.pixel_center_nm(3, 5)
+        assert geometry.to_pixel(int(x), int(y)) == (3, 5)
+
+    def test_contains(self):
+        geometry = make_geometry(pixels=4)
+        assert geometry.contains(0, 0)
+        assert not geometry.contains(4000, 0)
+
+    def test_layer_lookup(self):
+        geometry = make_geometry(layers=3)
+        assert geometry.layer(2).index == 2
+        with pytest.raises(KeyError):
+            geometry.layer(9)
+
+    def test_invalid_extents(self):
+        with pytest.raises(ValueError):
+            GridGeometry(width_nm=0, height_nm=10, pixel_w_nm=1, pixel_h_nm=1)
+
+
+class TestDefaultLayerStack:
+    def test_alternating_directions(self):
+        stack = default_layer_stack(4)
+        assert [l.direction for l in stack] == ["h", "v", "h", "v"]
+
+    def test_pitch_doubles(self):
+        stack = default_layer_stack(3, base_pitch_nm=1000)
+        assert [l.pitch_nm for l in stack] == [1000, 2000, 4000]
+
+    def test_sheet_resistance_halves(self):
+        stack = default_layer_stack(3)
+        assert stack[1].sheet_resistance == pytest.approx(0.5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            default_layer_stack(0)
+
+
+class TestInferGeometry:
+    def test_infer_matches_design(self, fake_design):
+        inferred = infer_geometry(fake_design.grid, align_pixels=8)
+        assert inferred.shape == fake_design.geometry.shape
+        assert [l.index for l in inferred.layers] == [1, 2, 3]
+
+    def test_infer_directions(self, fake_design):
+        inferred = infer_geometry(fake_design.grid, align_pixels=8)
+        truth = {l.index: l.direction for l in fake_design.geometry.layers}
+        # layer 1 carries taps in both axes; upper layers must match
+        for info in inferred.layers:
+            if info.index >= 2:
+                assert info.direction == truth[info.index]
+
+    def test_alignment(self, fake_design):
+        inferred = infer_geometry(fake_design.grid, align_pixels=8)
+        rows, cols = inferred.shape
+        assert rows % 8 == 0 and cols % 8 == 0

@@ -1,0 +1,111 @@
+"""Unit tests for the PowerGrid node table / wires map."""
+
+import pytest
+
+from repro.grid.netlist import PowerGrid
+from repro.spice.parser import parse_spice
+
+
+class TestConstruction:
+    def test_counts(self, tiny_grid):
+        assert tiny_grid.num_nodes == 4
+        assert tiny_grid.num_wires == 4
+
+    def test_dense_indices_in_file_order(self, tiny_grid):
+        names = [n.name for n in tiny_grid.nodes]
+        assert names[0] == "n1_m1_0_0"
+        assert tiny_grid.index_of("n1_m1_0_0") == 0
+
+    def test_structured_names_parsed(self, tiny_grid):
+        node = tiny_grid.node("n1_m1_1000_0")
+        assert node.structured is not None
+        assert node.structured.position == (1000, 0)
+        assert node.layer == 1
+
+    def test_load_currents_accumulate(self):
+        grid = PowerGrid.from_netlist(
+            parse_spice("R1 a b 1\nI1 b 0 0.1\nI2 b 0 0.2\nV1 a 0 1\n")
+        )
+        assert grid.node("b").load_current == pytest.approx(0.3)
+
+    def test_pad_voltage_recorded(self, tiny_grid):
+        pads = tiny_grid.pads()
+        assert len(pads) == 1
+        assert pads[0].pad_voltage == 1.05
+        assert pads[0].is_pad
+
+    def test_conflicting_pad_voltages_raise(self):
+        with pytest.raises(ValueError, match="two voltages"):
+            PowerGrid.from_netlist(
+                parse_spice("R1 a b 1\nV1 a 0 1.0\nV2 a 0 0.9\n")
+            )
+
+    def test_same_pad_voltage_twice_ok(self):
+        grid = PowerGrid.from_netlist(
+            parse_spice("R1 a b 1\nV1 a 0 1.0\nV2 a 0 1.0\n")
+        )
+        assert grid.node("a").pad_voltage == 1.0
+
+    def test_grounded_resistor_rejected(self):
+        with pytest.raises(ValueError, match="ground"):
+            PowerGrid.from_netlist(parse_spice("R1 a 0 1\n"))
+
+    def test_short_rejected(self):
+        with pytest.raises(ValueError, match="short"):
+            PowerGrid.from_netlist(parse_spice("R1 a b 0\n"))
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError, match="self-loop"):
+            PowerGrid.from_netlist(parse_spice("R1 a a 1\n"))
+
+    def test_current_source_must_sink_to_ground(self):
+        with pytest.raises(ValueError, match="sink to ground"):
+            PowerGrid.from_netlist(parse_spice("R1 a b 1\nI1 a b 0.1\n"))
+
+    def test_voltage_source_must_reference_ground(self):
+        with pytest.raises(ValueError, match="reference ground"):
+            PowerGrid.from_netlist(parse_spice("R1 a b 1\nV1 a b 1\n"))
+
+
+class TestQueries:
+    def test_contains(self, tiny_grid):
+        assert "n1_m1_0_0" in tiny_grid
+        assert "nope" not in tiny_grid
+
+    def test_wires_at_and_neighbors(self, tiny_grid):
+        origin = tiny_grid.index_of("n1_m1_0_0")
+        assert tiny_grid.degree(origin) == 2
+        neighbor_names = {
+            tiny_grid.node(i).name for i in tiny_grid.neighbors(origin)
+        }
+        assert neighbor_names == {"n1_m1_1000_0", "n1_m1_0_1000"}
+
+    def test_wire_other_endpoint(self, tiny_grid):
+        wire = tiny_grid.wires[0]
+        assert wire.other(wire.node_a) == wire.node_b
+        assert wire.other(wire.node_b) == wire.node_a
+        with pytest.raises(ValueError):
+            wire.other(9999)
+
+    def test_wire_conductance(self, tiny_grid):
+        wire = next(w for w in tiny_grid.wires if w.name == "R2")
+        assert wire.conductance == pytest.approx(0.5)
+
+    def test_loads(self, tiny_grid):
+        load_names = {n.name for n in tiny_grid.loads()}
+        assert load_names == {"n1_m1_1000_1000", "n1_m1_1000_0"}
+
+    def test_layers_present(self, tiny_grid):
+        assert tiny_grid.layers_present() == [1]
+
+    def test_nodes_on_layer(self, tiny_grid):
+        assert len(tiny_grid.nodes_on_layer(1)) == 4
+        assert tiny_grid.nodes_on_layer(2) == []
+
+    def test_total_load_current(self, tiny_grid):
+        assert tiny_grid.total_load_current() == pytest.approx(0.015)
+
+    def test_multilayer_design(self, fake_design):
+        grid = fake_design.grid
+        assert grid.layers_present() == [1, 2, 3]
+        assert all(grid.degree(i) > 0 for i in range(grid.num_nodes))

@@ -1,0 +1,124 @@
+"""Edge-case tests for smaller helpers across the codebase."""
+
+import numpy as np
+import pytest
+
+from repro.features.resistance import _pixels_on_span
+from repro.grid.geometry import GridGeometry, default_layer_stack
+from repro.spice.ast import Capacitor, Netlist, Resistor
+from repro.spice.parser import parse_spice
+from repro.spice.writer import netlist_to_string
+
+
+@pytest.fixture()
+def geometry():
+    return GridGeometry(8000, 8000, 1000, 1000, default_layer_stack(1))
+
+
+class TestPixelsOnSpan:
+    def test_point(self, geometry):
+        assert _pixels_on_span(geometry, (500, 500), (600, 600)) == [(0, 0)]
+
+    def test_horizontal(self, geometry):
+        pixels = _pixels_on_span(geometry, (0, 0), (3000, 0))
+        assert pixels == [(0, 0), (0, 1), (0, 2), (0, 3)]
+
+    def test_vertical(self, geometry):
+        pixels = _pixels_on_span(geometry, (0, 0), (0, 2000))
+        assert pixels == [(0, 0), (1, 0), (2, 0)]
+
+    def test_reversed_endpoints(self, geometry):
+        forward = _pixels_on_span(geometry, (0, 0), (3000, 0))
+        backward = _pixels_on_span(geometry, (3000, 0), (0, 0))
+        assert forward == backward
+
+    def test_diagonal_covers_endpoints(self, geometry):
+        pixels = _pixels_on_span(geometry, (0, 0), (3000, 3000))
+        assert (0, 0) in pixels
+        assert (3, 3) in pixels
+
+
+class TestNetlistAST:
+    def test_len_counts_all_kinds(self):
+        netlist = parse_spice(
+            "R1 a b 1\nI1 b 0 0.1\nV1 a 0 1\nC1 b 0 1e-12\n"
+        )
+        assert len(netlist) == 4
+
+    def test_elements_iterates_in_kind_order(self):
+        netlist = parse_spice("I1 b 0 0.1\nR1 a b 1\nC1 b 0 1e-12\n")
+        kinds = [type(e).__name__ for e in netlist.elements()]
+        assert kinds == ["Resistor", "CurrentSource", "Capacitor"]
+
+    def test_capacitor_roundtrip(self):
+        netlist = Netlist(
+            resistors=[Resistor("R1", "a", "b", 1.0)],
+            capacitors=[Capacitor("C1", "b", "0", 2.2e-12)],
+        )
+        reparsed = parse_spice(netlist_to_string(netlist))
+        assert reparsed.capacitors == netlist.capacitors
+
+    def test_node_names_include_cap_terminals(self):
+        netlist = parse_spice("R1 a b 1\nC1 b c 1e-12\n")
+        assert netlist.node_names() == {"a", "b", "c"}
+
+    def test_negative_capacitance_ast_rejected(self):
+        with pytest.raises(ValueError):
+            Capacitor("C1", "a", "0", -1e-12)
+
+    def test_resistor_conductance_of_short_raises(self):
+        short = Resistor("R1", "a", "b", 0.0)
+        assert short.is_short
+        with pytest.raises(ZeroDivisionError):
+            short.conductance
+
+
+class TestSolveResultHelpers:
+    def test_convergence_factor_nan_cases(self):
+        from repro.solvers.base import SolveResult
+
+        empty = SolveResult(x=np.zeros(1), iterations=0, converged=False)
+        assert np.isnan(empty.convergence_factor())
+        exact = SolveResult(
+            x=np.zeros(1),
+            iterations=1,
+            converged=True,
+            residual_norms=[1.0, 0.0],
+        )
+        assert exact.convergence_factor() == 0.0
+
+    def test_timer_laps(self):
+        from repro.solvers.base import Timer
+
+        timer = Timer()
+        first = timer.lap()
+        second = timer.lap()
+        assert first >= 0.0 and second >= 0.0
+
+
+class TestAnalysisResultSignoff:
+    def test_signoff_from_analysis(self, fake_design):
+        from repro.core.config import FusionConfig
+        from repro.core.pipeline import IRFusionPipeline
+        from repro.train.trainer import TrainConfig
+
+        config = FusionConfig(
+            pixels=16,
+            num_fake=2,
+            num_real_train=1,
+            num_real_test=1,
+            base_channels=4,
+            depth=2,
+            train=TrainConfig(epochs=1, batch_size=4),
+            augment=False,
+            oversample_fake=1,
+            oversample_real=1,
+        )
+        pipeline = IRFusionPipeline(config)
+        pipeline.train()
+        _, test_designs = pipeline.generate_designs()
+        result = pipeline.analyze_design(test_designs[0])
+        report = result.signoff(limit=1e-6)  # absurdly tight: must fail
+        assert not report.passed
+        generous = result.signoff(limit=10.0)
+        assert generous.passed

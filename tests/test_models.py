@@ -1,0 +1,132 @@
+"""Tests shared across all seven registered models."""
+
+import numpy as np
+import pytest
+
+from repro.models import IRFusionNet, create_model, preferred_loss
+from repro.models.registry import DISPLAY_NAMES, MODEL_REGISTRY
+from repro.models.unet_blocks import FlexUNet
+from repro.nn.losses import KirchhoffLoss, MAELoss, WeightedHotspotLoss
+
+ALL_MODELS = sorted(MODEL_REGISTRY)
+
+
+@pytest.fixture()
+def x(rng):
+    return rng.standard_normal((2, 5, 16, 16))
+
+
+@pytest.mark.parametrize("name", ALL_MODELS)
+class TestEveryModel:
+    def test_output_shape(self, name, x):
+        model = create_model(name, in_channels=5, base_channels=4, depth=2, seed=0)
+        assert model(x).shape == (2, 1, 16, 16)
+
+    def test_backward_shape(self, name, x):
+        model = create_model(name, in_channels=5, base_channels=4, depth=2, seed=0)
+        y = model(x)
+        grad = model.backward(np.ones_like(y))
+        assert grad.shape == x.shape
+
+    def test_gradients_flow_to_all_parameters(self, name, x, rng):
+        model = create_model(name, in_channels=5, base_channels=4, depth=2, seed=0)
+        # the head is zero-initialised (gradients stop there at init), so
+        # perturb all weights first to emulate a model mid-training
+        for p in model.parameters():
+            p.data += 0.05 * rng.standard_normal(p.data.shape)
+        y = model(x)
+        model.zero_grad()
+        model.backward(rng.standard_normal(y.shape))
+        with_grad = sum(1 for p in model.parameters() if np.any(p.grad != 0))
+        assert with_grad >= 0.9 * len(model.parameters())
+
+    def test_deterministic_under_seed(self, name, x):
+        a = create_model(name, in_channels=5, base_channels=4, depth=2, seed=3)
+        b = create_model(name, in_channels=5, base_channels=4, depth=2, seed=3)
+        assert np.allclose(a(x), b(x))
+
+    def test_one_training_step_reduces_loss(self, name, x, rng):
+        from repro.nn.optim import Adam
+
+        model = create_model(name, in_channels=5, base_channels=4, depth=2, seed=0)
+        target = rng.standard_normal((2, 1, 16, 16))
+        loss = MAELoss()
+        optimizer = Adam(model.parameters(), lr=1e-2)
+        before = loss.forward(model(x), target)
+        for _ in range(5):
+            prediction = model(x)
+            loss.forward(prediction, target)
+            model.zero_grad()
+            model.backward(loss.backward())
+            optimizer.step()
+        after = loss.forward(model(x), target)
+        assert after < before
+
+
+class TestZeroInitHead:
+    @pytest.mark.parametrize("name", ALL_MODELS)
+    def test_initial_prediction_is_zero(self, name, x):
+        model = create_model(name, in_channels=5, base_channels=4, depth=2, seed=0)
+        model.eval()
+        assert np.allclose(model(x), 0.0)
+
+
+class TestIRFusionAblations:
+    def test_without_inception_uses_plain_blocks(self, x):
+        model = IRFusionNet(
+            in_channels=5, base_channels=4, depth=2, use_inception=False
+        )
+        assert model(x).shape == (2, 1, 16, 16)
+        assert not model.use_inception
+
+    def test_without_cbam(self, x):
+        model = IRFusionNet(in_channels=5, base_channels=4, depth=2, use_cbam=False)
+        assert model(x).shape == (2, 1, 16, 16)
+
+    def test_variants_have_different_param_counts(self):
+        full = IRFusionNet(in_channels=5, base_channels=4, depth=2)
+        no_cbam = IRFusionNet(in_channels=5, base_channels=4, depth=2, use_cbam=False)
+        assert full.num_parameters() > no_cbam.num_parameters()
+
+
+class TestRegistry:
+    def test_unknown_model_rejected(self):
+        with pytest.raises(ValueError):
+            create_model("resnet", in_channels=3)
+
+    def test_display_names_cover_registry(self):
+        assert set(DISPLAY_NAMES) == set(MODEL_REGISTRY)
+
+    def test_preferred_losses(self):
+        assert isinstance(preferred_loss("iredge"), MAELoss)
+        assert isinstance(preferred_loss("pgau"), WeightedHotspotLoss)
+        assert isinstance(preferred_loss("ir_fusion"), WeightedHotspotLoss)
+        assert isinstance(
+            preferred_loss("irpnet", current_map=np.ones((1, 1, 4, 4))),
+            KirchhoffLoss,
+        )
+
+    def test_preferred_loss_unknown_model(self):
+        with pytest.raises(ValueError):
+            preferred_loss("nope")
+
+
+class TestFlexUNet:
+    def test_indivisible_input_rejected(self, rng):
+        model = FlexUNet(in_channels=2, base_channels=4, depth=3)
+        with pytest.raises(ValueError):
+            model(rng.standard_normal((1, 2, 12, 12)))
+
+    def test_depth_validation(self):
+        with pytest.raises(ValueError):
+            FlexUNet(in_channels=2, depth=0)
+
+    def test_input_gradient_correct(self, rng):
+        from tests.helpers import check_input_gradient
+
+        model = FlexUNet(in_channels=2, base_channels=3, depth=1, seed=0)
+        x = rng.standard_normal((1, 2, 4, 4))
+        # head is zero-init; take one perturbation step so gradients flow
+        for p in model.parameters():
+            p.data += 0.01 * rng.standard_normal(p.data.shape)
+        check_input_gradient(model, x, rng, tol=1e-4)

@@ -1,0 +1,89 @@
+"""Gradient and behaviour tests for attention blocks."""
+
+import numpy as np
+import pytest
+
+from repro.nn.attention import CBAM, AttentionGate, ChannelAttention, SpatialAttention
+from tests.helpers import check_input_gradient, numerical_input_gradient
+
+
+@pytest.fixture()
+def x(rng):
+    return rng.standard_normal((2, 4, 8, 8))
+
+
+class TestChannelAttention:
+    def test_input_grad(self, x, rng):
+        check_input_gradient(ChannelAttention(4, reduction=2, rng=rng), x, rng)
+
+    def test_output_shape_preserved(self, x, rng):
+        out = ChannelAttention(4, rng=rng)(x)
+        assert out.shape == x.shape
+
+    def test_gate_bounded(self, x, rng):
+        attention = ChannelAttention(4, rng=rng)
+        out = attention(x)
+        scale = attention._cache["scale"]
+        assert (scale > 0).all() and (scale < 1).all()
+
+    def test_shared_mlp_parameters(self, rng):
+        attention = ChannelAttention(4, reduction=2, rng=rng)
+        names = [name for name, _ in attention.named_parameters()]
+        assert sorted(names) == ["b1", "b2", "w1", "w2"]
+
+
+class TestSpatialAttention:
+    def test_input_grad(self, x, rng):
+        check_input_gradient(SpatialAttention(kernel=3, rng=rng), x, rng)
+
+    def test_output_shape_preserved(self, x, rng):
+        assert SpatialAttention(rng=rng)(x).shape == x.shape
+
+
+class TestCBAM:
+    def test_input_grad(self, x, rng):
+        check_input_gradient(CBAM(4, reduction=2, spatial_kernel=3, rng=rng), x, rng)
+
+    def test_output_shape_preserved(self, x, rng):
+        assert CBAM(4, rng=rng)(x).shape == x.shape
+
+    def test_equation6_composition(self, x, rng):
+        """CBAM(m) equals Ms applied to Mc applied to m (Equation 6)."""
+        cbam = CBAM(4, reduction=2, rng=rng)
+        out = cbam(x)
+        stage1 = cbam.channel(x)
+        stage2 = cbam.spatial(stage1)
+        assert np.allclose(out, stage2)
+
+
+class TestAttentionGate:
+    def test_gradients_both_inputs(self, rng):
+        x = rng.standard_normal((2, 3, 8, 8))
+        g = rng.standard_normal((2, 5, 8, 8))
+        gate = AttentionGate(3, 5, rng=rng)
+        out = gate(x, g)
+        grad_out = rng.standard_normal(out.shape)
+        gate.zero_grad()
+        grad_x, grad_g = gate.backward(grad_out)
+
+        num_x = numerical_input_gradient(lambda v: gate(v, g), x, grad_out)
+        assert np.abs(grad_x - num_x).max() < 1e-5
+        num_g = numerical_input_gradient(lambda v: gate(x, v), g, grad_out)
+        assert np.abs(grad_g - num_g).max() < 1e-5
+
+    def test_gate_is_multiplicative_mask(self, rng):
+        x = rng.standard_normal((1, 3, 8, 8))
+        g = rng.standard_normal((1, 5, 8, 8))
+        gate = AttentionGate(3, 5, rng=rng)
+        out = gate(x, g)
+        mask = gate._cache["gate"]
+        assert np.allclose(out, x * mask)
+        assert (mask > 0).all() and (mask < 1).all()
+
+    def test_spatial_mismatch_rejected(self, rng):
+        gate = AttentionGate(3, 5, rng=rng)
+        with pytest.raises(ValueError):
+            gate(
+                rng.standard_normal((1, 3, 8, 8)),
+                rng.standard_normal((1, 5, 4, 4)),
+            )

@@ -1,0 +1,55 @@
+"""Gradient and shape tests for Inception blocks."""
+
+import numpy as np
+import pytest
+
+from repro.nn.inception import InceptionA, InceptionB, InceptionC, _branch_widths
+from tests.helpers import check_input_gradient
+
+
+@pytest.fixture()
+def x(rng):
+    return rng.standard_normal((2, 3, 8, 8))
+
+
+class TestBranchWidths:
+    def test_divisible(self):
+        assert _branch_widths(8, 4) == [2, 2, 2, 2]
+
+    def test_remainder_to_first(self):
+        assert _branch_widths(10, 4) == [4, 2, 2, 2]
+        assert sum(_branch_widths(10, 4)) == 10
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            _branch_widths(3, 4)
+
+
+@pytest.mark.parametrize(
+    "block_cls,out_channels",
+    [(InceptionA, 8), (InceptionB, 8), (InceptionC, 12)],
+)
+class TestInceptionBlocks:
+    def test_output_shape(self, block_cls, out_channels, x, rng):
+        block = block_cls(3, out_channels, rng=rng)
+        out = block(x)
+        assert out.shape == (2, out_channels, 8, 8)
+
+    def test_input_gradient(self, block_cls, out_channels, x, rng):
+        check_input_gradient(block_cls(3, out_channels, rng=rng), x, rng)
+
+    def test_spatial_size_preserved_odd(self, block_cls, out_channels, rng):
+        x = rng.standard_normal((1, 3, 12, 12))
+        out = block_cls(3, out_channels, rng=rng)(x)
+        assert out.shape[2:] == (12, 12)
+
+    def test_deterministic_under_seed(self, block_cls, out_channels, x):
+        a = block_cls(3, out_channels, rng=np.random.default_rng(5))
+        b = block_cls(3, out_channels, rng=np.random.default_rng(5))
+        assert np.allclose(a(x), b(x))
+
+
+def test_inception_c_uneven_width(rng, x):
+    """Widths that do not divide by 6 still produce the exact out count."""
+    block = InceptionC(3, 13, rng=rng)
+    assert block(x).shape[1] == 13

@@ -1,0 +1,109 @@
+"""Unit tests for optimisers and gradient clipping."""
+
+import numpy as np
+import pytest
+
+from repro.nn.module import Parameter
+from repro.nn.optim import SGD, Adam, clip_grad_norm
+
+
+def quadratic_step(optimizer, parameter, target):
+    """One gradient step on 0.5*||p - target||^2."""
+    parameter.zero_grad()
+    parameter.grad += parameter.data - target
+    optimizer.step()
+
+
+class TestSGD:
+    def test_converges_on_quadratic(self):
+        p = Parameter(np.array([10.0, -10.0]))
+        optimizer = SGD([p], lr=0.1)
+        target = np.array([1.0, 2.0])
+        for _ in range(200):
+            quadratic_step(optimizer, p, target)
+        assert np.allclose(p.data, target, atol=1e-4)
+
+    def test_momentum_accelerates(self):
+        def loss_after(momentum, steps=25):
+            p = Parameter(np.array([10.0]))
+            optimizer = SGD([p], lr=0.02, momentum=momentum)
+            for _ in range(steps):
+                quadratic_step(optimizer, p, np.array([0.0]))
+            return abs(float(p.data[0]))
+
+        assert loss_after(0.9) < loss_after(0.0)
+
+    def test_weight_decay_shrinks(self):
+        p = Parameter(np.array([1.0]))
+        optimizer = SGD([p], lr=0.1, weight_decay=1.0)
+        p.zero_grad()  # zero data-gradient; only decay acts
+        optimizer.step()
+        assert p.data[0] == pytest.approx(0.9)
+
+    def test_invalid_hyperparams(self):
+        p = Parameter(np.zeros(1))
+        with pytest.raises(ValueError):
+            SGD([p], lr=0.0)
+        with pytest.raises(ValueError):
+            SGD([p], lr=0.1, momentum=1.0)
+
+    def test_empty_params_rejected(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        p = Parameter(np.array([10.0, -4.0]))
+        optimizer = Adam([p], lr=0.3)
+        target = np.array([1.0, 2.0])
+        for _ in range(300):
+            quadratic_step(optimizer, p, target)
+        assert np.allclose(p.data, target, atol=1e-3)
+
+    def test_first_step_magnitude_is_lr(self):
+        # bias correction makes the very first Adam step ~= lr * sign(grad)
+        p = Parameter(np.array([5.0]))
+        optimizer = Adam([p], lr=0.1)
+        p.grad += 3.7
+        optimizer.step()
+        assert p.data[0] == pytest.approx(5.0 - 0.1, abs=1e-6)
+
+    def test_scale_invariance(self):
+        """Adam steps are (nearly) invariant to gradient scale."""
+        outs = []
+        for scale in (1.0, 1000.0):
+            p = Parameter(np.array([1.0]))
+            optimizer = Adam([p], lr=0.01)
+            for _ in range(10):
+                p.zero_grad()
+                p.grad += scale
+                optimizer.step()
+            outs.append(float(p.data[0]))
+        assert outs[0] == pytest.approx(outs[1], abs=1e-8)
+
+    def test_invalid_hyperparams(self):
+        p = Parameter(np.zeros(1))
+        with pytest.raises(ValueError):
+            Adam([p], lr=-1.0)
+        with pytest.raises(ValueError):
+            Adam([p], betas=(1.0, 0.9))
+
+
+class TestClipGradNorm:
+    def test_clips_large_gradients(self):
+        p = Parameter(np.zeros(4))
+        p.grad += 10.0
+        norm = clip_grad_norm([p], max_norm=1.0)
+        assert norm == pytest.approx(20.0)
+        assert np.linalg.norm(p.grad) == pytest.approx(1.0)
+
+    def test_leaves_small_gradients(self):
+        p = Parameter(np.zeros(4))
+        p.grad += 0.01
+        clip_grad_norm([p], max_norm=1.0)
+        assert np.allclose(p.grad, 0.01)
+
+    def test_invalid_max_norm(self):
+        with pytest.raises(ValueError):
+            clip_grad_norm([Parameter(np.zeros(1))], max_norm=0.0)

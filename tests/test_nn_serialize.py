@@ -1,0 +1,49 @@
+"""Unit tests for model checkpointing."""
+
+import numpy as np
+import pytest
+
+from repro.nn.containers import Sequential
+from repro.nn.layers import Conv2d, ReLU
+from repro.nn.module import Module
+from repro.nn.serialize import load_state, save_state
+
+
+def test_save_load_roundtrip(tmp_path, rng):
+    a = Sequential(Conv2d(2, 3, 3, rng=np.random.default_rng(1)), ReLU())
+    b = Sequential(Conv2d(2, 3, 3, rng=np.random.default_rng(2)), ReLU())
+    path = tmp_path / "model.npz"
+    save_state(a, path)
+    load_state(b, path)
+    x = rng.standard_normal((1, 2, 4, 4))
+    assert np.allclose(a(x), b(x))
+
+
+def test_save_parameterless_module_rejected(tmp_path):
+    class Empty(Module):
+        pass
+
+    with pytest.raises(ValueError):
+        save_state(Empty(), tmp_path / "empty.npz")
+
+
+def test_load_into_wrong_architecture_rejected(tmp_path, rng):
+    a = Sequential(Conv2d(2, 3, 3, rng=rng))
+    b = Sequential(Conv2d(2, 4, 3, rng=rng))
+    path = tmp_path / "model.npz"
+    save_state(a, path)
+    with pytest.raises(ValueError):
+        load_state(b, path)
+
+
+def test_full_model_roundtrip(tmp_path, rng):
+    from repro.models import IRFusionNet
+
+    a = IRFusionNet(in_channels=5, base_channels=4, depth=2, seed=1)
+    b = IRFusionNet(in_channels=5, base_channels=4, depth=2, seed=2)
+    path = tmp_path / "fusion.npz"
+    save_state(a, path)
+    load_state(b, path)
+    x = rng.standard_normal((1, 5, 8, 8))
+    a.eval(), b.eval()
+    assert np.allclose(a(x), b(x))

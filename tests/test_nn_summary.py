@@ -1,0 +1,36 @@
+"""Tests for module summaries."""
+
+from repro.models import IRFusionNet
+from repro.nn.containers import Sequential
+from repro.nn.layers import Conv2d, ReLU
+from repro.nn.summary import parameter_table, summarize
+
+
+def test_summarize_contains_tree(rng):
+    model = Sequential(Conv2d(2, 3, 3, rng=rng), ReLU())
+    text = summarize(model, name="net")
+    assert "net: Sequential" in text
+    assert "Conv2d" in text
+    assert "params:" in text
+
+
+def test_summarize_truncates():
+    model = IRFusionNet(in_channels=4, base_channels=4, depth=2)
+    text = summarize(model, max_lines=10)
+    assert "more modules" in text
+    assert len(text.splitlines()) == 11
+
+
+def test_parameter_table_totals(rng):
+    model = Sequential(Conv2d(2, 3, 3, bias=True, rng=rng))
+    table = parameter_table(model)
+    assert "modules.0.weight" in table
+    expected_total = 2 * 3 * 9 + 3
+    assert f"{expected_total:,}" in table
+
+
+def test_full_model_summary_runs():
+    model = IRFusionNet(in_channels=10, base_channels=6, depth=3)
+    text = summarize(model, max_lines=500)
+    assert "IRFusionNet" in text
+    assert "CBAM" in text

@@ -1,0 +1,78 @@
+"""Tests for greedy pad placement."""
+
+import pytest
+
+from repro.opt.pad_placement import greedy_pad_placement
+from repro.solvers.powerrush import PowerRushSimulator
+
+
+class TestGreedyPadPlacement:
+    def test_adding_pads_reduces_worst_drop(self, real_design):
+        baseline = PowerRushSimulator(tol=1e-10).simulate_grid(real_design.grid)
+        result = greedy_pad_placement(
+            real_design.netlist,
+            budget_volts=baseline.worst_drop() * 0.01,  # unreachable target
+            max_new_pads=2,
+            max_candidates=8,
+        )
+        assert len(result.added_pads) >= 1
+        assert result.improvement > 0
+        history = result.worst_drop_history
+        assert all(b < a for a, b in zip(history, history[1:]))
+
+    def test_budget_met_stops_early(self, fake_design):
+        baseline = PowerRushSimulator(tol=1e-10).simulate_grid(fake_design.grid)
+        generous = baseline.worst_drop() * 2.0
+        result = greedy_pad_placement(
+            fake_design.netlist, budget_volts=generous, max_new_pads=3
+        )
+        assert result.met_budget
+        assert result.added_pads == []
+
+    def test_final_netlist_contains_new_pads(self, real_design):
+        result = greedy_pad_placement(
+            real_design.netlist,
+            budget_volts=1e-6,
+            max_new_pads=1,
+            max_candidates=6,
+        )
+        original = len(real_design.netlist.voltage_sources)
+        assert (
+            len(result.final_netlist.voltage_sources)
+            == original + len(result.added_pads)
+        )
+
+    def test_final_netlist_simulates_to_reported_drop(self, real_design):
+        result = greedy_pad_placement(
+            real_design.netlist,
+            budget_volts=1e-6,
+            max_new_pads=1,
+            max_candidates=6,
+        )
+        report = PowerRushSimulator(tol=1e-10).simulate_netlist(
+            result.final_netlist
+        )
+        assert report.worst_drop() == pytest.approx(
+            result.worst_drop_history[-1], rel=1e-6
+        )
+
+    def test_pads_added_on_top_layer(self, real_design):
+        from repro.spice.nodes import parse_node_name
+
+        result = greedy_pad_placement(
+            real_design.netlist,
+            budget_volts=1e-6,
+            max_new_pads=1,
+            max_candidates=6,
+        )
+        top = max(real_design.grid.layers_present())
+        for name in result.added_pads:
+            assert parse_node_name(name).layer == top
+
+    def test_validation(self, fake_design):
+        with pytest.raises(ValueError):
+            greedy_pad_placement(fake_design.netlist, budget_volts=0.0)
+        with pytest.raises(ValueError):
+            greedy_pad_placement(
+                fake_design.netlist, budget_volts=0.1, max_new_pads=0
+            )

@@ -1,0 +1,55 @@
+"""Opt-in larger-scale smoke tests.
+
+Run with ``REPRO_SLOW=1 pytest tests/test_slow_scale.py`` — these exercise
+64x64-pixel designs (the scale knob toward the paper's 256x256 setting)
+and take a few minutes; the default suite skips them.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+slow = pytest.mark.skipif(
+    not os.environ.get("REPRO_SLOW"),
+    reason="set REPRO_SLOW=1 to run larger-scale smoke tests",
+)
+
+
+@slow
+def test_64px_design_end_to_end():
+    from repro.data.synthetic import generate_design, make_real_spec
+    from repro.solvers.powerrush import PowerRushSimulator
+
+    design = generate_design(make_real_spec("big", seed=1, pixels=64))
+    assert design.grid.num_nodes > 5000
+    report = PowerRushSimulator(tol=1e-10).simulate_grid(design.grid)
+    assert report.solve.converged
+    assert report.worst_drop() > 0
+    image = report.drop_image(design.geometry)
+    assert image.shape == (64, 64)
+
+
+@slow
+def test_64px_fusion_training_improves_on_rough():
+    from repro.core.config import FusionConfig
+    from repro.core.pipeline import IRFusionPipeline
+    from repro.eval.evaluate import evaluate_rough_solutions, evaluate_trainer
+    from repro.train.trainer import TrainConfig
+
+    config = FusionConfig(
+        pixels=64,
+        num_fake=6,
+        num_real_train=2,
+        num_real_test=2,
+        base_channels=6,
+        depth=3,
+        train=TrainConfig(epochs=8, batch_size=4, use_curriculum=True),
+    )
+    pipeline = IRFusionPipeline(config)
+    pipeline.train()
+    _, test_set = pipeline.build_datasets()
+    _, fused = evaluate_trainer(pipeline.trainer, test_set)
+    rough = evaluate_rough_solutions(test_set)
+    assert fused.mae < rough.mae
+    assert fused.f1 >= rough.f1

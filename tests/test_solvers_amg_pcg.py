@@ -1,0 +1,84 @@
+"""Unit tests for the AMG-PCG solver (the PowerRush core)."""
+
+import numpy as np
+import pytest
+
+from repro.mna.stamper import build_reduced_system
+from repro.solvers.amg import AMGOptions
+from repro.solvers.amg_pcg import AMGPCGSolver
+from repro.solvers.base import SolverOptions
+from repro.solvers.cg import CGSolver
+
+
+@pytest.fixture(scope="module")
+def pg_system(fake_design):
+    return build_reduced_system(fake_design.grid)
+
+
+class TestAMGPCG:
+    def test_converges_to_tight_tolerance(self, pg_system):
+        solver = AMGPCGSolver(SolverOptions(tol=1e-12))
+        result = solver.solve(pg_system.matrix, pg_system.rhs)
+        assert result.converged
+        assert pg_system.relative_residual(result.x) < 1e-10
+
+    def test_far_fewer_iterations_than_cg(self, pg_system):
+        options = SolverOptions(tol=1e-10, max_iterations=10_000)
+        cg = CGSolver(options).solve(pg_system.matrix, pg_system.rhs)
+        amg = AMGPCGSolver(options).solve(pg_system.matrix, pg_system.rhs)
+        assert amg.converged and cg.converged
+        assert amg.iterations < cg.iterations / 2
+
+    def test_rough_solution_at_two_iterations(self, pg_system):
+        solver = AMGPCGSolver(SolverOptions(max_iterations=2, tol=1e-14))
+        result = solver.solve(pg_system.matrix, pg_system.rhs)
+        assert result.iterations == 2
+        # rough but meaningful: at least two orders below the initial residual
+        assert result.residual_norms[-1] < result.residual_norms[0] * 1e-1
+
+    def test_monotone_error_with_iterations(self, pg_system):
+        import scipy.sparse.linalg as sla
+
+        exact = np.asarray(sla.spsolve(pg_system.matrix.tocsc(), pg_system.rhs))
+        errors = []
+        for budget in (1, 3, 6):
+            solver = AMGPCGSolver(SolverOptions(max_iterations=budget, tol=1e-16))
+            result = solver.solve(pg_system.matrix, pg_system.rhs)
+            errors.append(np.linalg.norm(result.x - exact))
+        assert errors[0] > errors[1] > errors[2]
+
+    def test_hierarchy_cached_between_solves(self, pg_system):
+        solver = AMGPCGSolver(SolverOptions(max_iterations=2))
+        solver.solve(pg_system.matrix, pg_system.rhs)
+        first = solver.hierarchy
+        solver.solve(pg_system.matrix, pg_system.rhs)
+        assert solver.hierarchy is first
+
+    def test_hierarchy_rebuilt_for_new_matrix(self, pg_system, real_design):
+        solver = AMGPCGSolver(SolverOptions(max_iterations=2))
+        solver.solve(pg_system.matrix, pg_system.rhs)
+        first = solver.hierarchy
+        other = build_reduced_system(real_design.grid)
+        solver.solve(other.matrix, other.rhs)
+        assert solver.hierarchy is not first
+
+    def test_setup_time_accounted(self, pg_system):
+        solver = AMGPCGSolver(SolverOptions(max_iterations=2))
+        result = solver.solve(pg_system.matrix, pg_system.rhs)
+        assert result.setup_seconds >= 0.0
+
+    def test_custom_amg_options(self, pg_system):
+        solver = AMGPCGSolver(
+            SolverOptions(tol=1e-10),
+            amg_options=AMGOptions(max_coarse_size=16, passes_per_level=1),
+        )
+        result = solver.solve(pg_system.matrix, pg_system.rhs)
+        assert result.converged
+
+    def test_initial_guess_respected(self, pg_system):
+        import scipy.sparse.linalg as sla
+
+        exact = np.asarray(sla.spsolve(pg_system.matrix.tocsc(), pg_system.rhs))
+        solver = AMGPCGSolver(SolverOptions(tol=1e-8))
+        result = solver.solve(pg_system.matrix, pg_system.rhs, x0=exact)
+        assert result.iterations == 0

@@ -1,0 +1,44 @@
+"""Unit tests for the direct (golden) solver."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.mna.stamper import build_reduced_system
+from repro.solvers.direct import DirectSolver
+
+
+class TestDirectSolver:
+    def test_exact_on_pg_system(self, fake_design):
+        system = build_reduced_system(fake_design.grid)
+        result = DirectSolver().solve(system.matrix, system.rhs)
+        assert result.converged
+        assert system.relative_residual(result.x) < 1e-12
+
+    def test_factor_cached_for_same_matrix(self, fake_design):
+        system = build_reduced_system(fake_design.grid)
+        solver = DirectSolver()
+        solver.solve(system.matrix, system.rhs)
+        factor = solver._cached_factor
+        solver.solve(system.matrix, system.rhs * 2.0)
+        assert solver._cached_factor is factor
+
+    def test_refactors_for_new_matrix(self, fake_design, real_design):
+        a = build_reduced_system(fake_design.grid)
+        b = build_reduced_system(real_design.grid)
+        solver = DirectSolver()
+        solver.solve(a.matrix, a.rhs)
+        factor = solver._cached_factor
+        solver.solve(b.matrix, b.rhs)
+        assert solver._cached_factor is not factor
+
+    def test_linear_in_rhs(self, fake_design):
+        system = build_reduced_system(fake_design.grid)
+        solver = DirectSolver()
+        x1 = solver.solve(system.matrix, system.rhs).x
+        x2 = solver.solve(system.matrix, 2.0 * system.rhs).x
+        assert np.allclose(x2, 2.0 * x1)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            DirectSolver().solve(sp.eye(3, format="csr"), np.ones(2))

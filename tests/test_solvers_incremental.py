@@ -1,0 +1,55 @@
+"""Tests for warm-started incremental analysis."""
+
+import numpy as np
+import pytest
+
+from repro.solvers.incremental import IncrementalAnalyzer
+from repro.solvers.powerrush import PowerRushSimulator
+
+
+def native_loads(design, scale=1.0):
+    return {n.index: n.load_current * scale for n in design.grid.loads()}
+
+
+class TestIncrementalAnalyzer:
+    def test_first_solve_matches_powerrush(self, fake_design):
+        analyzer = IncrementalAnalyzer(fake_design.grid, tol=1e-10)
+        step = analyzer.set_loads(native_loads(fake_design))
+        report = PowerRushSimulator(tol=1e-10).simulate_grid(fake_design.grid)
+        assert np.allclose(step.drops, report.ir_drop, atol=1e-6)
+
+    def test_warm_start_needs_fewer_iterations(self, fake_design):
+        analyzer = IncrementalAnalyzer(fake_design.grid, tol=1e-9)
+        cold = analyzer.set_loads(native_loads(fake_design))
+        # perturb one load by 1 %
+        hot = fake_design.grid.loads()[0]
+        warm = analyzer.update_loads({hot.index: hot.load_current * 0.01})
+        assert warm.iterations < cold.iterations
+
+    def test_warm_result_still_accurate(self, fake_design):
+        analyzer = IncrementalAnalyzer(fake_design.grid, tol=1e-10)
+        analyzer.set_loads(native_loads(fake_design))
+        step = analyzer.set_loads(native_loads(fake_design, 1.02))
+        fresh = IncrementalAnalyzer(fake_design.grid, tol=1e-10)
+        fresh_step = fresh.set_loads(native_loads(fake_design, 1.02))
+        assert np.allclose(step.drops, fresh_step.drops, atol=1e-6)
+
+    def test_identical_reload_is_nearly_free(self, fake_design):
+        analyzer = IncrementalAnalyzer(fake_design.grid, tol=1e-8)
+        analyzer.set_loads(native_loads(fake_design))
+        repeat = analyzer.set_loads(native_loads(fake_design))
+        assert repeat.iterations <= 1
+
+    def test_update_merges_deltas(self, fake_design):
+        analyzer = IncrementalAnalyzer(fake_design.grid)
+        analyzer.set_loads({})
+        hot = fake_design.grid.loads()[0]
+        analyzer.update_loads({hot.index: 0.01})
+        analyzer.update_loads({hot.index: 0.01})
+        assert analyzer.current_loads[hot.index] == pytest.approx(0.02)
+
+    def test_loading_pad_rejected(self, fake_design):
+        analyzer = IncrementalAnalyzer(fake_design.grid)
+        pad = fake_design.grid.pads()[0]
+        with pytest.raises(ValueError):
+            analyzer.set_loads({pad.index: 0.1})

@@ -1,0 +1,72 @@
+"""Tests for Schur-complement macromodeling."""
+
+import numpy as np
+import pytest
+
+from repro.mna.stamper import build_reduced_system
+from repro.solvers.direct import DirectSolver
+from repro.solvers.macromodel import SchurReduction, layer_port_rows
+
+
+@pytest.fixture(scope="module")
+def system(fake_design):
+    return build_reduced_system(fake_design.grid)
+
+
+@pytest.fixture(scope="module")
+def reduction(system, fake_design):
+    ports = layer_port_rows(system, fake_design.grid, min_layer=2)
+    return SchurReduction(system, ports)
+
+
+class TestSchurReduction:
+    def test_partition_counts(self, reduction, system):
+        assert reduction.num_ports + reduction.num_internal == system.size
+        assert reduction.num_ports > 0
+        assert reduction.num_internal > 0
+
+    def test_solution_exact(self, reduction, system):
+        golden = DirectSolver().solve(system.matrix, system.rhs).x
+        x = reduction.solve()
+        assert np.allclose(x, golden, atol=1e-8)
+
+    def test_solution_exact_for_other_rhs(self, reduction, system, rng):
+        rhs = rng.standard_normal(system.size)
+        golden = DirectSolver().solve(system.matrix, rhs).x
+        assert np.allclose(reduction.solve(rhs), golden, atol=1e-8)
+
+    def test_macromodel_spd(self, reduction):
+        schur = reduction.port_macromodel()
+        assert np.allclose(schur, schur.T, atol=1e-10)
+        assert np.linalg.eigvalsh(schur).min() > 0
+
+    def test_macromodel_is_dense_port_conductance(self, reduction, system):
+        """Port response through the macromodel matches the full system."""
+        rng = np.random.default_rng(1)
+        rhs = np.zeros(system.size)
+        rhs[reduction.port_rows] = rng.standard_normal(reduction.num_ports)
+        x_ports_full = DirectSolver().solve(system.matrix, rhs).x[
+            reduction.port_rows
+        ]
+        x_ports_macro = np.linalg.solve(
+            reduction.schur, reduction.reduced_rhs(rhs)
+        )
+        assert np.allclose(x_ports_full, x_ports_macro, atol=1e-8)
+
+    def test_validation(self, system):
+        with pytest.raises(ValueError):
+            SchurReduction(system, np.array([], dtype=int))
+        with pytest.raises(ValueError):
+            SchurReduction(system, np.array([system.size + 1]))
+        with pytest.raises(ValueError):
+            SchurReduction(system, np.arange(system.size))
+
+    def test_rhs_shape_validation(self, reduction):
+        with pytest.raises(ValueError):
+            reduction.reduced_rhs(np.ones(3))
+
+    def test_layer_port_rows_selects_upper_layers(self, system, fake_design):
+        ports = layer_port_rows(system, fake_design.grid, min_layer=3)
+        for row in ports:
+            node_index = int(system.unknown_indices[row])
+            assert fake_design.grid.node(node_index).layer >= 3

@@ -1,0 +1,57 @@
+"""Tests for the random-walk PG solver."""
+
+import numpy as np
+import pytest
+
+from repro.grid.netlist import PowerGrid
+from repro.mna.stamper import build_reduced_system
+from repro.solvers.direct import DirectSolver
+from repro.solvers.random_walk import RandomWalkOptions, RandomWalkSolver
+from repro.spice.parser import parse_spice
+
+
+@pytest.fixture(scope="module")
+def small_grid():
+    """A 3-node chain with one pad and one load — exactly solvable."""
+    return PowerGrid.from_netlist(
+        parse_spice(
+            "R1 a b 1\nR2 b c 1\nI1 c 0 0.01\nV1 a 0 1.0\n"
+        )
+    )
+
+
+class TestRandomWalkSolver:
+    def test_pad_node_exact(self, small_grid):
+        solver = RandomWalkSolver(RandomWalkOptions(walks_per_node=10))
+        assert solver.estimate_node(small_grid, "a") == 1.0
+
+    def test_chain_matches_direct_within_tolerance(self, small_grid):
+        # exact: v_b = 1 - 0.01, v_c = 1 - 0.02
+        solver = RandomWalkSolver(RandomWalkOptions(walks_per_node=3000, seed=1))
+        estimate_b = solver.estimate_node(small_grid, "b")
+        estimate_c = solver.estimate_node(small_grid, "c")
+        assert estimate_b == pytest.approx(0.99, abs=2e-3)
+        assert estimate_c == pytest.approx(0.98, abs=2e-3)
+
+    def test_full_grid_matches_direct(self, tiny_grid):
+        solver = RandomWalkSolver(RandomWalkOptions(walks_per_node=1500, seed=3))
+        estimates = solver.solve_grid(tiny_grid)
+        system = build_reduced_system(tiny_grid)
+        golden = system.scatter(DirectSolver().solve(system.matrix, system.rhs).x)
+        assert np.abs(estimates - golden).max() < 5e-3
+
+    def test_deterministic_under_seed(self, tiny_grid):
+        a = RandomWalkSolver(RandomWalkOptions(walks_per_node=50, seed=9))
+        b = RandomWalkSolver(RandomWalkOptions(walks_per_node=50, seed=9))
+        assert np.array_equal(a.solve_grid(tiny_grid), b.solve_grid(tiny_grid))
+
+    def test_unsolvable_grid_rejected(self):
+        grid = PowerGrid.from_netlist(parse_spice("R1 a b 1\nI1 b 0 0.1\n"))
+        with pytest.raises(ValueError):
+            RandomWalkSolver().solve_grid(grid)
+
+    def test_option_validation(self):
+        with pytest.raises(ValueError):
+            RandomWalkOptions(walks_per_node=0)
+        with pytest.raises(ValueError):
+            RandomWalkOptions(max_steps=0)

@@ -1,0 +1,89 @@
+"""Tests for the additive-Schwarz domain-decomposition preconditioner."""
+
+import numpy as np
+import pytest
+
+from repro.mna.stamper import build_reduced_system
+from repro.solvers.base import SolverOptions
+from repro.solvers.cg import CGSolver
+from repro.solvers.schwarz import (
+    AdditiveSchwarzPreconditioner,
+    SchwarzPCGSolver,
+    partition_blocks,
+)
+
+
+@pytest.fixture(scope="module")
+def system(fake_design):
+    return build_reduced_system(fake_design.grid)
+
+
+class TestPartition:
+    def test_blocks_cover_all_rows(self, system):
+        blocks = partition_blocks(system.matrix, num_blocks=4, overlap=1)
+        covered = set()
+        for block in blocks:
+            covered.update(block.tolist())
+        assert covered == set(range(system.size))
+
+    def test_overlap_grows_blocks(self, system):
+        tight = partition_blocks(system.matrix, num_blocks=4, overlap=0)
+        loose = partition_blocks(system.matrix, num_blocks=4, overlap=2)
+        assert sum(b.size for b in loose) > sum(b.size for b in tight)
+
+    def test_single_block_is_everything(self, system):
+        blocks = partition_blocks(system.matrix, num_blocks=1)
+        assert blocks[0].size == system.size
+
+    def test_invalid_block_count(self, system):
+        with pytest.raises(ValueError):
+            partition_blocks(system.matrix, num_blocks=0)
+
+
+class TestPreconditioner:
+    def test_apply_is_linear(self, system, rng):
+        preconditioner = AdditiveSchwarzPreconditioner(system.matrix, 4)
+        a = rng.standard_normal(system.size)
+        b = rng.standard_normal(system.size)
+        combined = preconditioner.apply(2 * a + 3 * b)
+        separate = 2 * preconditioner.apply(a) + 3 * preconditioner.apply(b)
+        assert np.allclose(combined, separate, atol=1e-10)
+
+    def test_apply_is_symmetric(self, system, rng):
+        """<M^{-1}a, b> == <a, M^{-1}b>: required for plain PCG."""
+        preconditioner = AdditiveSchwarzPreconditioner(system.matrix, 4)
+        a = rng.standard_normal(system.size)
+        b = rng.standard_normal(system.size)
+        lhs = float(preconditioner.apply(a) @ b)
+        rhs = float(a @ preconditioner.apply(b))
+        assert lhs == pytest.approx(rhs, rel=1e-10)
+
+    def test_single_block_is_exact_inverse(self, system, rng):
+        preconditioner = AdditiveSchwarzPreconditioner(system.matrix, 1)
+        r = rng.standard_normal(system.size)
+        x = preconditioner.apply(r)
+        assert np.allclose(system.matrix @ x, r, atol=1e-8)
+
+
+class TestSchwarzPCG:
+    def test_converges(self, system):
+        solver = SchwarzPCGSolver(SolverOptions(tol=1e-10), num_blocks=4)
+        result = solver.solve(system.matrix, system.rhs)
+        assert result.converged
+        assert system.relative_residual(result.x) < 1e-9
+
+    def test_fewer_iterations_than_plain_cg(self, system):
+        options = SolverOptions(tol=1e-10, max_iterations=5000)
+        plain = CGSolver(options).solve(system.matrix, system.rhs)
+        schwarz = SchwarzPCGSolver(options, num_blocks=4, overlap=1).solve(
+            system.matrix, system.rhs
+        )
+        assert schwarz.converged
+        assert schwarz.iterations < plain.iterations
+
+    def test_preconditioner_cached(self, system):
+        solver = SchwarzPCGSolver(SolverOptions(tol=1e-8), num_blocks=4)
+        solver.solve(system.matrix, system.rhs)
+        first = solver._cached_preconditioner
+        solver.solve(system.matrix, system.rhs)
+        assert solver._cached_preconditioner is first

@@ -1,0 +1,84 @@
+"""Tests for netlist short-collapsing."""
+
+import numpy as np
+import pytest
+
+from repro.grid.netlist import PowerGrid
+from repro.spice.parser import parse_spice
+from repro.spice.preprocess import collapse_shorts, count_shorts
+
+
+class TestCollapseShorts:
+    def test_simple_short_merged(self):
+        netlist = parse_spice(
+            "R1 a b 0\nR2 b c 2\nI1 c 0 0.1\nV1 a 0 1.0\n"
+        )
+        collapsed = collapse_shorts(netlist)
+        assert count_shorts(collapsed) == 0
+        grid = PowerGrid.from_netlist(collapsed)
+        assert grid.num_nodes == 2  # {a,b} merged + c
+
+    def test_solution_matches_small_resistor_limit(self):
+        """Collapsing a short == the limit of shrinking its resistance."""
+        import scipy.sparse.linalg as sla
+
+        from repro.mna.stamper import build_reduced_system
+
+        shorted = parse_spice("R1 a b 0\nR2 b c 2\nI1 c 0 0.1\nV1 a 0 1.0\n")
+        tiny = parse_spice("R1 a b 1e-9\nR2 b c 2\nI1 c 0 0.1\nV1 a 0 1.0\n")
+        collapsed_grid = PowerGrid.from_netlist(collapse_shorts(shorted))
+        tiny_grid = PowerGrid.from_netlist(tiny)
+
+        sys_c = build_reduced_system(collapsed_grid)
+        sys_t = build_reduced_system(tiny_grid)
+        v_c = sys_c.scatter(
+            np.atleast_1d(sla.spsolve(sys_c.matrix.tocsc(), sys_c.rhs))
+        )
+        v_t = sys_t.scatter(
+            np.atleast_1d(sla.spsolve(sys_t.matrix.tocsc(), sys_t.rhs))
+        )
+        assert v_c[collapsed_grid.index_of("c")] == pytest.approx(
+            v_t[tiny_grid.index_of("c")], abs=1e-6
+        )
+
+    def test_chain_of_shorts(self):
+        netlist = parse_spice(
+            "R1 a b 0\nR2 b c 0\nR3 c d 1\nV1 a 0 1\nI1 d 0 0.1\n"
+        )
+        grid = PowerGrid.from_netlist(collapse_shorts(netlist))
+        assert grid.num_nodes == 2
+
+    def test_parallel_becomes_self_loop_dropped(self):
+        netlist = parse_spice(
+            "R1 a b 0\nR2 a b 5\nR3 b c 1\nV1 a 0 1\nI1 c 0 0.1\n"
+        )
+        collapsed = collapse_shorts(netlist)
+        # R2 became a self-loop after contraction and is dropped
+        assert [r.name for r in collapsed.resistors] == ["R3"]
+
+    def test_sources_renamed(self):
+        netlist = parse_spice(
+            "R1 a b 0\nR2 b c 1\nI1 b 0 0.1\nV1 a 0 1\n"
+        )
+        collapsed = collapse_shorts(netlist)
+        rep = collapsed.voltage_sources[0].node_pos
+        assert collapsed.current_sources[0].node_from == rep
+
+    def test_ground_stays_ground(self):
+        netlist = parse_spice("R1 a 0 0\nR2 a b 1\nV1 b 0 1\n")
+        collapsed = collapse_shorts(netlist)
+        # node 'a' merged into ground; R2 must now reference ground
+        assert collapsed.resistors[0].node_a in ("0", "b")
+        assert "0" in (
+            collapsed.resistors[0].node_a,
+            collapsed.resistors[0].node_b,
+        )
+
+    def test_no_shorts_is_identity(self, tiny_netlist):
+        collapsed = collapse_shorts(tiny_netlist)
+        assert collapsed.resistors == tiny_netlist.resistors
+        assert collapsed.current_sources == tiny_netlist.current_sources
+
+    def test_count_shorts(self):
+        netlist = parse_spice("R1 a b 0\nR2 b c 1\nR3 c d 0\nV1 a 0 1\n")
+        assert count_shorts(netlist) == 2

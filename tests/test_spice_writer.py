@@ -1,0 +1,46 @@
+"""Round-trip tests for the SPICE writer."""
+
+from repro.spice.parser import parse_spice
+from repro.spice.writer import netlist_to_string, write_spice
+
+
+def test_roundtrip_preserves_elements(tiny_netlist):
+    text = netlist_to_string(tiny_netlist)
+    reparsed = parse_spice(text)
+    assert reparsed.resistors == tiny_netlist.resistors
+    assert reparsed.current_sources == tiny_netlist.current_sources
+    assert reparsed.voltage_sources == tiny_netlist.voltage_sources
+
+
+def test_title_round_trips(tiny_netlist):
+    reparsed = parse_spice(netlist_to_string(tiny_netlist))
+    assert reparsed.title == tiny_netlist.title
+
+
+def test_values_written_exactly():
+    netlist = parse_spice("R1 a b 0.30000000000000004\n")
+    reparsed = parse_spice(netlist_to_string(netlist))
+    assert reparsed.resistors[0].resistance == 0.30000000000000004
+
+
+def test_terminates_with_end(tiny_netlist):
+    assert netlist_to_string(tiny_netlist).rstrip().endswith(".end")
+
+
+def test_write_to_file(tmp_path, tiny_netlist):
+    path = tmp_path / "out.sp"
+    write_spice(tiny_netlist, path)
+    reparsed = parse_spice(path.read_text())
+    assert len(reparsed) == len(tiny_netlist)
+
+
+def test_synthetic_design_roundtrip(fake_design):
+    text = netlist_to_string(fake_design.netlist)
+    reparsed = parse_spice(text)
+    assert len(reparsed.resistors) == len(fake_design.netlist.resistors)
+    assert len(reparsed.current_sources) == len(
+        fake_design.netlist.current_sources
+    )
+    assert len(reparsed.voltage_sources) == len(
+        fake_design.netlist.voltage_sources
+    )

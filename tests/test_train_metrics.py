@@ -1,0 +1,111 @@
+"""Unit tests for the contest metrics."""
+
+import numpy as np
+import pytest
+
+from repro.train.metrics import (
+    Metrics,
+    evaluate_prediction,
+    f1_hotspot,
+    hotspot_mask,
+    mae,
+    max_ir_drop_error,
+)
+
+
+class TestMAE:
+    def test_zero_for_identical(self, rng):
+        image = rng.random((8, 8))
+        assert mae(image, image) == 0.0
+
+    def test_known_value(self):
+        assert mae(np.full((2, 2), 3.0), np.full((2, 2), 1.0)) == 2.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            mae(np.zeros((2, 2)), np.zeros((3, 3)))
+
+
+class TestF1:
+    def test_perfect_prediction(self, rng):
+        golden = rng.random((16, 16))
+        assert f1_hotspot(golden, golden) == 1.0
+
+    def test_no_overlap_zero(self):
+        golden = np.zeros((4, 4))
+        golden[0, 0] = 1.0
+        prediction = np.zeros((4, 4))
+        prediction[3, 3] = 1.0
+        assert f1_hotspot(prediction, golden) == 0.0
+
+    def test_threshold_is_on_golden_max(self):
+        golden = np.zeros((4, 4))
+        golden[0, 0] = 1.0
+        # prediction exceeds 0.9 * golden max at the right pixel
+        prediction = np.zeros((4, 4))
+        prediction[0, 0] = 0.95
+        assert f1_hotspot(prediction, golden) == 1.0
+
+    def test_partial_overlap(self):
+        golden = np.zeros((4, 4))
+        golden[0, :2] = 1.0  # two hotspots
+        prediction = np.zeros((4, 4))
+        prediction[0, 0] = 1.0  # hits one of them
+        score = f1_hotspot(prediction, golden)
+        assert score == pytest.approx(2 / 3)
+
+    def test_flat_map_convention(self):
+        flat = np.zeros((4, 4))
+        assert f1_hotspot(flat, flat) == 1.0
+
+    def test_hotspot_mask(self):
+        golden = np.array([[1.0, 0.95, 0.5]])
+        assert hotspot_mask(golden).tolist() == [[True, True, False]]
+
+
+class TestMIRDE:
+    def test_error_at_peak_location(self):
+        golden = np.zeros((3, 3))
+        golden[1, 1] = 1.0
+        prediction = np.zeros((3, 3))
+        prediction[1, 1] = 0.7
+        prediction[0, 0] = 99.0  # irrelevant to MIRDE
+        assert max_ir_drop_error(prediction, golden) == pytest.approx(0.3)
+
+    def test_zero_for_perfect(self, rng):
+        golden = rng.random((8, 8))
+        assert max_ir_drop_error(golden, golden) == 0.0
+
+
+class TestMetricsBundle:
+    def test_average(self):
+        metrics = Metrics.average(
+            [
+                Metrics(mae=1.0, f1=0.4, mirde=2.0, runtime_seconds=1.0),
+                Metrics(mae=3.0, f1=0.6, mirde=4.0, runtime_seconds=3.0),
+            ]
+        )
+        assert metrics.mae == 2.0
+        assert metrics.f1 == pytest.approx(0.5)
+        assert metrics.mirde == 3.0
+        assert metrics.runtime_seconds == 2.0
+
+    def test_average_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Metrics.average([])
+
+    def test_scaled(self):
+        metrics = Metrics(mae=1e-4, f1=0.5, mirde=2e-4, runtime_seconds=1.0)
+        scaled = metrics.scaled(1e4)
+        assert scaled.mae == pytest.approx(1.0)
+        assert scaled.mirde == pytest.approx(2.0)
+        assert scaled.f1 == 0.5  # F1 is unitless
+        assert scaled.runtime_seconds == 1.0
+
+    def test_evaluate_prediction_bundle(self, rng):
+        golden = rng.random((8, 8))
+        bundle = evaluate_prediction(golden, golden, runtime_seconds=0.5)
+        assert bundle.mae == 0.0
+        assert bundle.f1 == 1.0
+        assert bundle.mirde == 0.0
+        assert bundle.runtime_seconds == 0.5

@@ -1,0 +1,48 @@
+"""Unit tests for LR schedules."""
+
+import pytest
+
+from repro.train.schedule import ConstantLR, CosineLR, StepLR
+
+
+class TestConstant:
+    def test_constant(self):
+        schedule = ConstantLR(1e-3)
+        assert schedule(0) == schedule(100) == 1e-3
+
+
+class TestStep:
+    def test_decay_points(self):
+        schedule = StepLR(lr=1.0, step_size=3, gamma=0.5)
+        assert schedule(0) == 1.0
+        assert schedule(2) == 1.0
+        assert schedule(3) == 0.5
+        assert schedule(6) == 0.25
+
+    def test_invalid_step_size(self):
+        with pytest.raises(ValueError):
+            StepLR(lr=1.0, step_size=0)(1)
+
+
+class TestCosine:
+    def test_endpoints(self):
+        schedule = CosineLR(lr=1.0, total_epochs=10, min_lr=0.1)
+        assert schedule(0) == pytest.approx(1.0)
+        assert schedule(10) == pytest.approx(0.1)
+
+    def test_midpoint(self):
+        schedule = CosineLR(lr=1.0, total_epochs=10, min_lr=0.0)
+        assert schedule(5) == pytest.approx(0.5)
+
+    def test_monotone_decreasing(self):
+        schedule = CosineLR(lr=1.0, total_epochs=10)
+        values = [schedule(e) for e in range(11)]
+        assert values == sorted(values, reverse=True)
+
+    def test_clamped_beyond_total(self):
+        schedule = CosineLR(lr=1.0, total_epochs=10, min_lr=0.2)
+        assert schedule(50) == pytest.approx(0.2)
+
+    def test_invalid_total(self):
+        with pytest.raises(ValueError):
+            CosineLR(lr=1.0, total_epochs=0)(0)

@@ -1,0 +1,168 @@
+"""Unit tests for the trainer (loop, residual learning, curriculum)."""
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import IRDropDataset
+from repro.models import IREDGe, IRFusionNet
+from repro.train.trainer import TrainConfig, Trainer
+
+
+def make_model(dataset, cls=IRFusionNet, **kwargs):
+    return cls(
+        in_channels=len(dataset.channels), base_channels=4, depth=2, seed=0, **kwargs
+    )
+
+
+class TestFit:
+    def test_loss_decreases(self, tiny_dataset):
+        trainer = Trainer(
+            make_model(tiny_dataset),
+            config=TrainConfig(epochs=6, batch_size=2, lr=2e-3),
+        )
+        history = trainer.fit(tiny_dataset)
+        assert history.epoch_losses[-1] < history.epoch_losses[0]
+
+    def test_history_lengths(self, tiny_dataset):
+        trainer = Trainer(
+            make_model(tiny_dataset), config=TrainConfig(epochs=3, batch_size=2)
+        )
+        history = trainer.fit(tiny_dataset)
+        assert len(history.epoch_losses) == 3
+        assert len(history.epoch_sizes) == 3
+        assert len(history.learning_rates) == 3
+        assert history.final_loss == history.epoch_losses[-1]
+
+    def test_empty_dataset_rejected(self, tiny_dataset):
+        trainer = Trainer(make_model(tiny_dataset))
+        with pytest.raises(ValueError):
+            trainer.fit(IRDropDataset([]))
+
+    def test_curriculum_grows_subsets(self, tiny_dataset):
+        trainer = Trainer(
+            make_model(tiny_dataset),
+            config=TrainConfig(epochs=6, batch_size=2, use_curriculum=True),
+        )
+        history = trainer.fit(tiny_dataset)
+        assert history.epoch_sizes[0] < history.epoch_sizes[-1]
+
+    def test_lr_schedule_applied(self, tiny_dataset):
+        from repro.train.schedule import StepLR
+
+        trainer = Trainer(
+            make_model(tiny_dataset),
+            config=TrainConfig(epochs=4, batch_size=2),
+            lr_schedule=StepLR(lr=1e-2, step_size=2, gamma=0.1),
+        )
+        history = trainer.fit(tiny_dataset)
+        assert history.learning_rates == [1e-2, 1e-2, 1e-3, 1e-3]
+
+
+class TestResidualLearning:
+    def test_untrained_fusion_predicts_rough(self, tiny_dataset):
+        """Zero-init head + residual learning == rough numerical solution."""
+        trainer = Trainer(make_model(tiny_dataset), config=TrainConfig())
+        predictions = trainer.predict(tiny_dataset)
+        for prediction, sample in zip(predictions, tiny_dataset):
+            assert np.allclose(prediction, sample.rough_label, atol=1e-12)
+
+    def test_residual_disabled_without_rough(self, fake_design):
+        from repro.data.dataset import build_sample
+        from repro.features.fusion import FeatureConfig
+
+        sample = build_sample(fake_design, FeatureConfig(use_numerical=False))
+        dataset = IRDropDataset([sample])
+        trainer = Trainer(make_model(dataset), config=TrainConfig())
+        prediction = trainer.predict(dataset)
+        assert np.allclose(prediction, 0.0)  # zero-init head, no residual base
+
+    def test_residual_flag_off(self, tiny_dataset):
+        trainer = Trainer(
+            make_model(tiny_dataset), config=TrainConfig(residual=False)
+        )
+        predictions = trainer.predict(tiny_dataset)
+        assert np.allclose(predictions, 0.0)
+
+    def test_training_improves_on_rough(self, tiny_dataset):
+        """After fitting, train-set MAE must beat the rough solution."""
+        trainer = Trainer(
+            make_model(tiny_dataset),
+            config=TrainConfig(epochs=15, batch_size=2, lr=2e-3),
+        )
+        trainer.fit(tiny_dataset)
+        predictions = trainer.predict(tiny_dataset)
+        for prediction, sample in zip(predictions, tiny_dataset):
+            fused = np.abs(prediction - sample.label).mean()
+            rough = np.abs(sample.rough_label - sample.label).mean()
+            assert fused < rough
+
+
+class TestPredict:
+    def test_shapes(self, tiny_dataset):
+        trainer = Trainer(make_model(tiny_dataset), config=TrainConfig())
+        predictions = trainer.predict(tiny_dataset)
+        assert predictions.shape == (2, 16, 16)
+
+    def test_empty_rejected(self, tiny_dataset):
+        trainer = Trainer(make_model(tiny_dataset), config=TrainConfig())
+        with pytest.raises(ValueError):
+            trainer.predict([])
+
+    def test_model_left_in_train_mode(self, tiny_dataset):
+        trainer = Trainer(make_model(tiny_dataset), config=TrainConfig())
+        trainer.predict(tiny_dataset)
+        assert trainer.model.training
+
+
+class TestTrainConfigValidation:
+    def test_defaults_sane(self):
+        config = TrainConfig()
+        assert config.label_scale > 0
+        assert config.epochs > 0
+
+
+class TestValidationAndEarlyStopping:
+    def test_validation_mae_recorded(self, tiny_dataset):
+        trainer = Trainer(
+            make_model(tiny_dataset),
+            config=TrainConfig(epochs=3, batch_size=2),
+        )
+        history = trainer.fit(tiny_dataset, validation=tiny_dataset)
+        assert len(history.validation_mae) == 3
+        assert history.best_validation_mae == min(history.validation_mae)
+
+    def test_no_validation_no_metrics(self, tiny_dataset):
+        trainer = Trainer(
+            make_model(tiny_dataset), config=TrainConfig(epochs=2, batch_size=2)
+        )
+        history = trainer.fit(tiny_dataset)
+        assert history.validation_mae == []
+        with pytest.raises(ValueError):
+            history.best_validation_mae
+
+    def test_early_stopping_halts(self, tiny_dataset):
+        # absurd LR makes validation stagnate/diverge almost immediately
+        trainer = Trainer(
+            make_model(tiny_dataset),
+            config=TrainConfig(
+                epochs=30, batch_size=2, lr=5.0, early_stop_patience=2
+            ),
+        )
+        history = trainer.fit(tiny_dataset, validation=tiny_dataset)
+        assert history.stopped_early
+        assert len(history.epoch_losses) < 30
+
+    def test_early_stopping_restores_best_weights(self, tiny_dataset):
+        import numpy as np
+
+        trainer = Trainer(
+            make_model(tiny_dataset),
+            config=TrainConfig(
+                epochs=30, batch_size=2, lr=5.0, early_stop_patience=2
+            ),
+        )
+        history = trainer.fit(tiny_dataset, validation=tiny_dataset)
+        restored_mae = trainer._validation_mae(tiny_dataset)
+        assert restored_mae == pytest.approx(
+            history.best_validation_mae, rel=1e-9
+        )
