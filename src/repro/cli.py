@@ -13,8 +13,21 @@ Subcommands
 ``analyze``
     Fused analysis of a deck with a previously trained model checkpoint.
 
-Every command prints plain text and returns a conventional exit status
-(0 = ok, 1 = failure / signoff violation), so the tool scripts cleanly.
+Every command prints plain text and returns a conventional exit status,
+so the tool scripts cleanly:
+
+====  =========================================================
+code  meaning
+====  =========================================================
+0     success
+1     signoff violation, or an unexpected internal error
+2     bad input (unreadable file, parse error, unusable netlist)
+3     solver failure after every fallback stage was exhausted
+====  =========================================================
+
+Errors print a one-line message to stderr; pass ``--debug`` for the full
+traceback.  ``simulate``/``analyze`` also print a ``diagnostics:`` block
+recording validation issues, repairs and solver fallbacks.
 """
 
 from __future__ import annotations
@@ -25,6 +38,17 @@ import sys
 from pathlib import Path
 
 import numpy as np
+
+#: Exit codes (see module docstring).
+EXIT_OK = 0
+EXIT_FAILURE = 1
+EXIT_BAD_INPUT = 2
+EXIT_SOLVER_FAILURE = 3
+
+
+def _print_diagnostics(diagnostics) -> None:
+    for line in diagnostics.summary_lines():
+        print(line)
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
@@ -42,6 +66,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
           f"converged={report.solve.converged} "
           f"residual={report.solve.final_residual:.3e}")
     print(f"worst_drop_mV={report.worst_drop() * 1e3:.4f}")
+    _print_diagnostics(report.diagnostics)
     if args.limit_mv is not None:
         geometry = infer_geometry(report.grid)
         verdict = check_ir_drop(
@@ -132,6 +157,7 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     print(f"solver_ms={result.solver_seconds * 1e3:.1f} "
           f"features_ms={result.feature_seconds * 1e3:.1f} "
           f"model_ms={result.model_seconds * 1e3:.1f}")
+    _print_diagnostics(result.diagnostics)
     if args.save_map:
         np.savetxt(args.save_map, result.predicted_drop, delimiter=",")
         print(f"wrote drop map to {args.save_map}")
@@ -147,6 +173,8 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="IR-Fusion static IR-drop analysis toolkit",
     )
+    parser.add_argument("--debug", action="store_true",
+                        help="print full tracebacks instead of one-line errors")
     sub = parser.add_subparsers(dest="command", required=True)
 
     simulate = sub.add_parser("simulate", help="numerical (PowerRush) analysis")
@@ -191,7 +219,37 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    # Imported here so `repro --help` stays instant.
+    from repro.solvers.guard import SolverFailure
+    from repro.spice.parser import SpiceParseError
+    from repro.spice.validate import NetlistValidationError
+
+    try:
+        return args.func(args)
+    except SolverFailure as exc:
+        if args.debug:
+            raise
+        print(f"error: solver failure: {exc}", file=sys.stderr)
+        return EXIT_SOLVER_FAILURE
+    except (
+        SpiceParseError,
+        NetlistValidationError,
+        FileNotFoundError,
+        IsADirectoryError,
+        PermissionError,
+        json.JSONDecodeError,
+        KeyError,
+        ValueError,
+    ) as exc:
+        if args.debug:
+            raise
+        print(f"error: bad input: {exc}", file=sys.stderr)
+        return EXIT_BAD_INPUT
+    except Exception as exc:  # noqa: BLE001 — last-resort: no raw tracebacks
+        if args.debug:
+            raise
+        print(f"error: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return EXIT_FAILURE
 
 
 if __name__ == "__main__":

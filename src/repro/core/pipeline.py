@@ -11,12 +11,13 @@ designs, all driven by one :class:`~repro.core.config.FusionConfig`.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.core.config import FusionConfig
 from repro.data.augment import augment_dataset, oversample
+from repro.diagnostics import RunDiagnostics
 from repro.data.dataset import DesignSample, IRDropDataset, build_sample
 from repro.data.synthetic import Design, generate_benchmark_suite
 from repro.features.fusion import assemble_feature_stack
@@ -50,6 +51,10 @@ class AnalysisResult:
         The assembled input stack.
     solver_seconds, feature_seconds, model_seconds:
         Wall-clock breakdown of the three pipeline stages.
+    diagnostics:
+        Validation issues, repairs and solver fallbacks recorded while
+        producing this result (an empty record when nominal; shares the
+        report's record when the numerical stage ran).
     """
 
     predicted_drop: np.ndarray
@@ -59,6 +64,7 @@ class AnalysisResult:
     solver_seconds: float
     feature_seconds: float
     model_seconds: float
+    diagnostics: RunDiagnostics = field(default_factory=RunDiagnostics)
 
     @property
     def total_seconds(self) -> float:
@@ -208,6 +214,7 @@ class IRFusionPipeline:
         rough_drop = None
         voltages = None
         solver_seconds = 0.0
+        diagnostics = RunDiagnostics()
         if cfg.features.use_numerical:
             start = time.perf_counter()
             simulator = PowerRushSimulator(
@@ -217,6 +224,10 @@ class IRFusionPipeline:
             solver_seconds = time.perf_counter() - start
             voltages = report.voltages
             rough_drop = report.drop_image(geometry, layer=1)
+            diagnostics = report.diagnostics
+            # The repaired grid (e.g. ground-tied islands) is what the
+            # features must describe, or raster/solver views disagree.
+            grid = report.grid
 
         start = time.perf_counter()
         features = assemble_feature_stack(
@@ -259,6 +270,7 @@ class IRFusionPipeline:
             solver_seconds=solver_seconds,
             feature_seconds=feature_seconds,
             model_seconds=model_seconds,
+            diagnostics=diagnostics,
         )
 
     # -- persistence ----------------------------------------------------------------

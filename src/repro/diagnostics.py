@@ -1,0 +1,70 @@
+"""Run-level diagnostics: what the fault-tolerant runtime did and why.
+
+Aggregates the records produced by the individual protection layers —
+validation issues found in the input, repairs applied to make it solvable,
+and the solver cascade's attempt/fallback history — into one structure
+that rides on :class:`~repro.solvers.powerrush.SimulationReport` and
+:class:`~repro.core.pipeline.AnalysisResult` and is surfaced by the CLI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.solvers.guard import SolverDiagnostics
+from repro.spice.validate import RepairRecord, ValidationIssue
+
+
+@dataclass
+class RunDiagnostics:
+    """Everything non-nominal that happened during one analysis run.
+
+    Attributes
+    ----------
+    validation:
+        Issues detected in the input deck/grid before solving.
+    repairs:
+        Repairs applied to make the input solvable.
+    solver:
+        The fallback cascade's attempt history (``None`` when the
+        numerical stage was ablated).
+    warnings:
+        Free-form notes from other stages (feature guards, trainer).
+    """
+
+    validation: list[ValidationIssue] = field(default_factory=list)
+    repairs: list[RepairRecord] = field(default_factory=list)
+    solver: SolverDiagnostics | None = None
+    warnings: list[str] = field(default_factory=list)
+
+    @property
+    def degraded(self) -> bool:
+        """True when any repair or solver fallback was needed."""
+        return bool(self.repairs) or (
+            self.solver is not None and self.solver.num_fallbacks > 0
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "validation": [i.to_dict() for i in self.validation],
+            "repairs": [r.to_dict() for r in self.repairs],
+            "solver": self.solver.to_dict() if self.solver is not None else None,
+            "warnings": list(self.warnings),
+            "degraded": self.degraded,
+        }
+
+    def summary_lines(self) -> list[str]:
+        """Human-readable block for CLI output (always non-empty)."""
+        lines = [
+            f"diagnostics: degraded={str(self.degraded).lower()} "
+            f"issues={len(self.validation)} repairs={len(self.repairs)}"
+        ]
+        for issue in self.validation:
+            lines.append(f"  issue[{issue.kind}]: {issue.message}")
+        for repair in self.repairs:
+            lines.append(f"  repair[{repair.action}]: {repair.detail}")
+        if self.solver is not None:
+            lines.append(f"  {self.solver.summary()}")
+        for note in self.warnings:
+            lines.append(f"  warning: {note}")
+        return lines

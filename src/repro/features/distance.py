@@ -12,6 +12,8 @@ Pixels containing a pad get distance 0.
 
 from __future__ import annotations
 
+import warnings
+
 import numpy as np
 
 from repro.grid.geometry import GridGeometry
@@ -47,4 +49,16 @@ def effective_distance_map(
         inverse_sum += 1.0 / distance
     if not inverse_sum.any():
         raise ValueError("no structured pads; effective distance undefined")
-    return 1.0 / inverse_sum
+    # Guard the final division explicitly: pads astronomically far from a
+    # pixel can underflow the inverse sum to exactly 0, which would emit
+    # inf into the feature channel.
+    tiny = np.finfo(float).tiny
+    underflowed = int((inverse_sum < tiny).sum())
+    if underflowed:
+        warnings.warn(
+            f"effective_distance_map: {underflowed} pixel(s) underflowed the "
+            "harmonic sum; clamping to the representable maximum distance",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+    return 1.0 / np.maximum(inverse_sum, tiny)

@@ -9,6 +9,8 @@ IR-drop image per metal layer.
 
 from __future__ import annotations
 
+import warnings
+
 import numpy as np
 
 from repro.grid.geometry import GridGeometry
@@ -39,6 +41,18 @@ def numerical_layer_maps(
         raise ValueError(
             f"expected {grid.num_nodes} voltages, got shape {voltages.shape}"
         )
+    bad = ~np.isfinite(voltages)
+    if bad.any():
+        # A guarded cascade never hands us NaN, but a caller feeding raw
+        # iterates might: replace with the supply level (zero drop) loudly
+        # rather than rasterising NaN into the model input.
+        warnings.warn(
+            f"numerical_layer_maps: {int(bad.sum())} non-finite voltage(s) "
+            "replaced with the supply level (zero drop)",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        voltages = np.where(bad, supply_voltage, voltages)
     drop = supply_voltage - voltages
     target_layers = layers if layers is not None else grid.layers_present()
     return {

@@ -12,6 +12,8 @@ Two PG-structure-level features from Section III-C:
 
 from __future__ import annotations
 
+import warnings
+
 import numpy as np
 
 from repro.grid.geometry import GridGeometry
@@ -53,9 +55,19 @@ def _pixels_on_span(
 
 
 def resistance_map(geometry: GridGeometry, grid: PowerGrid) -> np.ndarray:
-    """Total wire resistance per pixel, each wire spread over its span."""
+    """Total wire resistance per pixel, each wire spread over its span.
+
+    Wires with non-finite or negative resistance are skipped with an
+    explicit warning rather than letting NaN/garbage leak into the feature
+    channel (a repaired netlist should never contain any, but the map must
+    stay finite even on raw inputs).
+    """
     image = np.zeros(geometry.shape, dtype=float)
+    skipped = 0
     for wire in grid.wires:
+        if not np.isfinite(wire.resistance) or wire.resistance < 0:
+            skipped += 1
+            continue
         node_a = grid.node(wire.node_a)
         node_b = grid.node(wire.node_b)
         if node_a.structured is None or node_b.structured is None:
@@ -66,6 +78,13 @@ def resistance_map(geometry: GridGeometry, grid: PowerGrid) -> np.ndarray:
         share = wire.resistance / len(pixels)
         for row, col in pixels:
             image[row, col] += share
+    if skipped:
+        warnings.warn(
+            f"resistance_map: skipped {skipped} wire(s) with non-finite or "
+            "negative resistance",
+            RuntimeWarning,
+            stacklevel=2,
+        )
     return image
 
 
@@ -115,5 +134,23 @@ def shortest_path_resistance_map(
     else:
         nodes = grid.nodes_on_layer(layer)
     finite_nodes = [n for n in nodes if np.isfinite(distances[n.index])]
+    if nodes and not finite_nodes:
+        # Every node on the layer is floating: emit a defined (zero) map
+        # with a warning instead of dividing by an empty rasterisation.
+        warnings.warn(
+            "shortest_path_resistance_map: no node has a finite path "
+            "resistance to a pad; returning zeros",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return np.zeros(geometry.shape, dtype=float)
+    dropped = len(nodes) - len(finite_nodes)
+    if dropped:
+        warnings.warn(
+            f"shortest_path_resistance_map: ignoring {dropped} floating "
+            "node(s) with infinite path resistance",
+            RuntimeWarning,
+            stacklevel=2,
+        )
     values = np.array([distances[n.index] for n in finite_nodes], dtype=float)
     return rasterize(geometry, finite_nodes, values, reduce="mean")

@@ -164,6 +164,28 @@ class PowerGrid:
             )
         node.pad_voltage = pad.voltage
 
+    def clone(self) -> "PowerGrid":
+        """Independent copy: repairs may mutate nodes without aliasing.
+
+        Wires are immutable (frozen dataclass) and shared; node records and
+        adjacency lists are copied.
+        """
+        other = PowerGrid()
+        other._nodes = [
+            PGNode(
+                index=n.index,
+                name=n.name,
+                structured=n.structured,
+                load_current=n.load_current,
+                pad_voltage=n.pad_voltage,
+            )
+            for n in self._nodes
+        ]
+        other._index_of = dict(self._index_of)
+        other._wires = list(self._wires)
+        other._adjacency = [list(a) for a in self._adjacency]
+        return other
+
     # -- queries -----------------------------------------------------------
 
     @property

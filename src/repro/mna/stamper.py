@@ -19,7 +19,9 @@ from repro.grid.topology import validate_connectivity
 from repro.mna.system import FullMNASystem, ReducedSystem
 
 
-def build_reduced_system(grid: PowerGrid, validate: bool = True) -> ReducedSystem:
+def build_reduced_system(
+    grid: PowerGrid, validate: bool = True, check_diagonal: bool = True
+) -> ReducedSystem:
     """Assemble the SPD reduced system ``G x = b`` over non-pad nodes.
 
     Pad nodes are eliminated: their known voltage ``v_p`` moves coupling
@@ -33,6 +35,11 @@ def build_reduced_system(grid: PowerGrid, validate: bool = True) -> ReducedSyste
     validate:
         Run connectivity validation first (recommended; guarantees the
         result is nonsingular).
+    check_diagonal:
+        After stamping, verify every diagonal entry is positive and finite
+        (cheap) and raise :class:`ValueError` naming the offending nodes
+        otherwise — a singular/indefinite ``G`` must never reach a solver
+        silently.
     """
     if validate:
         validate_connectivity(grid)
@@ -81,6 +88,15 @@ def build_reduced_system(grid: PowerGrid, validate: bool = True) -> ReducedSyste
         (vals, (rows, cols)), shape=(n_unknown, n_unknown), dtype=float
     )
     matrix.sum_duplicates()
+    if check_diagonal:
+        bad = np.flatnonzero(~(diag > 0) | ~np.isfinite(diag))
+        if bad.size:
+            names = [grid.node(int(unknown_indices[r])).name for r in bad[:5]]
+            raise ValueError(
+                f"stamped G has {bad.size} non-positive/non-finite diagonal "
+                f"entries (e.g. nodes {names}); the system is singular or "
+                "indefinite — repair the netlist first"
+            )
     return ReducedSystem(
         matrix=matrix,
         rhs=rhs,

@@ -22,6 +22,15 @@ class Optimizer:
     def step(self) -> None:
         raise NotImplementedError
 
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Optimiser internal state as flat arrays (for checkpointing)."""
+        return {}
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        """Restore state written by :meth:`state_dict`."""
+        if state:
+            raise KeyError(f"unexpected optimizer state keys: {sorted(state)[:5]}")
+
 
 class SGD(Optimizer):
     """Stochastic gradient descent with classical momentum."""
@@ -51,6 +60,19 @@ class SGD(Optimizer):
             velocity *= self.momentum
             velocity += grad
             parameter.data -= self.lr * velocity
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        return {f"velocity.{i}": v.copy() for i, v in enumerate(self._velocity)}
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        expected = {f"velocity.{i}" for i in range(len(self._velocity))}
+        if set(state) != expected:
+            raise KeyError(
+                f"SGD state mismatch: got {sorted(state)[:5]}, "
+                f"expected {len(expected)} velocity arrays"
+            )
+        for i, velocity in enumerate(self._velocity):
+            velocity[...] = state[f"velocity.{i}"]
 
 
 class Adam(Optimizer):
@@ -93,6 +115,28 @@ class Adam(Optimizer):
             m_hat = m / bias1
             v_hat = v / bias2
             parameter.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        state = {f"m.{i}": m.copy() for i, m in enumerate(self._m)}
+        state.update({f"v.{i}": v.copy() for i, v in enumerate(self._v)})
+        state["t"] = np.array(self._t, dtype=np.int64)
+        return state
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        expected = (
+            {f"m.{i}" for i in range(len(self._m))}
+            | {f"v.{i}" for i in range(len(self._v))}
+            | {"t"}
+        )
+        if set(state) != expected:
+            raise KeyError(
+                f"Adam state mismatch: got {sorted(state)[:5]}, "
+                f"expected m/v arrays for {len(self._m)} parameters plus 't'"
+            )
+        for i in range(len(self._m)):
+            self._m[i][...] = state[f"m.{i}"]
+            self._v[i][...] = state[f"v.{i}"]
+        self._t = int(state["t"])
 
 
 def clip_grad_norm(parameters: list[Parameter], max_norm: float) -> float:

@@ -1,12 +1,26 @@
-"""Model checkpointing: state dicts to/from ``.npz`` archives."""
+"""Model checkpointing: state dicts to/from ``.npz`` archives.
+
+Two formats live here:
+
+- **Weights-only** (:func:`save_state` / :func:`load_state`) — just the
+  module's parameters/buffers; used for deployment checkpoints.
+- **Training checkpoints** (:func:`save_checkpoint` /
+  :func:`load_checkpoint`) — arbitrary named arrays (model + optimiser
+  state) plus a JSON metadata blob (epoch counter, RNG state, history),
+  enabling bit-exact resume after an interruption.
+"""
 
 from __future__ import annotations
 
+import json
 import os
 
 import numpy as np
 
 from repro.nn.module import Module
+
+#: Reserved array name holding the JSON metadata inside checkpoint archives.
+_META_KEY = "__checkpoint_meta__"
 
 
 def save_state(module: Module, path: str | os.PathLike[str]) -> None:
@@ -21,3 +35,44 @@ def load_state(module: Module, path: str | os.PathLike[str]) -> None:
     """Load an archive written by :func:`save_state` into *module*."""
     with np.load(path) as archive:
         module.load_state_dict({key: archive[key] for key in archive.files})
+
+
+def save_checkpoint(
+    path: str | os.PathLike[str],
+    arrays: dict[str, np.ndarray],
+    meta: dict,
+) -> None:
+    """Write named arrays plus JSON-serialisable metadata atomically.
+
+    The archive is written to a temporary sibling first and renamed into
+    place, so a crash mid-write never corrupts the previous checkpoint.
+    """
+    if _META_KEY in arrays:
+        raise ValueError(f"array name {_META_KEY!r} is reserved")
+    payload = dict(arrays)
+    payload[_META_KEY] = np.frombuffer(
+        json.dumps(meta).encode("utf-8"), dtype=np.uint8
+    )
+    path = os.fspath(path)
+    tmp = f"{path}.tmp"
+    np.savez_compressed(tmp, **payload)
+    # numpy appends .npz when the filename lacks it
+    written = tmp if os.path.exists(tmp) else f"{tmp}.npz"
+    os.replace(written, path)
+
+
+def load_checkpoint(
+    path: str | os.PathLike[str],
+) -> tuple[dict[str, np.ndarray], dict]:
+    """Read ``(arrays, meta)`` written by :func:`save_checkpoint`."""
+    with np.load(path) as archive:
+        if _META_KEY not in archive.files:
+            raise ValueError(
+                f"{os.fspath(path)!r} is not a training checkpoint "
+                "(missing metadata; was it written by save_state?)"
+            )
+        meta = json.loads(archive[_META_KEY].tobytes().decode("utf-8"))
+        arrays = {
+            key: archive[key] for key in archive.files if key != _META_KEY
+        }
+    return arrays, meta

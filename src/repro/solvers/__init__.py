@@ -19,6 +19,13 @@ from repro.solvers.base import SolveResult, SolverOptions
 from repro.solvers.cg import CGSolver, JacobiPCGSolver
 from repro.solvers.cycles import CyclePreconditioner
 from repro.solvers.direct import DirectSolver
+from repro.solvers.guard import (
+    FallbackCascade,
+    GuardrailOptions,
+    IterationGuard,
+    SolverDiagnostics,
+    SolverFailure,
+)
 from repro.solvers.powerrush import PowerRushSimulator, SimulationReport
 from repro.solvers.incremental import IncrementalAnalyzer, IncrementalSolve
 from repro.solvers.macromodel import SchurReduction, layer_port_rows
@@ -33,6 +40,11 @@ __all__ = [
     "CGSolver",
     "CyclePreconditioner",
     "DirectSolver",
+    "FallbackCascade",
+    "GuardrailOptions",
+    "IterationGuard",
+    "SolverDiagnostics",
+    "SolverFailure",
     "IncrementalAnalyzer",
     "IncrementalSolve",
     "JacobiPCGSolver",

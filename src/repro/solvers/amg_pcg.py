@@ -15,6 +15,7 @@ from repro.solvers.amg import AMGHierarchy, AMGOptions, build_hierarchy
 from repro.solvers.base import SolveResult, SolverOptions, Timer, check_system
 from repro.solvers.cg import _pcg
 from repro.solvers.cycles import CycleOptions, CyclePreconditioner
+from repro.solvers.guard import GuardrailOptions, IterationGuard
 
 
 class AMGPCGSolver:
@@ -30,10 +31,12 @@ class AMGPCGSolver:
         options: SolverOptions | None = None,
         amg_options: AMGOptions | None = None,
         cycle_options: CycleOptions | None = None,
+        guard_options: GuardrailOptions | None = None,
     ) -> None:
         self.options = options or SolverOptions()
         self.amg_options = amg_options or AMGOptions()
         self.cycle_options = cycle_options or CycleOptions()
+        self.guard_options = guard_options
         self._cached_matrix_id: int | None = None
         self._cached_preconditioner: CyclePreconditioner | None = None
         self._cached_setup_seconds: float = 0.0
@@ -66,9 +69,12 @@ class AMGPCGSolver:
         matrix: sp.spmatrix,
         rhs: np.ndarray,
         x0: np.ndarray | None = None,
+        guard: IterationGuard | None = None,
     ) -> SolveResult:
         csr = check_system(matrix, rhs)
         preconditioner = self.setup(matrix)
+        if guard is None and self.guard_options is not None:
+            guard = IterationGuard(self.guard_options, solver_name="amg_pcg")
         result = _pcg(
             csr,
             rhs,
@@ -76,6 +82,7 @@ class AMGPCGSolver:
             preconditioner=preconditioner.apply,
             options=self.options,
             flexible=True,
+            guard=guard,
         )
         result.setup_seconds += self._cached_setup_seconds
         return result

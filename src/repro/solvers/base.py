@@ -55,6 +55,12 @@ class SolveResult:
         when history recording is on.
     setup_seconds, solve_seconds:
         Wall-clock split between preconditioner setup and iteration.
+    aborted:
+        ``None`` for a clean run; otherwise the guardrail trip reason
+        (``"nan_residual"``, ``"diverged"``, ``"stagnated"``,
+        ``"time_budget"``, ``"indefinite_matrix"``) that stopped iteration
+        early.  A non-``None`` value means the iterate should not be
+        trusted and the fallback cascade treats the attempt as failed.
     """
 
     x: np.ndarray
@@ -63,6 +69,7 @@ class SolveResult:
     residual_norms: list[float] = field(default_factory=list)
     setup_seconds: float = 0.0
     solve_seconds: float = 0.0
+    aborted: str | None = None
 
     @property
     def final_residual(self) -> float:

@@ -2,7 +2,10 @@
 
 These are the classical Krylov baselines (Chen & Chen, DAC'01 lineage) that
 AMG-PCG is compared against; they share the iteration skeleton used by
-:class:`~repro.solvers.amg_pcg.AMGPCGSolver`.
+:class:`~repro.solvers.amg_pcg.AMGPCGSolver`.  Every solver accepts an
+optional :class:`~repro.solvers.guard.IterationGuard` watchdog that can
+abort a sick iteration (NaN residual, divergence, stagnation, blown time
+budget) without raising.
 """
 
 from __future__ import annotations
@@ -11,46 +14,68 @@ import numpy as np
 import scipy.sparse as sp
 
 from repro.solvers.base import SolveResult, SolverOptions, Timer, check_system
+from repro.solvers.guard import GuardrailOptions, IterationGuard
 
 
 class CGSolver:
     """Unpreconditioned conjugate gradients for SPD systems."""
 
-    def __init__(self, options: SolverOptions | None = None) -> None:
+    def __init__(
+        self,
+        options: SolverOptions | None = None,
+        guard_options: GuardrailOptions | None = None,
+    ) -> None:
         self.options = options or SolverOptions()
+        self.guard_options = guard_options
 
     def solve(
         self,
         matrix: sp.spmatrix,
         rhs: np.ndarray,
         x0: np.ndarray | None = None,
+        guard: IterationGuard | None = None,
     ) -> SolveResult:
         csr = check_system(matrix, rhs)
-        return _pcg(csr, rhs, x0, preconditioner=None, options=self.options)
+        if guard is None and self.guard_options is not None:
+            guard = IterationGuard(self.guard_options, solver_name="cg")
+        return _pcg(
+            csr, rhs, x0, preconditioner=None, options=self.options, guard=guard
+        )
 
 
 class JacobiPCGSolver:
     """CG preconditioned by the inverse diagonal (point Jacobi)."""
 
-    def __init__(self, options: SolverOptions | None = None) -> None:
+    def __init__(
+        self,
+        options: SolverOptions | None = None,
+        guard_options: GuardrailOptions | None = None,
+    ) -> None:
         self.options = options or SolverOptions()
+        self.guard_options = guard_options
 
     def solve(
         self,
         matrix: sp.spmatrix,
         rhs: np.ndarray,
         x0: np.ndarray | None = None,
+        guard: IterationGuard | None = None,
     ) -> SolveResult:
         csr = check_system(matrix, rhs)
         diag = csr.diagonal()
         if np.any(diag <= 0.0):
             raise ValueError("Jacobi preconditioning needs a positive diagonal")
         inv_diag = 1.0 / diag
+        if guard is None and self.guard_options is not None:
+            guard = IterationGuard(self.guard_options, solver_name="jacobi_pcg")
 
         def precondition(r: np.ndarray) -> np.ndarray:
             return inv_diag * r
 
-        return _pcg(csr, rhs, x0, preconditioner=precondition, options=self.options)
+        return _pcg(
+            csr, rhs, x0, preconditioner=precondition, options=self.options,
+            guard=guard,
+        )
 
 
 def _pcg(
@@ -60,12 +85,17 @@ def _pcg(
     preconditioner,
     options: SolverOptions,
     flexible: bool = False,
+    guard: IterationGuard | None = None,
 ) -> SolveResult:
     """Shared (optionally flexible) PCG iteration.
 
     With ``flexible=True`` the Polak-Ribiere form of beta is used,
     ``beta = z_{k+1}^T (r_{k+1} - r_k) / (z_k^T r_k)``, which tolerates a
     preconditioner that varies between iterations (the K-cycle does).
+
+    When a *guard* is supplied every residual norm flows through
+    :meth:`IterationGuard.observe`; a tripped guard stops the loop and the
+    trip reason lands in ``SolveResult.aborted``.
     """
     timer = Timer()
     n = rhs.shape[0]
@@ -73,10 +103,14 @@ def _pcg(
     r = rhs - matrix @ x
     rhs_norm = float(np.linalg.norm(rhs))
     target = options.tol * rhs_norm if rhs_norm > 0 else options.tol
-    history = [float(np.linalg.norm(r))] if options.record_history else []
+    initial_norm = float(np.linalg.norm(r))
+    if guard is not None:
+        initial_norm = guard.observe(0, initial_norm)
+    history = [initial_norm] if options.record_history else []
     setup = timer.lap()
+    aborted = guard.tripped if guard is not None else None
 
-    if history and history[0] <= target:
+    if aborted is None and initial_norm <= target:
         return SolveResult(
             x=x,
             iterations=0,
@@ -86,37 +120,49 @@ def _pcg(
             solve_seconds=timer.lap(),
         )
 
-    z = preconditioner(r) if preconditioner is not None else r.copy()
-    p = z.copy()
-    rz = float(r @ z)
     converged = False
     iterations = 0
+    if aborted is None:
+        z = preconditioner(r) if preconditioner is not None else r.copy()
+        p = z.copy()
+        rz = float(r @ z)
 
-    for _ in range(options.max_iterations):
-        ap = matrix @ p
-        pap = float(p @ ap)
-        if pap <= 0.0:
-            # A lost positive-definiteness numerically; stop with best iterate.
-            break
-        alpha = rz / pap
-        x += alpha * p
-        r_new = r - alpha * ap
-        iterations += 1
-        res_norm = float(np.linalg.norm(r_new))
-        if options.record_history:
-            history.append(res_norm)
-        if res_norm <= target:
+        for _ in range(options.max_iterations):
+            ap = matrix @ p
+            pap = float(p @ ap)
+            if not np.isfinite(pap):
+                aborted = "nan_residual"
+                break
+            if pap <= 0.0:
+                # A lost positive-definiteness numerically; stop with the
+                # best iterate (aborted so the cascade can degrade).
+                aborted = "indefinite_matrix"
+                break
+            alpha = rz / pap
+            x += alpha * p
+            r_new = r - alpha * ap
+            iterations += 1
+            res_norm = float(np.linalg.norm(r_new))
+            if guard is not None:
+                res_norm = guard.observe(iterations, res_norm)
+            if options.record_history:
+                history.append(res_norm)
+            if guard is not None and guard.tripped is not None:
+                aborted = guard.tripped
+                r = r_new
+                break
+            if res_norm <= target:
+                r = r_new
+                converged = True
+                break
+            z_new = preconditioner(r_new) if preconditioner is not None else r_new.copy()
+            if flexible:
+                beta = float(z_new @ (r_new - r)) / rz
+            else:
+                beta = float(r_new @ z_new) / rz
+            rz = float(r_new @ z_new)
+            p = z_new + beta * p
             r = r_new
-            converged = True
-            break
-        z_new = preconditioner(r_new) if preconditioner is not None else r_new.copy()
-        if flexible:
-            beta = float(z_new @ (r_new - r)) / rz
-        else:
-            beta = float(r_new @ z_new) / rz
-        rz = float(r_new @ z_new)
-        p = z_new + beta * p
-        r = r_new
 
     return SolveResult(
         x=x,
@@ -125,4 +171,5 @@ def _pcg(
         residual_norms=history,
         setup_seconds=setup,
         solve_seconds=timer.lap(),
+        aborted=aborted,
     )

@@ -1,0 +1,346 @@
+"""Solver guardrails and the automatic fallback cascade.
+
+The fusion framework tolerates *rough* solutions but not *broken* ones: a
+NaN residual, a diverging Krylov iteration or a stalled preconditioner all
+poison the numerical feature maps downstream.  This module adds two layers
+of protection:
+
+- :class:`IterationGuard` — per-iteration watchdog hooked into the shared
+  PCG loop: NaN/Inf residual detection, divergence and stagnation
+  detectors, and a wall-clock budget.
+- :class:`FallbackCascade` — tries AMG-PCG first, retries with adjusted
+  parameters (stronger smoothing, relaxed tolerance), then degrades to
+  Jacobi-PCG and finally a dense/direct solve.  Every attempt and every
+  fallback is recorded in a :class:`SolverDiagnostics`, never silent.
+
+A cap-limited non-converged solve is *not* a failure — the paper's rough
+regime deliberately stops after 1-10 iterations.  Failure means the guard
+tripped, the solver raised, or the iterate contains non-finite entries.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, replace
+from typing import Callable
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.solvers.base import SolveResult, SolverOptions
+
+#: Signature of a fault hook: ``(solver_name, iteration, residual) -> residual``.
+#: Used by the deterministic fault-injection harness to corrupt the residual
+#: stream a guard observes; production code leaves it ``None``.
+FaultHook = Callable[[str, int, float], float]
+
+
+@dataclass(frozen=True)
+class GuardrailOptions:
+    """Watchdog thresholds applied per solve attempt.
+
+    Attributes
+    ----------
+    max_seconds:
+        Wall-clock budget for one attempt (``None`` = unlimited).
+    divergence_factor:
+        Trip when the residual norm exceeds this multiple of the initial
+        residual (the iteration is exploding, not converging).
+    stagnation_window:
+        Number of consecutive iterations over which progress is measured.
+    stagnation_improvement:
+        Minimum relative residual reduction demanded over the window;
+        less progress than this trips the stagnation detector.
+    fault_hook:
+        Test-only residual corruption hook (see :data:`FaultHook`).
+    """
+
+    max_seconds: float | None = None
+    divergence_factor: float = 1e6
+    stagnation_window: int = 25
+    stagnation_improvement: float = 1e-4
+    fault_hook: FaultHook | None = None
+
+    def __post_init__(self) -> None:
+        if self.divergence_factor <= 1.0:
+            raise ValueError("divergence_factor must exceed 1")
+        if self.stagnation_window < 2:
+            raise ValueError("stagnation_window must be at least 2")
+
+
+class IterationGuard:
+    """Stateful per-iteration watchdog for one solve attempt.
+
+    The PCG loop calls :meth:`observe` with each new residual norm; the
+    (possibly fault-corrupted) value is returned for the convergence test
+    and :attr:`tripped` holds the abort reason once a detector fires.
+    """
+
+    def __init__(
+        self, options: GuardrailOptions | None = None, solver_name: str = "solver"
+    ) -> None:
+        self.options = options or GuardrailOptions()
+        self.solver_name = solver_name
+        self.tripped: str | None = None
+        self._initial: float | None = None
+        self._window: list[float] = []
+        self._start = time.perf_counter()
+
+    def observe(self, iteration: int, residual_norm: float) -> float:
+        """Feed one residual norm; returns it (after any fault injection)."""
+        opts = self.options
+        if opts.fault_hook is not None:
+            residual_norm = float(
+                opts.fault_hook(self.solver_name, iteration, residual_norm)
+            )
+        if self.tripped is not None:
+            return residual_norm
+        if not np.isfinite(residual_norm):
+            self.tripped = "nan_residual"
+            return residual_norm
+        if self._initial is None:
+            self._initial = max(residual_norm, np.finfo(float).tiny)
+            return residual_norm
+        if residual_norm > opts.divergence_factor * self._initial:
+            self.tripped = "diverged"
+            return residual_norm
+        self._window.append(residual_norm)
+        if len(self._window) > opts.stagnation_window:
+            oldest = self._window.pop(0)
+            if oldest > 0 and (
+                1.0 - min(self._window) / oldest
+            ) < opts.stagnation_improvement:
+                self.tripped = "stagnated"
+                return residual_norm
+        if (
+            opts.max_seconds is not None
+            and time.perf_counter() - self._start > opts.max_seconds
+        ):
+            self.tripped = "time_budget"
+        return residual_norm
+
+    @property
+    def seconds_elapsed(self) -> float:
+        return time.perf_counter() - self._start
+
+
+@dataclass(frozen=True)
+class AttemptRecord:
+    """One solve attempt inside the cascade (success or failure)."""
+
+    solver: str
+    converged: bool
+    iterations: int
+    final_residual: float
+    seconds: float
+    aborted: str | None = None
+    error: str | None = None
+
+    @property
+    def failed(self) -> bool:
+        return self.aborted is not None or self.error is not None
+
+    def to_dict(self) -> dict:
+        return {
+            "solver": self.solver,
+            "converged": self.converged,
+            "iterations": self.iterations,
+            "final_residual": self.final_residual,
+            "seconds": self.seconds,
+            "aborted": self.aborted,
+            "error": self.error,
+        }
+
+
+@dataclass
+class SolverDiagnostics:
+    """Everything the cascade did for one linear system."""
+
+    attempts: list[AttemptRecord] = field(default_factory=list)
+    fallbacks: list[str] = field(default_factory=list)
+
+    @property
+    def final_solver(self) -> str | None:
+        """Name of the attempt that produced the returned solution."""
+        for attempt in reversed(self.attempts):
+            if not attempt.failed:
+                return attempt.solver
+        return None
+
+    @property
+    def num_fallbacks(self) -> int:
+        return len(self.fallbacks)
+
+    @property
+    def budget_seconds(self) -> float:
+        """Total wall clock consumed across every attempt."""
+        return sum(a.seconds for a in self.attempts)
+
+    def to_dict(self) -> dict:
+        return {
+            "attempts": [a.to_dict() for a in self.attempts],
+            "fallbacks": list(self.fallbacks),
+            "final_solver": self.final_solver,
+            "budget_seconds": self.budget_seconds,
+        }
+
+    def summary(self) -> str:
+        """One-line human-readable record for CLI output."""
+        chain = " -> ".join(a.solver for a in self.attempts) or "none"
+        return (
+            f"solver_chain={chain} final={self.final_solver} "
+            f"fallbacks={self.num_fallbacks}"
+        )
+
+
+class SolverFailure(RuntimeError):
+    """Raised when every stage of the fallback cascade failed."""
+
+    def __init__(self, message: str, diagnostics: SolverDiagnostics) -> None:
+        super().__init__(message)
+        self.diagnostics = diagnostics
+
+
+def _attempt_failed(result: SolveResult) -> str | None:
+    """Classify a completed solve: abort reason, non-finite iterate, or OK."""
+    if result.aborted is not None:
+        return result.aborted
+    if not np.all(np.isfinite(result.x)):
+        return "non_finite_solution"
+    return None
+
+
+class FallbackCascade:
+    """AMG-PCG → AMG-PCG (adjusted) → Jacobi-PCG → direct, guarded.
+
+    Parameters
+    ----------
+    options:
+        Iteration controls for the Krylov stages.
+    amg_options, cycle_options:
+        Primary AMG-PCG configuration (defaults used when omitted).
+    guard_options:
+        Watchdog thresholds shared by all guarded stages.
+    retry:
+        Include the adjusted-parameter AMG-PCG retry stage (stronger
+        smoothing, 10x relaxed tolerance) between the primary attempt and
+        Jacobi-PCG.
+    """
+
+    def __init__(
+        self,
+        options: SolverOptions | None = None,
+        amg_options=None,
+        cycle_options=None,
+        guard_options: GuardrailOptions | None = None,
+        retry: bool = True,
+    ) -> None:
+        self.options = options or SolverOptions()
+        self.amg_options = amg_options
+        self.cycle_options = cycle_options
+        self.guard_options = guard_options or GuardrailOptions()
+        self.retry = retry
+
+    # -- stages -------------------------------------------------------------
+
+    def _stages(self) -> list[tuple[str, Callable]]:
+        from repro.solvers.amg import AMGOptions
+        from repro.solvers.amg_pcg import AMGPCGSolver
+        from repro.solvers.cg import JacobiPCGSolver
+        from repro.solvers.cycles import CycleOptions
+        from repro.solvers.direct import DirectSolver
+
+        amg_opts = self.amg_options or AMGOptions()
+        cycle_opts = self.cycle_options or CycleOptions()
+
+        def primary() -> AMGPCGSolver:
+            return AMGPCGSolver(
+                options=self.options,
+                amg_options=amg_opts,
+                cycle_options=cycle_opts,
+            )
+
+        def adjusted() -> AMGPCGSolver:
+            # Stronger smoothing + relaxed tolerance: trades per-iteration
+            # cost for robustness on systems that defeated the primary setup.
+            stronger = replace(
+                cycle_opts,
+                presmooth_sweeps=cycle_opts.presmooth_sweeps + 1,
+                postsmooth_sweeps=cycle_opts.postsmooth_sweeps + 1,
+                smoother="gauss_seidel",
+            )
+            relaxed = replace(self.options, tol=self.options.tol * 10.0)
+            return AMGPCGSolver(
+                options=relaxed, amg_options=amg_opts, cycle_options=stronger
+            )
+
+        def jacobi() -> JacobiPCGSolver:
+            return JacobiPCGSolver(options=self.options)
+
+        stages: list[tuple[str, Callable]] = [("amg_pcg", primary)]
+        if self.retry:
+            stages.append(("amg_pcg_retry", adjusted))
+        stages.append(("jacobi_pcg", jacobi))
+        stages.append(("direct", DirectSolver))
+        return stages
+
+    # -- solving ------------------------------------------------------------
+
+    def solve(
+        self,
+        matrix: sp.spmatrix,
+        rhs: np.ndarray,
+        x0: np.ndarray | None = None,
+    ) -> tuple[SolveResult, SolverDiagnostics]:
+        """Solve with automatic degradation; never returns a broken iterate.
+
+        Returns the first healthy :class:`SolveResult` plus the diagnostics
+        of every attempt made.  Raises :class:`SolverFailure` only when the
+        final direct stage also fails (e.g. an exactly singular matrix that
+        upstream repair did not catch).
+        """
+        diagnostics = SolverDiagnostics()
+        stages = self._stages()
+        for position, (name, factory) in enumerate(stages):
+            guard = IterationGuard(self.guard_options, solver_name=name)
+            start = time.perf_counter()
+            try:
+                solver = factory()
+                if name == "direct":
+                    result = solver.solve(matrix, rhs, x0=x0)
+                else:
+                    result = solver.solve(matrix, rhs, x0=x0, guard=guard)
+            except Exception as exc:  # noqa: BLE001 — any stage error degrades
+                diagnostics.attempts.append(
+                    AttemptRecord(
+                        solver=name,
+                        converged=False,
+                        iterations=0,
+                        final_residual=float("nan"),
+                        seconds=time.perf_counter() - start,
+                        error=f"{type(exc).__name__}: {exc}",
+                    )
+                )
+            else:
+                reason = _attempt_failed(result)
+                diagnostics.attempts.append(
+                    AttemptRecord(
+                        solver=name,
+                        converged=result.converged,
+                        iterations=result.iterations,
+                        final_residual=result.final_residual,
+                        seconds=time.perf_counter() - start,
+                        aborted=reason,
+                    )
+                )
+                if reason is None:
+                    return result, diagnostics
+            if position + 1 < len(stages):
+                diagnostics.fallbacks.append(stages[position + 1][0])
+        raise SolverFailure(
+            "all solver stages failed: "
+            + "; ".join(
+                f"{a.solver}={a.aborted or a.error}" for a in diagnostics.attempts
+            ),
+            diagnostics,
+        )

@@ -4,14 +4,22 @@ The paper's numerical baseline: SPICE deck in, per-node voltages and
 IR-drop maps out, with AMG-PCG doing the solving.  Capping
 ``max_iterations`` reproduces the rough-solution regime the fusion
 framework feeds into the ML model (and the Fig. 7 sweep).
+
+The simulator is fault-tolerant by default: the input grid is validated
+(and repaired — floating islands ground-tied) before stamping, and the
+solve runs through the :class:`~repro.solvers.guard.FallbackCascade`
+(AMG-PCG → adjusted retry → Jacobi-PCG → direct).  Everything non-nominal
+is recorded on ``SimulationReport.diagnostics``; set ``robust=False`` to
+restore the raise-on-anything behaviour for debugging.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.diagnostics import RunDiagnostics
 from repro.grid.geometry import GridGeometry
 from repro.grid.netlist import PowerGrid
 from repro.grid.raster import layer_values_image
@@ -21,8 +29,10 @@ from repro.solvers.amg import AMGOptions
 from repro.solvers.amg_pcg import AMGPCGSolver
 from repro.solvers.base import SolveResult, SolverOptions
 from repro.solvers.cycles import CycleOptions
+from repro.solvers.guard import FallbackCascade, GuardrailOptions
 from repro.spice.ast import Netlist
 from repro.spice.parser import parse_spice, parse_spice_file
+from repro.spice.validate import repair_grid, validate_grid
 
 
 @dataclass
@@ -32,7 +42,7 @@ class SimulationReport:
     Attributes
     ----------
     grid:
-        The analysed power grid.
+        The analysed power grid (post-repair when repairs were needed).
     system:
         The reduced linear system that was solved.
     voltages:
@@ -43,6 +53,9 @@ class SimulationReport:
         Solver statistics for the run.
     supply_voltage:
         The single supply level of the deck.
+    diagnostics:
+        Validation issues, repairs and solver fallback history for the
+        run (empty record when everything was nominal).
     """
 
     grid: PowerGrid
@@ -51,6 +64,7 @@ class SimulationReport:
     ir_drop: np.ndarray
     solve: SolveResult
     supply_voltage: float
+    diagnostics: RunDiagnostics = field(default_factory=RunDiagnostics)
 
     def worst_drop(self) -> float:
         """Maximum IR drop over all nodes (the signoff quantity)."""
@@ -103,6 +117,13 @@ class PowerRushSimulator:
         explicit ``amg_options``/``cycle_options`` are given.
     amg_options, cycle_options:
         Forwarded to the underlying solver, overriding the preset.
+    robust:
+        Validate/repair the grid before stamping and solve through the
+        fallback cascade (default).  ``False`` restores strict mode: any
+        problem raises immediately.
+    guard_options:
+        Watchdog thresholds for the guarded solve (robust mode only).
+        This is also the hook the fault-injection harness uses.
 
     Iterations start from the flat guess ``v = vdd`` (zero drop), the
     natural operating-point estimate a production simulator uses.
@@ -115,6 +136,8 @@ class PowerRushSimulator:
         preset: str = "quality",
         amg_options: AMGOptions | None = None,
         cycle_options: CycleOptions | None = None,
+        robust: bool = True,
+        guard_options: GuardrailOptions | None = None,
     ) -> None:
         if preset not in PRESETS:
             raise ValueError(
@@ -122,10 +145,15 @@ class PowerRushSimulator:
             )
         preset_amg, preset_cycle = PRESETS[preset]
         self.preset = preset
+        self.robust = robust
+        self.guard_options = guard_options or GuardrailOptions()
+        self.options = SolverOptions(tol=tol, max_iterations=max_iterations)
+        self.amg_options = amg_options or preset_amg
+        self.cycle_options = cycle_options or preset_cycle
         self.solver = AMGPCGSolver(
-            options=SolverOptions(tol=tol, max_iterations=max_iterations),
-            amg_options=amg_options or preset_amg,
-            cycle_options=cycle_options or preset_cycle,
+            options=self.options,
+            amg_options=self.amg_options,
+            cycle_options=self.cycle_options,
         )
 
     # -- entry points --------------------------------------------------------
@@ -158,9 +186,29 @@ class PowerRushSimulator:
                     f"cannot infer a single supply voltage from pads: {levels}"
                 )
             supply_voltage = levels.pop()
-        system = build_reduced_system(grid)
+
+        diagnostics = RunDiagnostics()
+        if self.robust:
+            diagnostics.validation = validate_grid(grid)
+            grid, diagnostics.repairs = repair_grid(grid, supply_voltage)
+            system = build_reduced_system(grid, validate=False)
+        else:
+            system = build_reduced_system(grid)
+
         flat_guess = np.full(system.size, supply_voltage, dtype=float)
-        result = self.solver.solve(system.matrix, system.rhs, x0=flat_guess)
+        if self.robust:
+            cascade = FallbackCascade(
+                options=self.options,
+                amg_options=self.amg_options,
+                cycle_options=self.cycle_options,
+                guard_options=self.guard_options,
+            )
+            result, diagnostics.solver = cascade.solve(
+                system.matrix, system.rhs, x0=flat_guess
+            )
+        else:
+            result = self.solver.solve(system.matrix, system.rhs, x0=flat_guess)
+
         voltages = system.scatter(result.x)
         ir_drop = supply_voltage - voltages
         return SimulationReport(
@@ -170,4 +218,5 @@ class PowerRushSimulator:
             ir_drop=ir_drop,
             solve=result,
             supply_voltage=supply_voltage,
+            diagnostics=diagnostics,
         )

@@ -19,18 +19,34 @@ from repro.spice.ast import CurrentSource, Netlist, Resistor, VoltageSource
 from repro.spice.nodes import GROUND, NodeName, format_node_name, parse_node_name
 from repro.spice.parser import SpiceParseError, parse_spice, parse_spice_file
 from repro.spice.preprocess import collapse_shorts, count_shorts
+from repro.spice.validate import (
+    NetlistValidationError,
+    RepairRecord,
+    ValidationIssue,
+    repair_grid,
+    repair_netlist,
+    validate_grid,
+    validate_netlist,
+)
 from repro.spice.writer import netlist_to_string, write_spice
 
 __all__ = [
     "CurrentSource",
     "GROUND",
     "Netlist",
+    "NetlistValidationError",
     "NodeName",
+    "RepairRecord",
     "Resistor",
     "SpiceParseError",
+    "ValidationIssue",
     "VoltageSource",
     "collapse_shorts",
     "count_shorts",
+    "repair_grid",
+    "repair_netlist",
+    "validate_grid",
+    "validate_netlist",
     "format_node_name",
     "netlist_to_string",
     "parse_node_name",

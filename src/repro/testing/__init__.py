@@ -1,0 +1,5 @@
+"""Deterministic fault injection for exercising degradation paths."""
+
+from repro.testing.faults import FaultPlan, corrupt_matrix, make_singular
+
+__all__ = ["FaultPlan", "corrupt_matrix", "make_singular"]

@@ -1,0 +1,115 @@
+"""Deterministic fault-injection harness.
+
+Every degradation path in the runtime — NaN residuals, diverging
+iterations, singular matrices, NaN losses — must be exercisable on
+schedule so tests can assert the *exact* fallback/recovery behaviour.
+A :class:`FaultPlan` is an explicit, deterministic schedule (no RNG, no
+globals): it is handed to the component under test and records every
+injection it performs, so a test can assert both that the fault fired and
+that the runtime absorbed it.
+
+Usage::
+
+    plan = FaultPlan(nan_residual={"amg_pcg": 2})
+    guard_options = GuardrailOptions(fault_hook=plan.residual_hook)
+    # ... run the cascade; AMG-PCG sees NaN at iteration 2, falls back.
+    assert plan.injections == [("amg_pcg", "nan_residual", 2)]
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+import scipy.sparse as sp
+
+
+@dataclass
+class FaultPlan:
+    """Schedule of faults to inject, keyed by component and step.
+
+    Attributes
+    ----------
+    nan_residual:
+        ``{solver_name: iteration}`` — replace the residual norm that the
+        guard observes with NaN at the given iteration of that solver.
+    divergence:
+        ``{solver_name: iteration}`` — from that iteration on, multiply
+        the observed residual by an exploding factor so the divergence
+        detector trips.
+    fail_stage:
+        Solver stage names that should raise an injected ``RuntimeError``
+        as soon as they observe a residual (simulates a crashing stage,
+        e.g. a preconditioner setup bug).
+    nan_loss_epochs:
+        Training epochs whose mean loss is replaced with NaN (exercises
+        NaN-loss recovery in the trainer).
+    injections:
+        Log of ``(component, kind, step)`` for every fault actually fired.
+    """
+
+    nan_residual: dict[str, int] = field(default_factory=dict)
+    divergence: dict[str, int] = field(default_factory=dict)
+    fail_stage: frozenset[str] | set[str] = field(default_factory=frozenset)
+    nan_loss_epochs: frozenset[int] | set[int] = field(default_factory=frozenset)
+    injections: list[tuple[str, str, int]] = field(default_factory=list)
+
+    # -- solver-side hooks --------------------------------------------------
+
+    def residual_hook(self, solver: str, iteration: int, value: float) -> float:
+        """`GuardrailOptions.fault_hook`-compatible residual corrupter."""
+        if solver in self.fail_stage:
+            self.injections.append((solver, "stage_error", iteration))
+            raise RuntimeError(f"injected failure in stage {solver!r}")
+        at = self.nan_residual.get(solver)
+        if at is not None and iteration >= at:
+            self.injections.append((solver, "nan_residual", iteration))
+            return float("nan")
+        at = self.divergence.get(solver)
+        if at is not None and iteration >= at:
+            self.injections.append((solver, "divergence", iteration))
+            # Absolute floor: even a nearly-converged residual must read as
+            # exploding, or fast solvers would dodge the injection.
+            return max(value, 1.0) * 10.0 ** (4 + 2 * (iteration - at))
+        return value
+
+    # -- trainer-side hooks -------------------------------------------------
+
+    def loss_hook(self, epoch: int, value: float) -> float:
+        """Replace the epoch loss with NaN on scheduled epochs."""
+        if epoch in self.nan_loss_epochs:
+            self.injections.append(("trainer", "nan_loss", epoch))
+            return float("nan")
+        return value
+
+    # -- bookkeeping --------------------------------------------------------
+
+    def fired(self, kind: str) -> int:
+        """How many injections of *kind* have fired so far."""
+        return sum(1 for _, k, _ in self.injections if k == kind)
+
+
+def corrupt_matrix(matrix: sp.spmatrix, row: int = 0) -> sp.csr_matrix:
+    """Copy of *matrix* with NaN poisoning one diagonal entry.
+
+    Any mat-vec touching the row propagates NaN into the residual, which
+    the guard must catch on the first observation.
+    """
+    poisoned = sp.csr_matrix(matrix, copy=True).tolil()
+    poisoned[row, row] = float("nan")
+    return poisoned.tocsr()
+
+
+def make_singular(matrix: sp.spmatrix, row: int = 0) -> sp.csr_matrix:
+    """Copy of *matrix* with one row/column zeroed (exactly singular)."""
+    singular = sp.csr_matrix(matrix, copy=True).tolil()
+    singular[row, :] = 0.0
+    singular[:, row] = 0.0
+    return singular.tocsr()
+
+
+def zero_row_rhs(rhs: np.ndarray, row: int = 0) -> np.ndarray:
+    """RHS companion to :func:`make_singular` (keeps the system consistent)."""
+    out = np.asarray(rhs, dtype=float).copy()
+    out[row] = 0.0
+    return out

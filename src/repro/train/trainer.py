@@ -3,11 +3,19 @@
 Labels are scaled (volts → ``label_scale`` units, default mV x 10) before
 entering the network so losses and gradients are well conditioned;
 predictions are scaled back transparently in :meth:`Trainer.predict`.
+
+The training loop is fault-tolerant: periodic checkpoints capture model +
+optimiser + RNG state for bit-exact resume (:meth:`Trainer.fit` with
+``resume_from``), and a non-finite epoch loss triggers NaN recovery —
+reload the last good state, halve the learning rate, continue — instead
+of silently corrupting the weights.
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
+from typing import Callable
 
 import numpy as np
 
@@ -16,6 +24,7 @@ from repro.data.dataset import DesignSample, IRDropDataset
 from repro.nn.losses import MAELoss, _Loss
 from repro.nn.module import Module
 from repro.nn.optim import Adam, clip_grad_norm
+from repro.nn.serialize import load_checkpoint, save_checkpoint
 from repro.train.schedule import ConstantLR
 
 
@@ -48,6 +57,21 @@ class TrainConfig:
         When > 0 and a validation set is passed to :meth:`Trainer.fit`,
         stop after this many epochs without validation-MAE improvement and
         restore the best weights seen.
+    checkpoint_every:
+        Save a resumable checkpoint every N epochs (0 disables); requires
+        ``checkpoint_path``.
+    checkpoint_path:
+        Where periodic checkpoints are written (single rotating file).
+    nan_recovery:
+        On a non-finite epoch loss: reload the last good model/optimiser
+        state, scale the learning rate by ``recovery_lr_factor`` and keep
+        training.  Off ⇒ the NaN epoch is recorded and training proceeds
+        with whatever weights the epoch produced (legacy behaviour).
+    max_recoveries:
+        Abort training (``history.aborted = "nan_loss"``) after this many
+        recoveries — the run is unsalvageable, don't spin forever.
+    recovery_lr_factor:
+        Learning-rate multiplier applied at each NaN recovery.
     """
 
     epochs: int = 10
@@ -59,6 +83,11 @@ class TrainConfig:
     residual: bool = True
     shuffle_seed: int = 0
     early_stop_patience: int = 0
+    checkpoint_every: int = 0
+    checkpoint_path: str | None = None
+    nan_recovery: bool = True
+    max_recoveries: int = 3
+    recovery_lr_factor: float = 0.5
 
 
 @dataclass
@@ -70,22 +99,63 @@ class TrainHistory:
     learning_rates: list[float] = field(default_factory=list)
     validation_mae: list[float] = field(default_factory=list)
     stopped_early: bool = False
+    recoveries: list[int] = field(default_factory=list)
+    resumed_from: int | None = None
+    aborted: str | None = None
 
     @property
     def final_loss(self) -> float:
+        """Last *finite* epoch loss (NaN epochs are recovery artefacts)."""
         if not self.epoch_losses:
             raise ValueError("no epochs recorded")
+        for loss in reversed(self.epoch_losses):
+            if np.isfinite(loss):
+                return loss
         return self.epoch_losses[-1]
 
     @property
     def best_validation_mae(self) -> float:
         if not self.validation_mae:
             raise ValueError("no validation metrics recorded")
-        return min(self.validation_mae)
+        finite = [m for m in self.validation_mae if np.isfinite(m)]
+        return min(finite) if finite else float("nan")
+
+    def to_meta(self) -> dict:
+        return {
+            "epoch_losses": [float(v) for v in self.epoch_losses],
+            "epoch_sizes": list(self.epoch_sizes),
+            "learning_rates": [float(v) for v in self.learning_rates],
+            "validation_mae": [float(v) for v in self.validation_mae],
+            "stopped_early": self.stopped_early,
+            "recoveries": list(self.recoveries),
+            "resumed_from": self.resumed_from,
+            "aborted": self.aborted,
+        }
+
+    @classmethod
+    def from_meta(cls, meta: dict) -> "TrainHistory":
+        return cls(
+            epoch_losses=[float(v) for v in meta.get("epoch_losses", [])],
+            epoch_sizes=list(meta.get("epoch_sizes", [])),
+            learning_rates=[float(v) for v in meta.get("learning_rates", [])],
+            validation_mae=[float(v) for v in meta.get("validation_mae", [])],
+            stopped_early=bool(meta.get("stopped_early", False)),
+            recoveries=list(meta.get("recoveries", [])),
+            resumed_from=meta.get("resumed_from"),
+            aborted=meta.get("aborted"),
+        )
 
 
 class Trainer:
-    """Fits a model to an :class:`IRDropDataset`."""
+    """Fits a model to an :class:`IRDropDataset`.
+
+    Parameters
+    ----------
+    fault_hook:
+        Test-only hook ``(epoch, loss) -> loss`` applied to each epoch's
+        mean loss before health checks — the fault-injection harness uses
+        it to exercise NaN-loss recovery deterministically.
+    """
 
     def __init__(
         self,
@@ -93,12 +163,70 @@ class Trainer:
         loss: _Loss | None = None,
         config: TrainConfig | None = None,
         lr_schedule=None,
+        fault_hook: Callable[[int, float], float] | None = None,
     ) -> None:
         self.model = model
         self.loss = loss or MAELoss()
         self.config = config or TrainConfig()
         self.lr_schedule = lr_schedule or ConstantLR(self.config.lr)
         self.optimizer = Adam(model.parameters(), lr=self.config.lr)
+        self.fault_hook = fault_hook
+
+    # -- checkpointing ---------------------------------------------------------
+
+    def _save_checkpoint(
+        self,
+        path: str | os.PathLike[str],
+        epoch: int,
+        rng: np.random.Generator,
+        history: TrainHistory,
+        lr_scale: float,
+    ) -> None:
+        arrays = {
+            f"model/{key}": value for key, value in self.model.state_dict().items()
+        }
+        arrays.update(
+            {
+                f"optim/{key}": value
+                for key, value in self.optimizer.state_dict().items()
+            }
+        )
+        meta = {
+            "epoch": epoch,
+            "lr_scale": lr_scale,
+            "rng_state": rng.bit_generator.state,
+            "history": history.to_meta(),
+            "config": {
+                "epochs": self.config.epochs,
+                "batch_size": self.config.batch_size,
+                "shuffle_seed": self.config.shuffle_seed,
+            },
+        }
+        save_checkpoint(path, arrays, meta)
+
+    def _restore_checkpoint(
+        self,
+        path: str | os.PathLike[str],
+        rng: np.random.Generator,
+    ) -> tuple[int, float, TrainHistory]:
+        """Load a checkpoint; returns (next epoch, lr_scale, history)."""
+        arrays, meta = load_checkpoint(path)
+        model_state = {
+            key[len("model/"):]: value
+            for key, value in arrays.items()
+            if key.startswith("model/")
+        }
+        optim_state = {
+            key[len("optim/"):]: value
+            for key, value in arrays.items()
+            if key.startswith("optim/")
+        }
+        self.model.load_state_dict(model_state)
+        self.optimizer.load_state_dict(optim_state)
+        rng.bit_generator.state = meta["rng_state"]
+        history = TrainHistory.from_meta(meta.get("history", {}))
+        history.resumed_from = int(meta["epoch"])
+        return int(meta["epoch"]) + 1, float(meta.get("lr_scale", 1.0)), history
 
     # -- fitting --------------------------------------------------------------
 
@@ -106,54 +234,104 @@ class Trainer:
         self,
         dataset: IRDropDataset,
         validation: IRDropDataset | None = None,
+        resume_from: str | os.PathLike[str] | None = None,
     ) -> TrainHistory:
         """Train for ``config.epochs`` epochs; returns the loss history.
 
         With a *validation* set, validation MAE is recorded per epoch and
         (when ``early_stop_patience`` > 0) training stops once it
         stagnates, restoring the best weights seen.
+
+        With *resume_from*, model/optimiser/RNG state are restored from a
+        checkpoint written by a previous run and training continues from
+        the next epoch, reproducing the uninterrupted run bit-exactly.
         """
         if len(dataset) == 0:
             raise ValueError("cannot train on an empty dataset")
-        rng = np.random.default_rng(self.config.shuffle_seed)
+        cfg = self.config
+        rng = np.random.default_rng(cfg.shuffle_seed)
+        start_epoch = 0
+        lr_scale = 1.0
+        history = TrainHistory()
+        if resume_from is not None:
+            start_epoch, lr_scale, history = self._restore_checkpoint(
+                resume_from, rng
+            )
         scheduler = (
-            CurriculumScheduler(total_epochs=self.config.epochs)
-            if self.config.use_curriculum
+            CurriculumScheduler(total_epochs=cfg.epochs)
+            if cfg.use_curriculum
             else None
         )
-        history = TrainHistory()
         best_mae = float("inf")
         best_state: dict | None = None
         stale_epochs = 0
+        finite_maes = [m for m in history.validation_mae if np.isfinite(m)]
+        if finite_maes:
+            best_mae = min(finite_maes)
+        last_good: tuple[dict, dict] | None = None
+        if cfg.nan_recovery:
+            last_good = (self.model.state_dict(), self.optimizer.state_dict())
         self.model.train()
-        for epoch in range(self.config.epochs):
+        for epoch in range(start_epoch, cfg.epochs):
             subset = (
                 scheduler.subset(dataset, epoch) if scheduler else dataset
             )
-            lr = float(self.lr_schedule(epoch))
+            lr = float(self.lr_schedule(epoch)) * lr_scale
             self.optimizer.lr = lr
             epoch_loss = self._run_epoch(subset, rng)
+            if self.fault_hook is not None:
+                epoch_loss = self.fault_hook(epoch, epoch_loss)
             history.epoch_losses.append(epoch_loss)
             history.epoch_sizes.append(len(subset))
             history.learning_rates.append(lr)
+            if not np.isfinite(epoch_loss):
+                history.recoveries.append(epoch)
+                if not cfg.nan_recovery:
+                    continue
+                if len(history.recoveries) > cfg.max_recoveries:
+                    history.aborted = "nan_loss"
+                    break
+                # Reload the last healthy weights and damp the step size;
+                # the sick epoch is recorded but never poisons the model.
+                model_state, optim_state = last_good
+                self.model.load_state_dict(model_state)
+                self.optimizer.load_state_dict(optim_state)
+                lr_scale *= cfg.recovery_lr_factor
+                continue
+            if cfg.nan_recovery:
+                last_good = (self.model.state_dict(), self.optimizer.state_dict())
             if validation is not None and len(validation) > 0:
                 mae = self._validation_mae(validation)
                 history.validation_mae.append(mae)
-                if mae < best_mae - 1e-12:
+                if np.isfinite(mae) and mae < best_mae - 1e-12:
                     best_mae = mae
                     stale_epochs = 0
-                    if self.config.early_stop_patience > 0:
+                    if cfg.early_stop_patience > 0:
                         best_state = self.model.state_dict()
                 else:
                     stale_epochs += 1
                     if (
-                        self.config.early_stop_patience > 0
-                        and stale_epochs >= self.config.early_stop_patience
+                        cfg.early_stop_patience > 0
+                        and stale_epochs >= cfg.early_stop_patience
                     ):
                         history.stopped_early = True
                         break
-        if best_state is not None and history.validation_mae and (
-            history.validation_mae[-1] > best_mae
+            if (
+                cfg.checkpoint_every > 0
+                and cfg.checkpoint_path is not None
+                and (epoch + 1) % cfg.checkpoint_every == 0
+            ):
+                self._save_checkpoint(
+                    cfg.checkpoint_path, epoch, rng, history, lr_scale
+                )
+        # Early stopping means later epochs regressed; always hand back the
+        # best validation weights, not just when the *final* epoch is worse.
+        if best_state is not None and (
+            history.stopped_early
+            or (
+                history.validation_mae
+                and not (history.validation_mae[-1] <= best_mae)
+            )
         ):
             self.model.load_state_dict(best_state)
         return history

@@ -107,3 +107,85 @@ class TestTrainAnalyze:
         )
         assert code == 0
         assert "PASS" in capsys.readouterr().out
+
+
+class TestDiagnosticsOutput:
+    def test_simulate_prints_diagnostics_block(self, deck_path, capsys):
+        assert main(["simulate", str(deck_path)]) == 0
+        out = capsys.readouterr().out
+        assert "diagnostics: degraded=false" in out
+
+    def test_simulate_reports_repairs_on_sick_deck(self, tmp_path, capsys):
+        deck = tmp_path / "island.sp"
+        deck.write_text(
+            "* floating island\n"
+            "R1 n1_m1_0_0 n1_m1_1000_0 1.0\n"
+            "I1 n1_m1_1000_0 0 0.01\n"
+            "V1 n1_m1_0_0 0 1.05\n"
+            "R9 n1_m1_5000_5000 n1_m1_6000_5000 2.0\n"
+            "I9 n1_m1_6000_5000 0 0.002\n"
+            ".end\n"
+        )
+        assert main(["simulate", str(deck)]) == 0
+        out = capsys.readouterr().out
+        assert "diagnostics: degraded=true" in out
+        assert "floating_nodes" in out
+        assert "ground_tie" in out
+
+
+class TestErrorHandling:
+    def test_missing_deck_exits_2(self, capsys):
+        code = main(["simulate", "/nonexistent/deck.sp"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: bad input:")
+        assert "Traceback" not in err
+
+    def test_malformed_deck_exits_2(self, tmp_path, capsys):
+        deck = tmp_path / "bad.sp"
+        deck.write_text("R1 only_two_tokens\n.end\n")
+        code = main(["simulate", str(deck)])
+        assert code == 2
+        assert "error: bad input:" in capsys.readouterr().err
+
+    def test_missing_model_meta_exits_2(self, tmp_path, deck_path, capsys):
+        code = main(["analyze", str(tmp_path / "no_model.npz"), str(deck_path)])
+        assert code == 2
+        assert "error: bad input:" in capsys.readouterr().err
+
+    def test_debug_reraises(self, tmp_path):
+        from repro.spice.parser import SpiceParseError
+
+        deck = tmp_path / "bad.sp"
+        deck.write_text("R1 only_two_tokens\n.end\n")
+        with pytest.raises(SpiceParseError):
+            main(["--debug", "simulate", str(deck)])
+
+    def test_solver_failure_exits_3(self, deck_path, capsys, monkeypatch):
+        from repro.solvers import powerrush
+        from repro.solvers.guard import SolverDiagnostics, SolverFailure
+
+        def explode(self, path):
+            raise SolverFailure(
+                "all fallback stages exhausted", SolverDiagnostics()
+            )
+
+        monkeypatch.setattr(
+            powerrush.PowerRushSimulator, "simulate_file", explode
+        )
+        code = main(["simulate", str(deck_path)])
+        assert code == 3
+        assert "error: solver failure:" in capsys.readouterr().err
+
+    def test_unexpected_error_exits_1(self, deck_path, capsys, monkeypatch):
+        from repro.solvers import powerrush
+
+        def explode(self, path):
+            raise RuntimeError("boom")
+
+        monkeypatch.setattr(
+            powerrush.PowerRushSimulator, "simulate_file", explode
+        )
+        code = main(["simulate", str(deck_path)])
+        assert code == 1
+        assert "RuntimeError" in capsys.readouterr().err

@@ -1,0 +1,201 @@
+"""Tests for solver guardrails and the fallback cascade (fault-injected)."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.mna.stamper import build_reduced_system
+from repro.solvers.cg import CGSolver, JacobiPCGSolver
+from repro.solvers.guard import (
+    FallbackCascade,
+    GuardrailOptions,
+    IterationGuard,
+    SolverFailure,
+)
+from repro.testing.faults import FaultPlan, corrupt_matrix, make_singular
+
+
+def small_spd(n: int = 12) -> tuple[sp.csr_matrix, np.ndarray]:
+    """A small SPD tridiagonal system (1D resistor chain)."""
+    main = 2.0 * np.ones(n)
+    off = -1.0 * np.ones(n - 1)
+    matrix = sp.diags([off, main, off], offsets=(-1, 0, 1)).tocsr()
+    rhs = np.linspace(0.1, 1.0, n)
+    return matrix, rhs
+
+
+class TestIterationGuard:
+    def test_nan_residual_trips(self):
+        guard = IterationGuard()
+        guard.observe(0, 1.0)
+        guard.observe(1, float("nan"))
+        assert guard.tripped == "nan_residual"
+
+    def test_divergence_trips(self):
+        guard = IterationGuard(GuardrailOptions(divergence_factor=10.0))
+        guard.observe(0, 1.0)
+        guard.observe(1, 5.0)
+        assert guard.tripped is None
+        guard.observe(2, 100.0)
+        assert guard.tripped == "diverged"
+
+    def test_stagnation_trips(self):
+        guard = IterationGuard(
+            GuardrailOptions(stagnation_window=3, stagnation_improvement=0.01)
+        )
+        guard.observe(0, 1.0)
+        for i in range(1, 10):
+            guard.observe(i, 0.5)  # zero progress forever
+            if guard.tripped:
+                break
+        assert guard.tripped == "stagnated"
+
+    def test_healthy_convergence_never_trips(self):
+        guard = IterationGuard()
+        norms = [10.0 * 0.5**k for k in range(30)]
+        for i, norm in enumerate(norms):
+            guard.observe(i, norm)
+        assert guard.tripped is None
+
+    def test_time_budget(self, monkeypatch):
+        guard = IterationGuard(GuardrailOptions(max_seconds=0.0))
+        guard.observe(0, 1.0)
+        guard.observe(1, 0.9)
+        assert guard.tripped == "time_budget"
+
+
+class TestGuardedPCG:
+    def test_nan_matrix_aborts_not_raises(self):
+        matrix, rhs = small_spd()
+        poisoned = corrupt_matrix(matrix, row=3)
+        result = CGSolver().solve(poisoned, rhs, guard=IterationGuard())
+        assert result.aborted == "nan_residual"
+        assert not result.converged
+
+    def test_clean_solve_unaffected_by_guard(self):
+        matrix, rhs = small_spd()
+        guarded = JacobiPCGSolver().solve(matrix, rhs, guard=IterationGuard())
+        plain = JacobiPCGSolver().solve(matrix, rhs)
+        assert guarded.aborted is None
+        assert guarded.converged
+        np.testing.assert_allclose(guarded.x, plain.x)
+
+    def test_fault_hook_corrupts_on_schedule(self):
+        matrix, rhs = small_spd()
+        plan = FaultPlan(nan_residual={"cg": 2})
+        guard = IterationGuard(
+            GuardrailOptions(fault_hook=plan.residual_hook), solver_name="cg"
+        )
+        result = CGSolver().solve(matrix, rhs, guard=guard)
+        assert result.aborted == "nan_residual"
+        assert result.iterations == 2
+        assert plan.fired("nan_residual") == 1
+
+
+class TestFallbackCascade:
+    def test_healthy_system_single_attempt(self):
+        matrix, rhs = small_spd()
+        result, diagnostics = FallbackCascade().solve(matrix, rhs)
+        assert result.converged
+        assert [a.solver for a in diagnostics.attempts] == ["amg_pcg"]
+        assert diagnostics.fallbacks == []
+        assert diagnostics.final_solver == "amg_pcg"
+
+    def test_forced_amg_divergence_falls_back_to_pcg_then_direct(self):
+        matrix, rhs = small_spd()
+        plan = FaultPlan(
+            divergence={
+                "amg_pcg": 1,
+                "amg_pcg_retry": 1,
+                "jacobi_pcg": 1,
+            }
+        )
+        cascade = FallbackCascade(
+            guard_options=GuardrailOptions(
+                divergence_factor=10.0, fault_hook=plan.residual_hook
+            )
+        )
+        result, diagnostics = cascade.solve(matrix, rhs)
+        assert result.converged
+        assert np.all(np.isfinite(result.x))
+        # The full degradation chain is observable, in order.
+        assert [a.solver for a in diagnostics.attempts] == [
+            "amg_pcg", "amg_pcg_retry", "jacobi_pcg", "direct",
+        ]
+        assert diagnostics.final_solver == "direct"
+        assert diagnostics.num_fallbacks == 3
+        for attempt in diagnostics.attempts[:3]:
+            assert attempt.aborted == "diverged"
+
+    def test_nan_residual_fault_degrades(self):
+        matrix, rhs = small_spd()
+        plan = FaultPlan(nan_residual={"amg_pcg": 1})
+        cascade = FallbackCascade(
+            guard_options=GuardrailOptions(fault_hook=plan.residual_hook)
+        )
+        result, diagnostics = cascade.solve(matrix, rhs)
+        assert result.converged
+        assert diagnostics.attempts[0].aborted == "nan_residual"
+        assert diagnostics.final_solver == "amg_pcg_retry"
+
+    def test_injected_stage_error_recorded(self):
+        matrix, rhs = small_spd()
+        plan = FaultPlan(fail_stage={"amg_pcg"})
+        cascade = FallbackCascade(
+            guard_options=GuardrailOptions(fault_hook=plan.residual_hook)
+        )
+        result, diagnostics = cascade.solve(matrix, rhs)
+        assert result.converged
+        assert diagnostics.attempts[0].error is not None
+        assert "injected" in diagnostics.attempts[0].error
+
+    def test_singular_system_raises_solver_failure_with_diagnostics(self):
+        matrix, rhs = small_spd()
+        singular = make_singular(matrix, row=0)
+        rhs = rhs.copy()
+        rhs[0] = 1.0  # inconsistent: no solution exists
+        with pytest.raises(SolverFailure) as excinfo:
+            FallbackCascade().solve(singular, rhs)
+        diagnostics = excinfo.value.diagnostics
+        assert [a.solver for a in diagnostics.attempts] == [
+            "amg_pcg", "amg_pcg_retry", "jacobi_pcg", "direct",
+        ]
+        assert all(a.failed for a in diagnostics.attempts)
+
+    def test_diagnostics_serialise(self):
+        matrix, rhs = small_spd()
+        _, diagnostics = FallbackCascade().solve(matrix, rhs)
+        payload = diagnostics.to_dict()
+        assert payload["final_solver"] == "amg_pcg"
+        assert "solver_chain=" in diagnostics.summary()
+
+
+class TestSimulatorIntegration:
+    def test_robust_simulation_with_all_krylov_stages_failing(self, tiny_netlist):
+        from repro.solvers.powerrush import PowerRushSimulator
+
+        plan = FaultPlan(
+            nan_residual={"amg_pcg": 1, "amg_pcg_retry": 1, "jacobi_pcg": 1}
+        )
+        simulator = PowerRushSimulator(
+            guard_options=GuardrailOptions(fault_hook=plan.residual_hook)
+        )
+        report = simulator.simulate_netlist(tiny_netlist)
+        assert np.all(np.isfinite(report.ir_drop))
+        solver_diag = report.diagnostics.solver
+        assert solver_diag.final_solver == "direct"
+        assert solver_diag.num_fallbacks == 3
+
+    def test_strict_mode_keeps_original_solver(self, tiny_netlist):
+        from repro.solvers.powerrush import PowerRushSimulator
+
+        report = PowerRushSimulator(robust=False).simulate_netlist(tiny_netlist)
+        assert report.solve.converged
+        assert report.diagnostics.solver is None
+
+    def test_reduced_system_solution_matches_strict(self, tiny_netlist):
+        from repro.solvers.powerrush import PowerRushSimulator
+
+        robust = PowerRushSimulator().simulate_netlist(tiny_netlist)
+        strict = PowerRushSimulator(robust=False).simulate_netlist(tiny_netlist)
+        np.testing.assert_allclose(robust.voltages, strict.voltages)

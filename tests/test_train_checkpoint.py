@@ -1,0 +1,228 @@
+"""Tests for training checkpoints, bit-exact resume and NaN-loss recovery."""
+
+import numpy as np
+import pytest
+
+from repro.models import IRFusionNet
+from repro.nn.serialize import load_checkpoint, save_checkpoint
+from repro.testing.faults import FaultPlan
+from repro.train.trainer import TrainConfig, Trainer
+
+
+def make_model(dataset):
+    return IRFusionNet(
+        in_channels=len(dataset.channels), base_channels=4, depth=2, seed=0
+    )
+
+
+def state_of(trainer):
+    return {k: v.copy() for k, v in trainer.model.state_dict().items()}
+
+
+def assert_states_equal(a, b):
+    assert sorted(a) == sorted(b)
+    for key in a:
+        np.testing.assert_array_equal(a[key], b[key], err_msg=key)
+
+
+class TestCheckpointIO:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "ckpt.npz"
+        arrays = {"model/w": np.arange(6.0).reshape(2, 3), "optim/t": np.int64(4)}
+        meta = {"epoch": 3, "nested": {"lr_scale": 0.25}, "note": "hello"}
+        save_checkpoint(path, arrays, meta)
+        loaded_arrays, loaded_meta = load_checkpoint(path)
+        assert_states_equal(
+            {k: np.asarray(v) for k, v in arrays.items()}, loaded_arrays
+        )
+        assert loaded_meta == meta
+
+    def test_rejects_foreign_archive(self, tmp_path):
+        path = tmp_path / "plain.npz"
+        np.savez(path, w=np.zeros(3))
+        with pytest.raises(ValueError, match="checkpoint"):
+            load_checkpoint(path)
+
+    def test_no_tmp_file_left_behind(self, tmp_path):
+        path = tmp_path / "ckpt.npz"
+        save_checkpoint(path, {"a": np.zeros(2)}, {"epoch": 0})
+        leftovers = [p.name for p in tmp_path.iterdir() if "tmp" in p.name]
+        assert leftovers == []
+
+
+class TestOptimizerState:
+    def test_adam_state_roundtrip(self, tiny_dataset):
+        trainer = Trainer(
+            make_model(tiny_dataset), config=TrainConfig(epochs=2, batch_size=2)
+        )
+        trainer.fit(tiny_dataset)
+        state = trainer.optimizer.state_dict()
+        assert int(state["t"]) > 0
+        other = Trainer(
+            make_model(tiny_dataset), config=TrainConfig(epochs=1, batch_size=2)
+        )
+        other.optimizer.load_state_dict(state)
+        assert_states_equal(other.optimizer.state_dict(), state)
+
+    def test_adam_rejects_mismatched_state(self, tiny_dataset):
+        trainer = Trainer(make_model(tiny_dataset))
+        with pytest.raises(KeyError, match="Adam state mismatch"):
+            trainer.optimizer.load_state_dict({"m.0": np.zeros(1)})
+
+
+class TestBitExactResume:
+    def test_resume_matches_uninterrupted_run(self, tiny_dataset, tmp_path):
+        ckpt = tmp_path / "mid.npz"
+        # Uninterrupted 4-epoch run.
+        straight = Trainer(
+            make_model(tiny_dataset),
+            config=TrainConfig(epochs=4, batch_size=2, lr=2e-3),
+        )
+        straight_history = straight.fit(tiny_dataset)
+        # Interrupted run: 4 epochs planned, killed after the epoch-2
+        # checkpoint fires (simulated by only training 2 epochs).
+        first = Trainer(
+            make_model(tiny_dataset),
+            config=TrainConfig(
+                epochs=2,
+                batch_size=2,
+                lr=2e-3,
+                checkpoint_every=2,
+                checkpoint_path=str(ckpt),
+            ),
+        )
+        first.fit(tiny_dataset)
+        assert ckpt.exists()
+        # Fresh process: new trainer, new model, resume from the checkpoint.
+        resumed = Trainer(
+            make_model(tiny_dataset),
+            config=TrainConfig(epochs=4, batch_size=2, lr=2e-3),
+        )
+        resumed_history = resumed.fit(tiny_dataset, resume_from=str(ckpt))
+        assert resumed_history.resumed_from == 1
+        assert len(resumed_history.epoch_losses) == 4
+        np.testing.assert_array_equal(
+            resumed_history.epoch_losses, straight_history.epoch_losses
+        )
+        assert_states_equal(state_of(resumed), state_of(straight))
+        assert_states_equal(
+            resumed.optimizer.state_dict(), straight.optimizer.state_dict()
+        )
+
+    def test_resume_restores_history_prefix(self, tiny_dataset, tmp_path):
+        ckpt = tmp_path / "mid.npz"
+        first = Trainer(
+            make_model(tiny_dataset),
+            config=TrainConfig(
+                epochs=3,
+                batch_size=2,
+                checkpoint_every=3,
+                checkpoint_path=str(ckpt),
+            ),
+        )
+        first_history = first.fit(tiny_dataset)
+        resumed = Trainer(
+            make_model(tiny_dataset),
+            config=TrainConfig(epochs=3, batch_size=2),
+        )
+        resumed_history = resumed.fit(tiny_dataset, resume_from=str(ckpt))
+        # Nothing left to train: history is exactly the checkpointed one.
+        assert resumed_history.epoch_losses == first_history.epoch_losses
+
+
+class TestNaNRecovery:
+    def test_recovery_reloads_and_halves_lr(self, tiny_dataset):
+        plan = FaultPlan(nan_loss_epochs={1})
+        trainer = Trainer(
+            make_model(tiny_dataset),
+            config=TrainConfig(epochs=4, batch_size=2, lr=2e-3),
+            fault_hook=plan.loss_hook,
+        )
+        history = trainer.fit(tiny_dataset)
+        assert history.recoveries == [1]
+        assert plan.fired("nan_loss") == 1
+        assert history.aborted is None
+        assert np.isnan(history.epoch_losses[1])
+        assert np.isfinite(history.final_loss)
+        # LR halves from the recovery epoch onwards.
+        assert history.learning_rates[0] == pytest.approx(2e-3)
+        assert history.learning_rates[2] == pytest.approx(1e-3)
+        assert history.learning_rates[3] == pytest.approx(1e-3)
+
+    def test_recovered_run_keeps_training(self, tiny_dataset):
+        plan = FaultPlan(nan_loss_epochs={1})
+        trainer = Trainer(
+            make_model(tiny_dataset),
+            config=TrainConfig(epochs=6, batch_size=2, lr=2e-3),
+            fault_hook=plan.loss_hook,
+        )
+        history = trainer.fit(tiny_dataset)
+        finite = [l for l in history.epoch_losses if np.isfinite(l)]
+        assert len(finite) == 5
+        assert finite[-1] < finite[0]
+
+    def test_abort_after_max_recoveries(self, tiny_dataset):
+        plan = FaultPlan(nan_loss_epochs={0, 1, 2, 3, 4, 5})
+        trainer = Trainer(
+            make_model(tiny_dataset),
+            config=TrainConfig(epochs=8, batch_size=2, max_recoveries=2),
+            fault_hook=plan.loss_hook,
+        )
+        history = trainer.fit(tiny_dataset)
+        assert history.aborted == "nan_loss"
+        assert history.recoveries == [0, 1, 2]
+
+    def test_recovery_disabled_records_only(self, tiny_dataset):
+        plan = FaultPlan(nan_loss_epochs={1})
+        trainer = Trainer(
+            make_model(tiny_dataset),
+            config=TrainConfig(epochs=3, batch_size=2, nan_recovery=False),
+            fault_hook=plan.loss_hook,
+        )
+        history = trainer.fit(tiny_dataset)
+        assert history.recoveries == [1]
+        assert history.aborted is None
+        assert len(history.learning_rates) == 3
+        # No damping without recovery.
+        assert history.learning_rates[2] == history.learning_rates[0]
+
+
+class TestEarlyStopRestore:
+    @staticmethod
+    def scripted_trainer(dataset, maes, patience):
+        trainer = Trainer(
+            make_model(dataset),
+            config=TrainConfig(
+                epochs=len(maes), batch_size=2, early_stop_patience=patience
+            ),
+        )
+        script = iter(maes)
+        trainer._validation_mae = lambda validation: next(script)
+        return trainer
+
+    def test_best_weights_restored_on_early_stop(self, tiny_dataset):
+        # MAE improves, then regresses, then merely *matches* the best:
+        # `final <= best` used to skip the restore even though the final
+        # weights are 2 stale epochs past the best ones.
+        trainer = self.scripted_trainer(tiny_dataset, [0.3, 0.5, 0.3], patience=2)
+        snapshots = []
+        original = trainer.model.state_dict
+
+        def spying_state_dict():
+            state = original()
+            snapshots.append({k: v.copy() for k, v in state.items()})
+            return state
+
+        trainer.model.state_dict = spying_state_dict
+        history = trainer.fit(tiny_dataset, validation=tiny_dataset)
+        assert history.stopped_early
+        best = snapshots[1]  # captured right after the epoch-0 improvement
+        assert_states_equal(state_of(trainer), best)
+
+    def test_nonfinite_mae_never_becomes_best(self, tiny_dataset):
+        trainer = self.scripted_trainer(
+            tiny_dataset, [float("nan"), 0.4, 0.3], patience=3
+        )
+        history = trainer.fit(tiny_dataset, validation=tiny_dataset)
+        assert not history.stopped_early
+        assert history.best_validation_mae == pytest.approx(0.3)
