@@ -11,7 +11,8 @@ Subcommands
 ``train``
     Train an IR-Fusion pipeline on a generated suite and save the model.
 ``analyze``
-    Fused analysis of a deck with a previously trained model checkpoint.
+    Fused analysis of one or more decks with a previously trained model
+    checkpoint; ``--jobs N`` fans multiple decks across worker processes.
 
 Every command prints plain text and returns a conventional exit status,
 so the tool scripts cleanly:
@@ -116,6 +117,7 @@ def _cmd_train(args: argparse.Namespace) -> int:
         base_channels=args.channels,
         train=TrainConfig(epochs=args.epochs, batch_size=8,
                           use_curriculum=True),
+        jobs=args.jobs,
     )
     pipeline = IRFusionPipeline(config)
     history = pipeline.train()
@@ -137,6 +139,24 @@ def _cmd_train(args: argparse.Namespace) -> int:
     return 0
 
 
+def _batch_error_code(error: str) -> int:
+    """Map a captured per-deck error string onto the CLI exit codes."""
+    kind = error.split(":", 1)[0]
+    if kind == "SolverFailure":
+        return EXIT_SOLVER_FAILURE
+    if kind in (
+        "SpiceParseError",
+        "NetlistValidationError",
+        "FileNotFoundError",
+        "IsADirectoryError",
+        "PermissionError",
+        "KeyError",
+        "ValueError",
+    ):
+        return EXIT_BAD_INPUT
+    return EXIT_FAILURE
+
+
 def _cmd_analyze(args: argparse.Namespace) -> int:
     from repro.core.config import FusionConfig
     from repro.core.pipeline import IRFusionPipeline
@@ -149,23 +169,57 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         depth=meta["config"]["depth"],
         solver_iterations=meta["config"]["solver_iterations"],
         train=TrainConfig(),
+        jobs=max(1, args.jobs),
     )
     pipeline = IRFusionPipeline(config)
     pipeline.load_model(args.model, in_channels=meta["in_channels"])
-    result = pipeline.analyze_file(args.deck)
-    print(f"worst_predicted_drop_mV={result.worst_predicted_drop() * 1e3:.4f}")
-    print(f"solver_ms={result.solver_seconds * 1e3:.1f} "
-          f"features_ms={result.feature_seconds * 1e3:.1f} "
-          f"model_ms={result.model_seconds * 1e3:.1f}")
-    _print_diagnostics(result.diagnostics)
+
+    if len(args.deck) == 1:
+        result = pipeline.analyze_file(args.deck[0])
+        print(
+            f"worst_predicted_drop_mV={result.worst_predicted_drop() * 1e3:.4f}"
+        )
+        print(f"solver_ms={result.solver_seconds * 1e3:.1f} "
+              f"features_ms={result.feature_seconds * 1e3:.1f} "
+              f"model_ms={result.model_seconds * 1e3:.1f}")
+        _print_diagnostics(result.diagnostics)
+        if args.save_map:
+            np.savetxt(args.save_map, result.predicted_drop, delimiter=",")
+            print(f"wrote drop map to {args.save_map}")
+        if args.limit_mv is not None:
+            verdict = result.signoff(args.limit_mv / 1e3)
+            print(verdict.summary())
+            return 0 if verdict.passed else 1
+        return 0
+
+    # Batch mode: fan the decks across worker processes, keep going past
+    # per-deck failures, and exit with the most severe per-deck code.
     if args.save_map:
-        np.savetxt(args.save_map, result.predicted_drop, delimiter=",")
-        print(f"wrote drop map to {args.save_map}")
-    if args.limit_mv is not None:
-        verdict = result.signoff(args.limit_mv / 1e3)
-        print(verdict.summary())
-        return 0 if verdict.passed else 1
-    return 0
+        raise ValueError("--save-map needs a single deck")
+    from repro.core.batch import BatchAnalyzer
+
+    report = BatchAnalyzer(pipeline, jobs=config.jobs).analyze_files(args.deck)
+    status = EXIT_OK
+    for item in report.items:
+        if not item.ok:
+            print(f"{item.name}: error: {item.error}", file=sys.stderr)
+            status = max(status, _batch_error_code(item.error))
+            continue
+        result = item.result
+        line = (
+            f"{item.name}: "
+            f"worst_predicted_drop_mV={result.worst_predicted_drop() * 1e3:.4f} "
+            f"total_ms={result.total_seconds * 1e3:.1f}"
+        )
+        if args.limit_mv is not None:
+            verdict = result.signoff(args.limit_mv / 1e3)
+            line += f" signoff={'pass' if verdict.passed else 'FAIL'}"
+            if not verdict.passed:
+                status = max(status, EXIT_FAILURE)
+        print(line)
+    for line in report.summary_lines():
+        print(line)
+    return status
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -205,11 +259,15 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--epochs", type=int, default=12)
     train.add_argument("--channels", type=int, default=6)
     train.add_argument("--seed", type=int, default=7)
+    train.add_argument("--jobs", type=int, default=1,
+                       help="worker processes for feature extraction")
     train.set_defaults(func=_cmd_train)
 
     analyze = sub.add_parser("analyze", help="fused analysis with a checkpoint")
     analyze.add_argument("model", help="checkpoint path from 'train'")
-    analyze.add_argument("deck", help="SPICE deck path")
+    analyze.add_argument("deck", nargs="+", help="SPICE deck path(s)")
+    analyze.add_argument("--jobs", type=int, default=1,
+                         help="worker processes when analysing several decks")
     analyze.add_argument("--limit-mv", type=float, default=None)
     analyze.add_argument("--save-map", default=None,
                          help="write the predicted map as CSV")

@@ -1,0 +1,217 @@
+"""Parallel batch-analysis engine.
+
+Fans independent per-design work (end-to-end analysis, training-set
+feature extraction) across ``multiprocessing`` workers:
+
+- **fork-safe**: workers are forked from the parent, so the trained model,
+  the designs and the warm AMG setup cache are inherited copy-on-write —
+  nothing is re-pickled per task except a tiny item index;
+- **seed-deterministic**: the analysis path draws no runtime randomness
+  and results are keyed back to their submission index, so the output
+  list is identical to a serial run regardless of completion order;
+- **diagnostics-preserving**: every :class:`AnalysisResult` (including
+  its :class:`~repro.diagnostics.RunDiagnostics`) crosses the process
+  boundary intact;
+- **gracefully degrading**: per-item exceptions are captured as strings,
+  and if the pool itself breaks (a worker is killed) the unfinished items
+  are recomputed serially in the parent instead of failing the batch.
+
+Platforms without the ``fork`` start method fall back to serial
+execution outright — the engine never requires pickling closures.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.pipeline import AnalysisResult, IRFusionPipeline
+    from repro.data.synthetic import Design
+
+
+#: (fn, items) inherited by forked workers; never pickled.
+_WORKER_STATE: tuple[Callable, Sequence] | None = None
+
+
+def _worker_apply(index: int):
+    """Run one item in a worker; exceptions become data, not crashes."""
+    fn, items = _WORKER_STATE
+    try:
+        return index, fn(items[index]), None
+    except Exception as exc:  # noqa: BLE001 - captured per item by design
+        return index, None, f"{type(exc).__name__}: {exc}"
+
+
+def _apply_serial(fn: Callable, item) -> tuple[object | None, str | None]:
+    try:
+        return fn(item), None
+    except Exception as exc:  # noqa: BLE001 - captured per item by design
+        return None, f"{type(exc).__name__}: {exc}"
+
+
+def parallel_map(
+    fn: Callable,
+    items: Sequence,
+    jobs: int,
+) -> tuple[list[tuple[object | None, str | None]], bool]:
+    """Order-preserving map of *fn* over *items* across *jobs* processes.
+
+    Returns ``(outcomes, degraded)`` where ``outcomes[k]`` is
+    ``(result, None)`` on success or ``(None, "ErrType: message")`` on a
+    per-item failure, and *degraded* is True when any part of the batch
+    had to fall back to serial execution (no fork support, or a broken
+    worker pool).  ``jobs <= 1`` or a single item runs serially without
+    ever touching multiprocessing.
+    """
+    global _WORKER_STATE
+    items = list(items)
+    jobs = max(1, min(int(jobs), len(items))) if items else 1
+    if jobs == 1:
+        return [_apply_serial(fn, item) for item in items], False
+
+    try:
+        context = multiprocessing.get_context("fork")
+    except ValueError:
+        return [_apply_serial(fn, item) for item in items], True
+
+    results: list[tuple[object | None, str | None] | None] = [None] * len(items)
+    pending = set(range(len(items)))
+    degraded = False
+    _WORKER_STATE = (fn, items)
+    try:
+        with ProcessPoolExecutor(max_workers=jobs, mp_context=context) as pool:
+            futures = {
+                pool.submit(_worker_apply, index): index
+                for index in range(len(items))
+            }
+            for future in as_completed(futures):
+                try:
+                    index, value, error = future.result()
+                except Exception:  # noqa: BLE001 - worker death ⇒ redo serially
+                    degraded = True
+                    continue
+                results[index] = (value, error)
+                pending.discard(index)
+    except Exception:  # noqa: BLE001 - pool-level failure ⇒ redo serially
+        degraded = True
+    finally:
+        _WORKER_STATE = None
+
+    if pending:
+        degraded = True
+        for index in sorted(pending):
+            results[index] = _apply_serial(fn, items[index])
+    return results, degraded  # type: ignore[return-value]
+
+
+@dataclass
+class BatchItem:
+    """Outcome of one design in a batch run."""
+
+    name: str
+    result: "AnalysisResult | None"
+    error: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None and self.result is not None
+
+
+@dataclass
+class BatchReport:
+    """Everything a batch-analysis run produced.
+
+    Attributes
+    ----------
+    items:
+        Per-design outcomes, in submission order.
+    jobs:
+        Worker count the batch was asked to use.
+    degraded:
+        True when any work fell back to serial execution (dead workers,
+        missing fork support).
+    total_seconds:
+        Wall-clock time for the whole batch.
+    """
+
+    items: list[BatchItem] = field(default_factory=list)
+    jobs: int = 1
+    degraded: bool = False
+    total_seconds: float = 0.0
+
+    @property
+    def results(self) -> list["AnalysisResult"]:
+        """Successful results only (submission order)."""
+        return [item.result for item in self.items if item.ok]
+
+    @property
+    def num_failed(self) -> int:
+        return sum(1 for item in self.items if not item.ok)
+
+    def summary_lines(self) -> list[str]:
+        lines = [
+            f"batch: designs={len(self.items)} failed={self.num_failed} "
+            f"jobs={self.jobs} degraded={str(self.degraded).lower()} "
+            f"wall_s={self.total_seconds:.2f}"
+        ]
+        for item in self.items:
+            if not item.ok:
+                lines.append(f"  failed[{item.name}]: {item.error}")
+        return lines
+
+
+class BatchAnalyzer:
+    """Fan a trained pipeline's analysis across worker processes.
+
+    Parameters
+    ----------
+    pipeline:
+        A trained :class:`~repro.core.pipeline.IRFusionPipeline` (workers
+        inherit its model weights via fork, so it is never re-pickled).
+    jobs:
+        Worker count; defaults to the pipeline config's ``jobs`` field.
+    """
+
+    def __init__(
+        self, pipeline: "IRFusionPipeline", jobs: int | None = None
+    ) -> None:
+        self.pipeline = pipeline
+        self.jobs = int(jobs if jobs is not None else pipeline.config.jobs)
+        if self.jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {self.jobs}")
+
+    def analyze_designs(self, designs: Sequence["Design"]) -> BatchReport:
+        """Analyse many synthetic designs; per-design failures are recorded."""
+        start = time.perf_counter()
+        outcomes, degraded = parallel_map(
+            self.pipeline.analyze_design, designs, self.jobs
+        )
+        return BatchReport(
+            items=[
+                BatchItem(name=design.name, result=result, error=error)
+                for design, (result, error) in zip(designs, outcomes)
+            ],
+            jobs=self.jobs,
+            degraded=degraded,
+            total_seconds=time.perf_counter() - start,
+        )
+
+    def analyze_files(self, paths: Sequence) -> BatchReport:
+        """Analyse many SPICE decks from disk."""
+        start = time.perf_counter()
+        outcomes, degraded = parallel_map(
+            self.pipeline.analyze_file, paths, self.jobs
+        )
+        return BatchReport(
+            items=[
+                BatchItem(name=str(path), result=result, error=error)
+                for path, (result, error) in zip(paths, outcomes)
+            ],
+            jobs=self.jobs,
+            degraded=degraded,
+            total_seconds=time.perf_counter() - start,
+        )

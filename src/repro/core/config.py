@@ -59,6 +59,12 @@ class FusionConfig:
         Apply the 4x rotation augmentation to the training set.
     oversample_fake / oversample_real:
         Replication factors (contest: 2 / 5); 1 disables.
+
+    Execution
+    ---------
+    jobs:
+        Worker processes for batchable stages (dataset feature extraction,
+        batch analysis); 1 keeps everything serial in-process.
     """
 
     pixels: int = 32
@@ -79,6 +85,7 @@ class FusionConfig:
     augment: bool = True
     oversample_fake: int = 2
     oversample_real: int = 5
+    jobs: int = 1
 
     def __post_init__(self) -> None:
         if self.pixels % (2**self.depth) != 0:
@@ -90,6 +97,8 @@ class FusionConfig:
             raise ValueError("training suite is empty")
         if self.solver_iterations < 0:
             raise ValueError("solver_iterations must be >= 0")
+        if self.jobs < 1:
+            raise ValueError("jobs must be >= 1")
 
     def with_(self, **overrides) -> "FusionConfig":
         """A copy with the given fields replaced (ablation helper)."""

@@ -123,13 +123,14 @@ class IRFusionPipeline:
             for budget in budgets:
                 train_samples.extend(
                     IRDropDataset.from_designs(
-                        train_designs, cfg.features, budget, cfg.solver_preset
+                        train_designs, cfg.features, budget, cfg.solver_preset,
+                        jobs=cfg.jobs,
                     ).samples
                 )
             train = IRDropDataset(train_samples)
             test = IRDropDataset.from_designs(
                 test_designs, cfg.features, cfg.solver_iterations,
-                cfg.solver_preset,
+                cfg.solver_preset, jobs=cfg.jobs,
             )
             self._datasets = (train, test)
         return self._datasets

@@ -166,11 +166,39 @@ class IRDropDataset:
         feature_config: FeatureConfig | None = None,
         solver_iterations: int = 2,
         solver_preset: str = "fast",
+        jobs: int = 1,
     ) -> "IRDropDataset":
-        """Build samples for a list of designs."""
-        return cls(
-            [
-                build_sample(d, feature_config, solver_iterations, solver_preset)
-                for d in designs
-            ]
+        """Build samples for a list of designs.
+
+        With ``jobs > 1`` the per-design feature extraction fans out over
+        forked worker processes (results are returned in design order, so
+        the dataset is identical to a serial build).  Any per-design
+        failure aborts the build with the design's name in the error.
+        """
+        if jobs <= 1 or len(designs) <= 1:
+            return cls(
+                [
+                    build_sample(
+                        d, feature_config, solver_iterations, solver_preset
+                    )
+                    for d in designs
+                ]
+            )
+        from repro.core.batch import parallel_map
+
+        outcomes, _ = parallel_map(
+            lambda d: build_sample(
+                d, feature_config, solver_iterations, solver_preset
+            ),
+            designs,
+            jobs,
         )
+        samples = []
+        for design, (sample, error) in zip(designs, outcomes):
+            if error is not None:
+                raise RuntimeError(
+                    f"building sample for design {design.name!r} failed: "
+                    f"{error}"
+                )
+            samples.append(sample)
+        return cls(samples)

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.solvers.cache import CacheStats
 from repro.solvers.guard import SolverDiagnostics
 from repro.spice.validate import RepairRecord, ValidationIssue
 
@@ -28,6 +29,10 @@ class RunDiagnostics:
     solver:
         The fallback cascade's attempt history (``None`` when the
         numerical stage was ablated).
+    solver_cache:
+        AMG setup-cache counter movement attributable to this run
+        (``None`` when no solve happened).  ``hits > 0`` means the run
+        reused a previously built hierarchy and skipped the setup stage.
     warnings:
         Free-form notes from other stages (feature guards, trainer).
     """
@@ -35,6 +40,7 @@ class RunDiagnostics:
     validation: list[ValidationIssue] = field(default_factory=list)
     repairs: list[RepairRecord] = field(default_factory=list)
     solver: SolverDiagnostics | None = None
+    solver_cache: CacheStats | None = None
     warnings: list[str] = field(default_factory=list)
 
     @property
@@ -49,6 +55,11 @@ class RunDiagnostics:
             "validation": [i.to_dict() for i in self.validation],
             "repairs": [r.to_dict() for r in self.repairs],
             "solver": self.solver.to_dict() if self.solver is not None else None,
+            "solver_cache": (
+                self.solver_cache.to_dict()
+                if self.solver_cache is not None
+                else None
+            ),
             "warnings": list(self.warnings),
             "degraded": self.degraded,
         }
@@ -65,6 +76,11 @@ class RunDiagnostics:
             lines.append(f"  repair[{repair.action}]: {repair.detail}")
         if self.solver is not None:
             lines.append(f"  {self.solver.summary()}")
+        if self.solver_cache is not None:
+            lines.append(
+                f"  amg_setup_cache: hits={self.solver_cache.hits} "
+                f"misses={self.solver_cache.misses}"
+            )
         for note in self.warnings:
             lines.append(f"  warning: {note}")
         return lines

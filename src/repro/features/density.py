@@ -12,7 +12,7 @@ import numpy as np
 
 from repro.grid.geometry import GridGeometry
 from repro.grid.netlist import PowerGrid
-from repro.grid.raster import rasterize
+from repro.grid.raster import pixel_coords, scatter_to_image
 
 
 def pdn_density_map(
@@ -25,9 +25,8 @@ def pdn_density_map(
     layer:
         Restrict to one metal layer; ``None`` counts nodes of all layers.
     """
-    if layer is None:
-        nodes = [n for n in grid.nodes if n.structured is not None]
-    else:
-        nodes = grid.nodes_on_layer(layer)
-    ones = np.ones(len(nodes), dtype=float)
-    return rasterize(geometry, nodes, ones, reduce="sum")
+    x, y, layers, structured = grid.node_arrays()
+    selected = structured if layer is None else structured & (layers == layer)
+    rows, cols = pixel_coords(geometry, x[selected], y[selected])
+    ones = np.ones(int(np.count_nonzero(selected)), dtype=float)
+    return scatter_to_image(geometry.shape, rows, cols, ones, reduce="sum")

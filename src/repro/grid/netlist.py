@@ -15,6 +15,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.spice.ast import CurrentSource, Netlist, Resistor, VoltageSource
 from repro.spice.nodes import GROUND, NodeName, is_structured_name, parse_node_name
 
@@ -88,6 +90,14 @@ class PowerGrid:
         self._index_of: dict[str, int] = {}
         self._wires: list[PGWire] = []
         self._adjacency: list[list[int]] = []
+        # Columnar snapshots for the vectorised feature extractors;
+        # rebuilt lazily after any node/wire append.
+        self._node_arrays_cache: (
+            tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray] | None
+        ) = None
+        self._wire_arrays_cache: (
+            tuple[np.ndarray, np.ndarray, np.ndarray] | None
+        ) = None
 
     # -- construction ------------------------------------------------------
 
@@ -119,6 +129,7 @@ class PowerGrid:
         self._nodes.append(PGNode(index=index, name=name, structured=structured))
         self._index_of[name] = index
         self._adjacency.append([])
+        self._node_arrays_cache = None
         return index
 
     def _add_resistor(self, res: Resistor) -> None:
@@ -139,6 +150,7 @@ class PowerGrid:
         self._wires.append(PGWire(res.name, a, b, res.resistance))
         self._adjacency[a].append(wire_index)
         self._adjacency[b].append(wire_index)
+        self._wire_arrays_cache = None
 
     def _add_current_source(self, src: CurrentSource) -> None:
         if src.node_to != GROUND:
@@ -184,6 +196,10 @@ class PowerGrid:
         other._index_of = dict(self._index_of)
         other._wires = list(self._wires)
         other._adjacency = [list(a) for a in self._adjacency]
+        # Positions/resistances are immutable, so the columnar snapshots
+        # remain valid for the clone.
+        other._node_arrays_cache = self._node_arrays_cache
+        other._wire_arrays_cache = self._wire_arrays_cache
         return other
 
     # -- queries -----------------------------------------------------------
@@ -251,3 +267,51 @@ class PowerGrid:
 
     def total_load_current(self) -> float:
         return sum(n.load_current for n in self._nodes)
+
+    # -- columnar views ----------------------------------------------------
+
+    def node_arrays(
+        self,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Cached ``(x, y, layer, structured_mask)`` per-node arrays.
+
+        Unstructured nodes carry ``x = y = 0`` and ``layer = -1`` with
+        ``structured_mask`` False.  The arrays are rebuilt lazily after a
+        node append; callers must treat them as read-only.
+        """
+        cache = self._node_arrays_cache
+        if cache is None:
+            n = len(self._nodes)
+            x = np.zeros(n, dtype=np.int64)
+            y = np.zeros(n, dtype=np.int64)
+            layer = np.full(n, -1, dtype=np.int64)
+            mask = np.zeros(n, dtype=bool)
+            for i, node in enumerate(self._nodes):
+                s = node.structured
+                if s is not None:
+                    x[i] = s.x
+                    y[i] = s.y
+                    layer[i] = s.layer
+                    mask[i] = True
+            cache = (x, y, layer, mask)
+            self._node_arrays_cache = cache
+        return cache
+
+    def wire_arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Cached ``(node_a, node_b, resistance)`` per-wire arrays."""
+        cache = self._wire_arrays_cache
+        if cache is None:
+            node_a = np.fromiter(
+                (w.node_a for w in self._wires), dtype=np.int64, count=len(self._wires)
+            )
+            node_b = np.fromiter(
+                (w.node_b for w in self._wires), dtype=np.int64, count=len(self._wires)
+            )
+            resistance = np.fromiter(
+                (w.resistance for w in self._wires),
+                dtype=np.float64,
+                count=len(self._wires),
+            )
+            cache = (node_a, node_b, resistance)
+            self._wire_arrays_cache = cache
+        return cache

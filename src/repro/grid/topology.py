@@ -10,6 +10,9 @@ singular.
 from __future__ import annotations
 
 import networkx as nx
+import numpy as np
+import scipy.sparse as sp
+from scipy.sparse import csgraph
 
 from repro.grid.netlist import PowerGrid
 
@@ -37,9 +40,33 @@ def to_networkx(grid: PowerGrid) -> nx.Graph:
     return graph
 
 
+def component_labels(grid: PowerGrid) -> np.ndarray:
+    """Per-node component id, labelled in order of first appearance.
+
+    The hot path of every connectivity check: a single compiled
+    union-find over the columnar wire arrays instead of building a
+    Python graph object per query.
+    """
+    n = grid.num_nodes
+    if n == 0:
+        return np.empty(0, dtype=np.int64)
+    node_a, node_b, _ = grid.wire_arrays()
+    adjacency = sp.csr_matrix(
+        (np.ones(node_a.size), (node_a, node_b)), shape=(n, n)
+    )
+    _, labels = csgraph.connected_components(adjacency, directed=False)
+    return labels.astype(np.int64)
+
+
 def connected_components(grid: PowerGrid) -> list[set[int]]:
     """Connected components of the resistive network (node-index sets)."""
-    return [set(c) for c in nx.connected_components(to_networkx(grid))]
+    labels = component_labels(grid)
+    if labels.size == 0:
+        return []
+    components: list[set[int]] = [set() for _ in range(int(labels.max()) + 1)]
+    for index, label in enumerate(labels.tolist()):
+        components[label].add(index)
+    return components
 
 
 def floating_nodes(grid: PowerGrid) -> set[int]:
@@ -48,12 +75,15 @@ def floating_nodes(grid: PowerGrid) -> set[int]:
     A component without a pad has no DC operating point: its reduced
     conductance block is exactly singular.
     """
-    pad_indices = {n.index for n in grid.pads()}
-    floating: set[int] = set()
-    for component in connected_components(grid):
-        if component.isdisjoint(pad_indices):
-            floating |= component
-    return floating
+    labels = component_labels(grid)
+    pad_indices = np.fromiter(
+        (n.index for n in grid.pads()), dtype=np.int64
+    )
+    pad_labels = np.unique(labels[pad_indices]) if pad_indices.size else (
+        np.empty(0, dtype=np.int64)
+    )
+    floating = ~np.isin(labels, pad_labels)
+    return set(np.flatnonzero(floating).tolist())
 
 
 def validate_connectivity(grid: PowerGrid) -> None:

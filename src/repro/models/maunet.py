@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.nn.init import construction_rng
 from repro.nn.attention import ChannelAttention
 from repro.nn.containers import Sequential
 from repro.nn.layers import BatchNorm2d, Conv2d, ReLU
@@ -27,7 +28,7 @@ class MultiScaleBlock(Module):
         rng: np.random.Generator | None = None,
     ) -> None:
         super().__init__()
-        rng = rng or np.random.default_rng(0)
+        rng = construction_rng(rng)
         half = out_channels // 2
         rest = out_channels - half
         self.branch3 = Sequential(

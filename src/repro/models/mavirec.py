@@ -14,7 +14,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.nn.functional import conv2d_backward, conv2d_forward
-from repro.nn.init import kaiming_normal
+from repro.nn.init import construction_rng, kaiming_normal
 from repro.nn.layers import Conv2d, ReLU
 from repro.nn.module import Module, Parameter
 from repro.models.unet_blocks import FlexUNet
@@ -32,7 +32,7 @@ class DepthSharedConv(Module):
         self, kernel: int = 3, rng: np.random.Generator | None = None
     ) -> None:
         super().__init__()
-        rng = rng or np.random.default_rng(0)
+        rng = construction_rng(rng)
         self.kernel = (kernel, kernel)
         self.padding = ((kernel - 1) // 2, (kernel - 1) // 2)
         self.weight = Parameter(

@@ -13,6 +13,7 @@ from typing import Callable
 
 import numpy as np
 
+from repro.nn.init import construction_rng
 from repro.nn.attention import AttentionGate
 from repro.nn.containers import Sequential
 from repro.nn.layers import BatchNorm2d, Conv2d, MaxPool2d, ReLU, UpsampleNearest
@@ -28,7 +29,7 @@ class ConvBlock(Sequential):
         out_channels: int,
         rng: np.random.Generator | None = None,
     ) -> None:
-        rng = rng or np.random.default_rng(0)
+        rng = construction_rng(rng)
         super().__init__(
             Conv2d(in_channels, out_channels, 3, rng=rng),
             BatchNorm2d(out_channels),
@@ -48,7 +49,7 @@ class UpBlock(Sequential):
         out_channels: int,
         rng: np.random.Generator | None = None,
     ) -> None:
-        rng = rng or np.random.default_rng(0)
+        rng = construction_rng(rng)
         super().__init__(
             UpsampleNearest(2),
             Conv2d(in_channels, out_channels, 3, rng=rng),

@@ -15,7 +15,7 @@ from __future__ import annotations
 import numpy as np
 from scipy.special import expit
 
-from repro.nn.init import kaiming_normal
+from repro.nn.init import construction_rng, kaiming_normal
 from repro.nn.layers import Conv2d, ReLU, Sigmoid
 from repro.nn.module import Module, Parameter
 
@@ -35,7 +35,7 @@ class ChannelAttention(Module):
         rng: np.random.Generator | None = None,
     ) -> None:
         super().__init__()
-        rng = rng or np.random.default_rng(0)
+        rng = construction_rng(rng)
         hidden = max(1, channels // reduction)
         self.w1 = Parameter(
             kaiming_normal((hidden, channels), channels, rng), name="w1"

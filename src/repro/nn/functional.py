@@ -5,6 +5,14 @@ All convolution layers reduce to three primitives: :func:`im2col`
 :func:`col2im` (the scatter-add adjoint of im2col).  Kernels, strides and
 paddings are ``(height, width)`` pairs so the asymmetric 1x7 / 7x1 kernels
 of Inception-B/C come for free.
+
+The im2col/col2im scratch matrices dominate training-time allocation
+churn (a ``C*kh*kw x out_h*out_w`` matrix per conv per step), so the
+primitives optionally draw their scratch from a per-layer
+:class:`Workspace` arena.  Workspace buffers hold *scratch only* — patch
+matrices and padded staging areas — never tensors that escape as layer
+outputs, so reuse cannot alias activations held across steps (skip
+connections, collected predictions).
 """
 
 from __future__ import annotations
@@ -13,6 +21,51 @@ import numpy as np
 from numpy.lib.stride_tricks import as_strided
 
 Pair = tuple[int, int]
+
+
+class Workspace:
+    """A per-layer arena of reusable scratch buffers, keyed by name.
+
+    ``request`` returns the named buffer, reallocating only when the
+    requested shape or dtype changes (steady-state training reuses every
+    buffer).  Freshly allocated buffers are zeroed; pass ``refill=0.0``
+    when the caller accumulates into the buffer and needs it re-zeroed on
+    every reuse (the padded im2col staging area relies on zero-on-alloc
+    alone: its border pixels are written exactly once and the interior is
+    overwritten each call).
+    """
+
+    def __init__(self) -> None:
+        self._buffers: dict[str, np.ndarray] = {}
+
+    def request(
+        self,
+        name: str,
+        shape: tuple[int, ...],
+        dtype: np.dtype | type = np.float64,
+        refill: float | None = None,
+    ) -> np.ndarray:
+        buffer = self._buffers.get(name)
+        if (
+            buffer is None
+            or buffer.shape != tuple(shape)
+            or buffer.dtype != np.dtype(dtype)
+        ):
+            buffer = np.zeros(shape, dtype=dtype)
+            self._buffers[name] = buffer
+        elif refill is not None:
+            buffer.fill(refill)
+        return buffer
+
+    def clear(self) -> None:
+        self._buffers.clear()
+
+    @property
+    def nbytes(self) -> int:
+        return sum(b.nbytes for b in self._buffers.values())
+
+    def __len__(self) -> int:
+        return len(self._buffers)
 
 
 def to_pair(value: int | Pair) -> Pair:
@@ -44,15 +97,37 @@ def conv_output_shape(
 
 
 def im2col(
-    x: np.ndarray, kernel: Pair, stride: Pair, padding: Pair
+    x: np.ndarray,
+    kernel: Pair,
+    stride: Pair,
+    padding: Pair,
+    workspace: Workspace | None = None,
 ) -> np.ndarray:
-    """Extract sliding patches: ``(N, C*kh*kw, out_h*out_w)``."""
+    """Extract sliding patches: ``(N, C*kh*kw, out_h*out_w)``.
+
+    With a *workspace*, the padded staging area and the returned patch
+    matrix are drawn from the arena; the result is then only valid until
+    the next im2col call on the same workspace.  The copy into the
+    preallocated buffer walks the strided windows in the same C order as
+    ``ascontiguousarray``, so the contents are bitwise identical either
+    way.
+    """
     n, c, h, w = x.shape
     kh, kw = kernel
     sh, sw = stride
     ph, pw = padding
     out_h, out_w = conv_output_shape((h, w), kernel, stride, padding)
-    padded = np.pad(x, ((0, 0), (0, 0), (ph, ph), (pw, pw)))
+    if ph == 0 and pw == 0:
+        padded = x
+    elif workspace is not None:
+        # Border pixels are zeroed at allocation and never written again;
+        # only the interior is refreshed per call.
+        padded = workspace.request(
+            "im2col_padded", (n, c, h + 2 * ph, w + 2 * pw), x.dtype
+        )
+        padded[:, :, ph : ph + h, pw : pw + w] = x
+    else:
+        padded = np.pad(x, ((0, 0), (0, 0), (ph, ph), (pw, pw)))
     s0, s1, s2, s3 = padded.strides
     windows = as_strided(
         padded,
@@ -60,6 +135,10 @@ def im2col(
         strides=(s0, s1, s2, s3, s2 * sh, s3 * sw),
         writeable=False,
     )
+    if workspace is not None:
+        cols = workspace.request("im2col_cols", (n, c * kh * kw, out_h * out_w), x.dtype)
+        np.copyto(cols.reshape(n, c, kh, kw, out_h, out_w), windows)
+        return cols
     return np.ascontiguousarray(windows).reshape(n, c * kh * kw, out_h * out_w)
 
 
@@ -69,8 +148,16 @@ def col2im(
     kernel: Pair,
     stride: Pair,
     padding: Pair,
+    workspace: Workspace | None = None,
 ) -> np.ndarray:
-    """Adjoint of :func:`im2col`: scatter-add patches back to image space."""
+    """Adjoint of :func:`im2col`: scatter-add patches back to image space.
+
+    With a *workspace* the accumulator is drawn from the arena (re-zeroed
+    per call) and the result may be a view of it — callers must consume
+    the result before the next col2im on the same workspace, so only pass
+    one for gradients that are consumed within the backward pass, never
+    for layer outputs.
+    """
     n, c, h, w = x_shape
     kh, kw = kernel
     sh, sw = stride
@@ -80,7 +167,12 @@ def col2im(
     if cols.shape != expected:
         raise ValueError(f"cols shape {cols.shape} != expected {expected}")
     blocks = cols.reshape(n, c, kh, kw, out_h, out_w)
-    padded = np.zeros((n, c, h + 2 * ph, w + 2 * pw), dtype=cols.dtype)
+    if workspace is not None:
+        padded = workspace.request(
+            "col2im_padded", (n, c, h + 2 * ph, w + 2 * pw), cols.dtype, refill=0.0
+        )
+    else:
+        padded = np.zeros((n, c, h + 2 * ph, w + 2 * pw), dtype=cols.dtype)
     for i in range(kh):
         for j in range(kw):
             padded[:, :, i : i + sh * out_h : sh, j : j + sw * out_w : sw] += (
@@ -97,19 +189,28 @@ def conv2d_forward(
     bias: np.ndarray | None,
     stride: Pair,
     padding: Pair,
+    workspace: Workspace | None = None,
+    fuse_relu: bool = False,
 ) -> tuple[np.ndarray, np.ndarray]:
-    """Convolution forward; returns (output, cached patch matrix)."""
+    """Convolution forward; returns (output, cached patch matrix).
+
+    The output is always freshly allocated (bias and the optional fused
+    ReLU are applied in place on it); only the patch matrix may live in
+    the workspace.
+    """
     filters, in_channels, kh, kw = weight.shape
     if x.shape[1] != in_channels:
         raise ValueError(
             f"input has {x.shape[1]} channels, weight expects {in_channels}"
         )
-    cols = im2col(x, (kh, kw), stride, padding)
+    cols = im2col(x, (kh, kw), stride, padding, workspace=workspace)
     out_h, out_w = conv_output_shape(x.shape[2:], (kh, kw), stride, padding)
     flat = np.matmul(weight.reshape(filters, -1), cols)  # (N, F, L)
     out = flat.reshape(x.shape[0], filters, out_h, out_w)
     if bias is not None:
-        out = out + bias.reshape(1, filters, 1, 1)
+        out += bias.reshape(1, filters, 1, 1)
+    if fuse_relu:
+        np.maximum(out, 0.0, out=out)
     return out, cols
 
 
@@ -121,16 +222,31 @@ def conv2d_backward(
     stride: Pair,
     padding: Pair,
     with_bias: bool,
+    workspace: Workspace | None = None,
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray | None]:
-    """Gradients (d_input, d_weight, d_bias) of a convolution."""
+    """Gradients (d_input, d_weight, d_bias) of a convolution.
+
+    With a *workspace*, ``grad_input`` may be a view of arena scratch —
+    valid until the layer's next backward, which is enough for a chain
+    backward pass that consumes each gradient immediately.
+    """
     n = grad_output.shape[0]
     filters = weight.shape[0]
     grad_flat = grad_output.reshape(n, filters, -1)  # (N, F, L)
     grad_weight = np.einsum("nfl,nkl->fk", grad_flat, cols).reshape(weight.shape)
     grad_bias = grad_output.sum(axis=(0, 2, 3)) if with_bias else None
-    grad_cols = np.matmul(weight.reshape(filters, -1).T, grad_flat)  # (N, K, L)
+    w_mat_t = weight.reshape(filters, -1).T
+    if workspace is not None:
+        grad_cols = workspace.request(
+            "grad_cols", (n, w_mat_t.shape[0], grad_flat.shape[2]), grad_flat.dtype
+        )
+        np.matmul(w_mat_t, grad_flat, out=grad_cols)  # (N, K, L)
+    else:
+        grad_cols = np.matmul(w_mat_t, grad_flat)
     kernel = (weight.shape[2], weight.shape[3])
-    grad_input = col2im(grad_cols, x_shape, kernel, stride, padding)
+    grad_input = col2im(
+        grad_cols, x_shape, kernel, stride, padding, workspace=workspace
+    )
     return grad_input, grad_weight, grad_bias
 
 

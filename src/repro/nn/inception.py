@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.nn.init import construction_rng
 from repro.nn.containers import Sequential
 from repro.nn.layers import AvgPool2d, Conv2d, ReLU
 from repro.nn.module import Module
@@ -74,7 +75,7 @@ class InceptionA(_MultiBranch):
         out_channels: int,
         rng: np.random.Generator | None = None,
     ) -> None:
-        rng = rng or np.random.default_rng(0)
+        rng = construction_rng(rng)
         w1, w2, w3, w4 = _branch_widths(out_channels, 4)
         super().__init__(
             [
@@ -104,7 +105,7 @@ class InceptionB(_MultiBranch):
         out_channels: int,
         rng: np.random.Generator | None = None,
     ) -> None:
-        rng = rng or np.random.default_rng(0)
+        rng = construction_rng(rng)
         w1, w2, w3, w4 = _branch_widths(out_channels, 4)
         super().__init__(
             [
@@ -140,7 +141,7 @@ class InceptionC(_MultiBranch):
         out_channels: int,
         rng: np.random.Generator | None = None,
     ) -> None:
-        rng = rng or np.random.default_rng(0)
+        rng = construction_rng(rng)
         w1, w2, w3, w4, w5, w6 = _branch_widths(out_channels, 6)
         split_a = _MultiBranch(
             [_conv(w3, w3, (1, 3), rng), _conv(w3, w4, (3, 1), rng)]

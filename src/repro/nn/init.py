@@ -42,3 +42,24 @@ class RngState:
 
     def __call__(self) -> np.random.Generator:
         return self.generator
+
+
+#: The process-wide stream unseeded layers draw from.  Every unseeded
+#: layer advances the *same* stream, so consecutive layers get distinct
+#: weights (the old per-layer ``default_rng(0)`` fallback handed every
+#: unseeded layer an identical weight tensor) while construction stays
+#: deterministic given construction order.
+_construction_rng = np.random.default_rng(0)
+
+
+def construction_rng(
+    rng: np.random.Generator | None = None,
+) -> np.random.Generator:
+    """Resolve a layer's init generator: the given one, else the shared stream."""
+    return rng if rng is not None else _construction_rng
+
+
+def seed_construction_rng(seed: int = 0) -> None:
+    """Reset the shared stream (call before building a model unseeded)."""
+    global _construction_rng
+    _construction_rng = np.random.default_rng(seed)

@@ -7,6 +7,7 @@ from scipy.special import expit
 
 from repro.nn.functional import (
     Pair,
+    Workspace,
     avgpool2d_backward,
     avgpool2d_forward,
     col2im,
@@ -20,7 +21,7 @@ from repro.nn.functional import (
     upsample_nearest_backward,
     upsample_nearest_forward,
 )
-from repro.nn.init import kaiming_normal
+from repro.nn.init import construction_rng, kaiming_normal
 from repro.nn.module import Module, Parameter
 
 
@@ -47,7 +48,7 @@ class Conv2d(Module):
         rng: np.random.Generator | None = None,
     ) -> None:
         super().__init__()
-        rng = rng or np.random.default_rng(0)
+        rng = construction_rng(rng)
         self.kernel = to_pair(kernel)
         self.stride = to_pair(stride)
         self.padding = _resolve_padding(padding, self.kernel)
@@ -58,6 +59,7 @@ class Conv2d(Module):
             name="weight",
         )
         self.bias = Parameter(np.zeros(out_channels), name="bias") if bias else None
+        self._workspace = Workspace()
         self._cols: np.ndarray | None = None
         self._x_shape: tuple[int, int, int, int] | None = None
 
@@ -68,6 +70,7 @@ class Conv2d(Module):
             self.bias.data if self.bias is not None else None,
             self.stride,
             self.padding,
+            workspace=self._workspace,
         )
         self._cols = cols
         self._x_shape = x.shape
@@ -84,6 +87,67 @@ class Conv2d(Module):
             self.stride,
             self.padding,
             with_bias=self.bias is not None,
+            workspace=self._workspace,
+        )
+        self.weight.grad += grad_weight
+        if self.bias is not None and grad_bias is not None:
+            self.bias.grad += grad_bias
+        return grad_input
+
+
+class FusedConvBiasReLU(Module):
+    """Conv + bias + ReLU executed as one fused kernel.
+
+    Built from an existing :class:`Conv2d` by the
+    :func:`~repro.nn.containers.fuse_conv_relu` graph pass.  The
+    ``weight``/``bias`` attributes are the *same* :class:`Parameter`
+    objects as the source conv (same state-dict paths, same optimizer
+    slots), so fusion is transparent to checkpoints and training state.
+    The ReLU mask is recovered from the fused output (``out > 0`` iff the
+    pre-activation was ``> 0``), saving the separate pre-activation
+    tensor the unfused pair keeps alive.
+    """
+
+    def __init__(self, conv: Conv2d) -> None:
+        super().__init__()
+        self.kernel = conv.kernel
+        self.stride = conv.stride
+        self.padding = conv.padding
+        self.weight = conv.weight
+        self.bias = conv.bias
+        self._workspace = conv._workspace
+        self._cols: np.ndarray | None = None
+        self._x_shape: tuple[int, int, int, int] | None = None
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        out, cols = conv2d_forward(
+            x,
+            self.weight.data,
+            self.bias.data if self.bias is not None else None,
+            self.stride,
+            self.padding,
+            workspace=self._workspace,
+            fuse_relu=True,
+        )
+        self._cols = cols
+        self._x_shape = x.shape
+        self._mask = out > 0
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cols is None or self._x_shape is None or self._mask is None:
+            raise RuntimeError("backward called before forward")
+        grad_pre = np.where(self._mask, grad_output, 0.0)
+        grad_input, grad_weight, grad_bias = conv2d_backward(
+            grad_pre,
+            self._cols,
+            self._x_shape,
+            self.weight.data,
+            self.stride,
+            self.padding,
+            with_bias=self.bias is not None,
+            workspace=self._workspace,
         )
         self.weight.grad += grad_weight
         if self.bias is not None and grad_bias is not None:
@@ -109,7 +173,7 @@ class ConvTranspose2d(Module):
         rng: np.random.Generator | None = None,
     ) -> None:
         super().__init__()
-        rng = rng or np.random.default_rng(0)
+        rng = construction_rng(rng)
         self.kernel = to_pair(kernel)
         self.stride = to_pair(stride)
         self.padding = to_pair(padding)
@@ -179,8 +243,13 @@ class BatchNorm2d(Module):
 
     def forward(self, x: np.ndarray) -> np.ndarray:
         if self.training:
-            mean = x.mean(axis=(0, 2, 3))
-            var = x.var(axis=(0, 2, 3))
+            # One pass over x: E[x] and E[x^2] together, instead of the
+            # separate mean+var sweeps (var clamped against the tiny
+            # negative values cancellation can produce).
+            count = x.shape[0] * x.shape[2] * x.shape[3]
+            mean = x.sum(axis=(0, 2, 3)) / count
+            mean_sq = np.einsum("nchw,nchw->c", x, x) / count
+            var = np.maximum(mean_sq - mean * mean, 0.0)
             self.running_mean = (
                 (1 - self.momentum) * self.running_mean + self.momentum * mean
             )
@@ -408,7 +477,7 @@ class Linear(Module):
         rng: np.random.Generator | None = None,
     ) -> None:
         super().__init__()
-        rng = rng or np.random.default_rng(0)
+        rng = construction_rng(rng)
         self.weight = Parameter(
             kaiming_normal((out_features, in_features), in_features, rng),
             name="weight",

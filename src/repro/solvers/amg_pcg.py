@@ -13,6 +13,7 @@ import scipy.sparse as sp
 
 from repro.solvers.amg import AMGHierarchy, AMGOptions, build_hierarchy
 from repro.solvers.base import SolveResult, SolverOptions, Timer, check_system
+from repro.solvers.cache import global_setup_cache, setup_cache_enabled
 from repro.solvers.cg import _pcg
 from repro.solvers.cycles import CycleOptions, CyclePreconditioner
 from repro.solvers.guard import GuardrailOptions, IterationGuard
@@ -21,9 +22,13 @@ from repro.solvers.guard import GuardrailOptions, IterationGuard
 class AMGPCGSolver:
     """Flexible CG preconditioned by an aggregation-AMG K-cycle.
 
-    The hierarchy is (re)built lazily per matrix and cached, so sweeping
-    ``max_iterations`` over the same system — as the trade-off study in
-    Fig. 7 does — pays the setup cost once.
+    Setup reuse happens at two layers: an ``id()`` fast path for repeated
+    solves with the *same array object* (the Fig. 7 iteration sweep), and
+    the process-wide :mod:`repro.solvers.cache` fingerprint cache for
+    repeated solves of *equal* matrices across solver instances (curriculum
+    epochs, the fallback cascade's retry, the batch engine).  Either way
+    the hierarchy object is shared, so iterate streams stay bitwise
+    identical to an uncached run.
     """
 
     def __init__(
@@ -32,14 +37,17 @@ class AMGPCGSolver:
         amg_options: AMGOptions | None = None,
         cycle_options: CycleOptions | None = None,
         guard_options: GuardrailOptions | None = None,
+        use_setup_cache: bool = True,
     ) -> None:
         self.options = options or SolverOptions()
         self.amg_options = amg_options or AMGOptions()
         self.cycle_options = cycle_options or CycleOptions()
         self.guard_options = guard_options
+        self.use_setup_cache = use_setup_cache
         self._cached_matrix_id: int | None = None
         self._cached_preconditioner: CyclePreconditioner | None = None
         self._cached_setup_seconds: float = 0.0
+        self._last_setup_was_hit = False
 
     @property
     def hierarchy(self) -> AMGHierarchy | None:
@@ -47,6 +55,11 @@ class AMGPCGSolver:
         if self._cached_preconditioner is None:
             return None
         return self._cached_preconditioner.hierarchy
+
+    @property
+    def last_setup_was_cache_hit(self) -> bool:
+        """Whether the most recent :meth:`setup` reused a cached hierarchy."""
+        return self._last_setup_was_hit
 
     def setup(self, matrix: sp.spmatrix) -> CyclePreconditioner:
         """Run (or reuse) the AMG setup stage for *matrix*."""
@@ -56,8 +69,14 @@ class AMGPCGSolver:
         ):
             return self._cached_preconditioner
         timer = Timer()
-        hierarchy = build_hierarchy(matrix, self.amg_options)
+        if self.use_setup_cache and setup_cache_enabled():
+            hierarchy, hit = global_setup_cache().get_or_build(
+                matrix, self.amg_options
+            )
+        else:
+            hierarchy, hit = build_hierarchy(matrix, self.amg_options), False
         self._cached_setup_seconds = timer.lap()
+        self._last_setup_was_hit = hit
         self._cached_preconditioner = CyclePreconditioner(
             hierarchy, self.cycle_options
         )

@@ -28,6 +28,7 @@ from repro.mna.system import ReducedSystem
 from repro.solvers.amg import AMGOptions
 from repro.solvers.amg_pcg import AMGPCGSolver
 from repro.solvers.base import SolveResult, SolverOptions
+from repro.solvers.cache import setup_cache_stats
 from repro.solvers.cycles import CycleOptions
 from repro.solvers.guard import FallbackCascade, GuardrailOptions
 from repro.spice.ast import Netlist
@@ -196,6 +197,7 @@ class PowerRushSimulator:
             system = build_reduced_system(grid)
 
         flat_guess = np.full(system.size, supply_voltage, dtype=float)
+        cache_before = setup_cache_stats()
         if self.robust:
             cascade = FallbackCascade(
                 options=self.options,
@@ -208,6 +210,7 @@ class PowerRushSimulator:
             )
         else:
             result = self.solver.solve(system.matrix, system.rhs, x0=flat_guess)
+        diagnostics.solver_cache = setup_cache_stats().delta(cache_before)
 
         voltages = system.scatter(result.x)
         ir_drop = supply_voltage - voltages

@@ -211,7 +211,10 @@ def validate_grid(grid: "PowerGrid") -> list[ValidationIssue]:
             )
         )
         return issues
-    islands = floating_components(grid)
+    # One component pass serves both the island check and the count below.
+    all_components = connected_components(grid)
+    pad_indices = {n.index for n in grid.pads()}
+    islands = [c for c in all_components if c.isdisjoint(pad_indices)]
     if islands:
         total = sum(len(c) for c in islands)
         sample = [grid.node(min(c)).name for c in islands[:3]]
@@ -227,7 +230,7 @@ def validate_grid(grid: "PowerGrid") -> list[ValidationIssue]:
                 fatal=True,
             )
         )
-    components = len(connected_components(grid))
+    components = len(all_components)
     if components > 1:
         issues.append(
             ValidationIssue(

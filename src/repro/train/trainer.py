@@ -21,6 +21,7 @@ import numpy as np
 
 from repro.data.curriculum import CurriculumScheduler
 from repro.data.dataset import DesignSample, IRDropDataset
+from repro.nn.containers import fuse_conv_relu
 from repro.nn.losses import MAELoss, _Loss
 from repro.nn.module import Module
 from repro.nn.optim import Adam, clip_grad_norm
@@ -155,6 +156,12 @@ class Trainer:
         Test-only hook ``(epoch, loss) -> loss`` applied to each epoch's
         mean loss before health checks — the fault-injection harness uses
         it to exercise NaN-loss recovery deterministically.
+    fuse:
+        Apply the conv+bias+ReLU fusion pass to the model before
+        training (default).  Fusion shares the original Parameter
+        objects and preserves state-dict paths, so checkpoints and
+        optimizer slots are unaffected; outputs are numerically
+        unchanged.
     """
 
     def __init__(
@@ -164,8 +171,10 @@ class Trainer:
         config: TrainConfig | None = None,
         lr_schedule=None,
         fault_hook: Callable[[int, float], float] | None = None,
+        fuse: bool = True,
     ) -> None:
         self.model = model
+        self.fused_pairs = fuse_conv_relu(model) if fuse else 0
         self.loss = loss or MAELoss()
         self.config = config or TrainConfig()
         self.lr_schedule = lr_schedule or ConstantLR(self.config.lr)

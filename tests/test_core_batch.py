@@ -1,0 +1,166 @@
+"""Tests for the parallel batch-analysis engine."""
+
+import os
+import signal
+
+import numpy as np
+import pytest
+
+from repro.core.batch import (
+    BatchAnalyzer,
+    BatchItem,
+    BatchReport,
+    parallel_map,
+)
+
+
+def _square(x):
+    return x * x
+
+
+def _reciprocal(x):
+    return 1.0 / x
+
+
+class TestParallelMap:
+    def test_serial_preserves_order(self):
+        outcomes, degraded = parallel_map(_square, [3, 1, 2], jobs=1)
+        assert outcomes == [(9, None), (1, None), (4, None)]
+        assert not degraded
+
+    def test_parallel_preserves_order(self):
+        outcomes, degraded = parallel_map(_square, list(range(7)), jobs=2)
+        assert [value for value, _ in outcomes] == [k * k for k in range(7)]
+        assert not degraded
+
+    def test_empty_items(self):
+        outcomes, degraded = parallel_map(_square, [], jobs=4)
+        assert outcomes == [] and not degraded
+
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_per_item_errors_are_captured(self, jobs):
+        outcomes, _ = parallel_map(_reciprocal, [2.0, 0.0, 4.0], jobs=jobs)
+        assert outcomes[0] == (0.5, None)
+        value, error = outcomes[1]
+        assert value is None and error.startswith("ZeroDivisionError")
+        assert outcomes[2] == (0.25, None)
+
+    def test_worker_death_degrades_to_serial(self, tmp_path):
+        marker = tmp_path / "died-once"
+
+        def fragile(x):
+            if x == 2 and not marker.exists():
+                marker.touch()
+                os.kill(os.getpid(), signal.SIGKILL)
+            return x * 10
+
+        outcomes, degraded = parallel_map(fragile, [1, 2, 3, 4], jobs=2)
+        assert degraded
+        assert [value for value, _ in outcomes] == [10, 20, 30, 40]
+
+
+class TestBatchReport:
+    def _report(self):
+        return BatchReport(
+            items=[
+                BatchItem(name="good", result=object()),
+                BatchItem(name="bad", result=None, error="ValueError: no"),
+            ],
+            jobs=2,
+            total_seconds=1.0,
+        )
+
+    def test_results_filters_failures(self):
+        report = self._report()
+        assert len(report.results) == 1
+        assert report.num_failed == 1
+
+    def test_summary_lines_name_failures(self):
+        lines = self._report().summary_lines()
+        assert "designs=2 failed=1" in lines[0]
+        assert any("failed[bad]" in line for line in lines[1:])
+
+
+class TestBatchAnalyzer:
+    def test_rejects_bad_jobs(self, trained_tiny_pipeline):
+        with pytest.raises(ValueError):
+            BatchAnalyzer(trained_tiny_pipeline, jobs=0)
+
+    def test_parallel_matches_serial_bitwise(self, trained_tiny_pipeline):
+        pipeline = trained_tiny_pipeline
+        _, test_designs = pipeline.generate_designs()
+        serial = [pipeline.analyze_design(d) for d in test_designs]
+        report = BatchAnalyzer(pipeline, jobs=2).analyze_designs(test_designs)
+        assert all(item.ok for item in report.items)
+        for expected, item in zip(serial, report.items):
+            np.testing.assert_array_equal(
+                expected.predicted_drop, item.result.predicted_drop
+            )
+            assert item.result.diagnostics is not None
+
+    def test_jobs_defaults_to_config(self, trained_tiny_pipeline):
+        analyzer = BatchAnalyzer(trained_tiny_pipeline)
+        assert analyzer.jobs == trained_tiny_pipeline.config.jobs
+
+
+@pytest.fixture(scope="module")
+def trained_tiny_pipeline():
+    from repro.core.config import FusionConfig
+    from repro.core.pipeline import IRFusionPipeline
+    from repro.train.trainer import TrainConfig
+
+    config = FusionConfig(
+        pixels=16,
+        num_fake=2,
+        num_real_train=1,
+        num_real_test=2,
+        base_channels=4,
+        depth=2,
+        train=TrainConfig(epochs=1, batch_size=4),
+        augment=False,
+        oversample_fake=1,
+        oversample_real=1,
+    )
+    pipeline = IRFusionPipeline(config)
+    pipeline.train()
+    return pipeline
+
+
+class TestDatasetJobs:
+    def test_parallel_build_matches_serial(self, fake_design):
+        from repro.data.dataset import IRDropDataset
+        from repro.data.synthetic import generate_design, make_fake_spec
+
+        designs = [
+            fake_design,
+            generate_design(make_fake_spec("jobs-extra", seed=5)),
+        ]
+        serial = IRDropDataset.from_designs(designs, jobs=1)
+        parallel = IRDropDataset.from_designs(designs, jobs=2)
+        assert [s.name for s in parallel] == [s.name for s in serial]
+        for a, b in zip(serial, parallel):
+            np.testing.assert_array_equal(a.features.data, b.features.data)
+            np.testing.assert_array_equal(a.label, b.label)
+
+    def test_parallel_build_raises_on_bad_design(self, fake_design):
+        import dataclasses
+
+        from repro.data.dataset import IRDropDataset
+
+        bad_spec = dataclasses.replace(fake_design.spec, name="broken")
+        bad = dataclasses.replace(
+            fake_design,
+            spec=bad_spec,
+            geometry=None,  # geometry access must blow up in the worker
+        )
+        with pytest.raises(RuntimeError, match="broken"):
+            IRDropDataset.from_designs([fake_design, bad], jobs=2)
+
+
+class TestConfigJobs:
+    def test_jobs_validated(self):
+        from repro.core.config import FusionConfig
+
+        with pytest.raises(ValueError):
+            FusionConfig(jobs=0)
+        assert FusionConfig(jobs=3).jobs == 3

@@ -15,27 +15,107 @@ def geometry():
     return GridGeometry(8000, 8000, 1000, 1000, default_layer_stack(1))
 
 
+def _as_pairs(span):
+    rows, cols = span
+    return list(zip(rows.tolist(), cols.tolist()))
+
+
 class TestPixelsOnSpan:
     def test_point(self, geometry):
-        assert _pixels_on_span(geometry, (500, 500), (600, 600)) == [(0, 0)]
+        assert _as_pairs(_pixels_on_span(geometry, (500, 500), (600, 600))) == [
+            (0, 0)
+        ]
+
+    def test_returns_index_arrays(self, geometry):
+        rows, cols = _pixels_on_span(geometry, (0, 0), (3000, 0))
+        assert isinstance(rows, np.ndarray) and isinstance(cols, np.ndarray)
+        assert rows.dtype == np.int64 and cols.dtype == np.int64
+        image = np.zeros(geometry.shape)
+        image[rows, cols] = 1.0  # usable directly for fancy indexing
+        assert image.sum() == len(rows)
 
     def test_horizontal(self, geometry):
-        pixels = _pixels_on_span(geometry, (0, 0), (3000, 0))
+        pixels = _as_pairs(_pixels_on_span(geometry, (0, 0), (3000, 0)))
         assert pixels == [(0, 0), (0, 1), (0, 2), (0, 3)]
 
     def test_vertical(self, geometry):
-        pixels = _pixels_on_span(geometry, (0, 0), (0, 2000))
+        pixels = _as_pairs(_pixels_on_span(geometry, (0, 0), (0, 2000)))
         assert pixels == [(0, 0), (1, 0), (2, 0)]
 
     def test_reversed_endpoints(self, geometry):
-        forward = _pixels_on_span(geometry, (0, 0), (3000, 0))
-        backward = _pixels_on_span(geometry, (3000, 0), (0, 0))
+        forward = _as_pairs(_pixels_on_span(geometry, (0, 0), (3000, 0)))
+        backward = _as_pairs(_pixels_on_span(geometry, (3000, 0), (0, 0)))
         assert forward == backward
 
     def test_diagonal_covers_endpoints(self, geometry):
-        pixels = _pixels_on_span(geometry, (0, 0), (3000, 3000))
+        pixels = _as_pairs(_pixels_on_span(geometry, (0, 0), (3000, 3000)))
         assert (0, 0) in pixels
         assert (3, 3) in pixels
+
+
+class TestVectorizedFeatureEquivalence:
+    def test_shortest_path_matches_python_dijkstra(self, fake_design):
+        from repro.features.resistance import (
+            _shortest_path_resistances_python,
+            shortest_path_resistances,
+        )
+
+        fast = shortest_path_resistances(fake_design.grid)
+        reference = _shortest_path_resistances_python(fake_design.grid)
+        np.testing.assert_array_equal(fast, reference)
+
+    def test_negative_resistance_falls_back_to_python(self):
+        from repro.features.resistance import shortest_path_resistances
+        from repro.grid.netlist import PowerGrid
+        from repro.spice.parser import parse_spice
+
+        grid = PowerGrid.from_netlist(
+            parse_spice(
+                "V1 n1_1_0_0 0 1\n"
+                "R1 n1_1_0_0 n1_1_1000_0 2\n"
+                "R2 n1_1_5000_5000 n1_1_6000_5000 3\n"  # pad-free island
+            )
+        )
+        # Parser/AST refuse negative resistance, so corrupt the grid the
+        # way unguarded downstream mutation would.  The corrupted wire
+        # lives in a component no pad reaches: relaxation never touches
+        # it, so both implementations must agree it stays infinite.
+        island_wire = next(
+            w for w in grid.wires if grid.node(w.node_a).name == "n1_1_5000_5000"
+        )
+        try:
+            island_wire.resistance = -3.0
+        except (AttributeError, TypeError):
+            object.__setattr__(island_wire, "resistance", -3.0)
+        grid._wire_arrays_cache = None
+        distances = shortest_path_resistances(grid)
+        assert distances[grid.node("n1_1_0_0").index] == 0.0
+        assert distances[grid.node("n1_1_1000_0").index] == 2.0
+        assert np.isinf(distances[grid.node("n1_1_5000_5000").index])
+
+    def test_resistance_map_matches_per_wire_scatter(self, fake_design):
+        from repro.features.resistance import (
+            _pixels_on_span,
+            resistance_map,
+        )
+
+        geometry, grid = fake_design.geometry, fake_design.grid
+        expected = np.zeros(geometry.shape)
+        for wire in grid.wires:
+            node_a = grid.node(wire.node_a)
+            node_b = grid.node(wire.node_b)
+            if node_a.structured is None or node_b.structured is None:
+                continue
+            rows, cols = _pixels_on_span(
+                geometry, node_a.structured.position,
+                node_b.structured.position,
+            )
+            np.add.at(
+                expected, (rows, cols), wire.resistance / len(rows)
+            )
+        np.testing.assert_allclose(
+            resistance_map(geometry, grid), expected, atol=1e-10
+        )
 
 
 class TestNetlistAST:
