@@ -9,7 +9,10 @@ Subcommands
     Emit a synthetic benchmark design (SPICE deck + ICCAD-style images)
     into a directory.
 ``train``
-    Train an IR-Fusion pipeline on a generated suite and save the model.
+    Train an IR-Fusion pipeline on a generated suite and save the model;
+    ``--jobs N`` shards each mini-batch across gradient workers and
+    ``--precision mixed`` switches the kernels to the fp32 compute path
+    (fp64 master weights, see ``docs/performance.md``).
 ``analyze``
     Fused analysis of one or more decks with a previously trained model
     checkpoint; ``--jobs N`` fans multiple decks across worker processes.
@@ -116,7 +119,8 @@ def _cmd_train(args: argparse.Namespace) -> int:
         data_seed=args.seed,
         base_channels=args.channels,
         train=TrainConfig(epochs=args.epochs, batch_size=8,
-                          use_curriculum=True),
+                          use_curriculum=True,
+                          jobs=args.jobs, precision=args.precision),
         jobs=args.jobs,
     )
     pipeline = IRFusionPipeline(config)
@@ -260,7 +264,13 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--channels", type=int, default=6)
     train.add_argument("--seed", type=int, default=7)
     train.add_argument("--jobs", type=int, default=1,
-                       help="worker processes for feature extraction")
+                       help="worker processes for feature extraction and "
+                            "the data-parallel gradient engine")
+    train.add_argument("--precision", choices=("fp64", "mixed"),
+                       default="fp64",
+                       help="training compute precision: fp64 (bitwise "
+                            "legacy path) or mixed (fp32 kernels over "
+                            "fp64 master weights)")
     train.set_defaults(func=_cmd_train)
 
     analyze = sub.add_parser("analyze", help="fused analysis with a checkpoint")

@@ -108,6 +108,35 @@ def parallel_map(
     return results, degraded  # type: ignore[return-value]
 
 
+def tree_reduce(values: Sequence, combine: Callable = None):
+    """Reduce *values* by pairwise combination in a fixed tree order.
+
+    The reduction tree depends only on ``len(values)`` — never on worker
+    count or completion order — so floating-point sums are reproducible
+    run-to-run: level by level, element ``2k`` combines with ``2k + 1``
+    and an odd tail passes through unchanged.  The default *combine* is
+    ``lambda a, b: a + b`` (numpy arrays sum elementwise).
+
+    The training engine reduces per-shard gradient vectors with this so
+    a sharded run's summed gradient is a pure function of the shard
+    decomposition, not of how many processes computed the shards.
+    """
+    values = list(values)
+    if not values:
+        raise ValueError("cannot reduce an empty sequence")
+    if combine is None:
+        combine = lambda a, b: a + b  # noqa: E731 - default pairwise sum
+    while len(values) > 1:
+        paired = [
+            combine(values[k], values[k + 1])
+            for k in range(0, len(values) - 1, 2)
+        ]
+        if len(values) % 2:
+            paired.append(values[-1])
+        values = paired
+    return values[0]
+
+
 @dataclass
 class BatchItem:
     """Outcome of one design in a batch run."""

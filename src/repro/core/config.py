@@ -54,7 +54,12 @@ class FusionConfig:
     Training
     --------
     train:
-        Loop controls (epochs, lr, batch size, curriculum flag, ...).
+        Loop controls (epochs, lr, batch size, curriculum flag, ...) plus
+        the data-parallel engine knobs (``jobs``, ``precision``,
+        ``grad_shards``, ``sync_every``, ``loss_scale``) — see
+        :class:`repro.train.trainer.TrainConfig`.  The trainer's ``jobs``
+        is independent of the pipeline-level ``jobs`` below: one shards
+        gradient work inside an epoch, the other fans out whole designs.
     augment:
         Apply the 4x rotation augmentation to the training set.
     oversample_fake / oversample_real:
@@ -64,7 +69,8 @@ class FusionConfig:
     ---------
     jobs:
         Worker processes for batchable stages (dataset feature extraction,
-        batch analysis); 1 keeps everything serial in-process.
+        batch analysis); 1 keeps everything serial in-process.  Gradient
+        sharding during training is controlled by ``train.jobs`` instead.
     """
 
     pixels: int = 32

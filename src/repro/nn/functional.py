@@ -102,6 +102,7 @@ def im2col(
     stride: Pair,
     padding: Pair,
     workspace: Workspace | None = None,
+    prefix: str = "",
 ) -> np.ndarray:
     """Extract sliding patches: ``(N, C*kh*kw, out_h*out_w)``.
 
@@ -110,12 +111,19 @@ def im2col(
     the next im2col call on the same workspace.  The copy into the
     preallocated buffer walks the strided windows in the same C order as
     ``ascontiguousarray``, so the contents are bitwise identical either
-    way.
+    way.  *prefix* namespaces the arena buffers so two im2col calls with
+    different shapes (e.g. forward patches vs the backward-data sweep)
+    don't evict each other's buffers every step.
     """
     n, c, h, w = x.shape
     kh, kw = kernel
     sh, sw = stride
     ph, pw = padding
+    if (kh, kw) == (1, 1) and (sh, sw) == (1, 1) and (ph, pw) == (0, 0):
+        # A pointwise convolution's patch matrix IS the input: return a
+        # reshaped view (bitwise identical, no copy, no arena buffer).
+        # Callers cache it only as long as they hold the input alive.
+        return x.reshape(n, c, h * w)
     out_h, out_w = conv_output_shape((h, w), kernel, stride, padding)
     if ph == 0 and pw == 0:
         padded = x
@@ -123,7 +131,7 @@ def im2col(
         # Border pixels are zeroed at allocation and never written again;
         # only the interior is refreshed per call.
         padded = workspace.request(
-            "im2col_padded", (n, c, h + 2 * ph, w + 2 * pw), x.dtype
+            f"{prefix}im2col_padded", (n, c, h + 2 * ph, w + 2 * pw), x.dtype
         )
         padded[:, :, ph : ph + h, pw : pw + w] = x
     else:
@@ -136,7 +144,9 @@ def im2col(
         writeable=False,
     )
     if workspace is not None:
-        cols = workspace.request("im2col_cols", (n, c * kh * kw, out_h * out_w), x.dtype)
+        cols = workspace.request(
+            f"{prefix}im2col_cols", (n, c * kh * kw, out_h * out_w), x.dtype
+        )
         np.copyto(cols.reshape(n, c, kh, kw, out_h, out_w), windows)
         return cols
     return np.ascontiguousarray(windows).reshape(n, c * kh * kw, out_h * out_w)
@@ -233,8 +243,50 @@ def conv2d_backward(
     n = grad_output.shape[0]
     filters = weight.shape[0]
     grad_flat = grad_output.reshape(n, filters, -1)  # (N, F, L)
-    grad_weight = np.einsum("nfl,nkl->fk", grad_flat, cols).reshape(weight.shape)
+    if grad_flat.dtype == np.float64 and cols.dtype == np.float64:
+        # The einsum C-loop accumulates in a fixed order; the fp64 path
+        # keeps it so results stay bitwise identical to earlier releases.
+        grad_weight = np.einsum("nfl,nkl->fk", grad_flat, cols)
+    else:
+        # Batched BLAS matmul + sum is several times faster than einsum in
+        # fp32; per-sample partials then reduce in index order.
+        grad_weight = np.matmul(grad_flat, cols.transpose(0, 2, 1)).sum(axis=0)
+    grad_weight = grad_weight.reshape(weight.shape)
     grad_bias = grad_output.sum(axis=(0, 2, 3)) if with_bias else None
+    kernel = (weight.shape[2], weight.shape[3])
+    kh, kw = kernel
+    ph, pw = padding
+    if (
+        grad_flat.dtype != np.float64
+        and stride == (1, 1)
+        and ph < kh
+        and pw < kw
+    ):
+        # Backward-data as a full correlation: im2col over the output
+        # gradient + one GEMM with the 180°-rotated kernel.  This swaps
+        # the memory-bound col2im scatter (kh*kw strided adds) for a
+        # single patch copy, a clear win in the reduced-precision path;
+        # the fp64 path keeps the scatter form bitwise-stable.
+        in_channels = weight.shape[1]
+        w_rot = np.ascontiguousarray(
+            weight[:, :, ::-1, ::-1].transpose(1, 0, 2, 3)
+        ).reshape(in_channels, filters * kh * kw)
+        cols_g = im2col(
+            grad_output,
+            kernel,
+            (1, 1),
+            (kh - 1 - ph, kw - 1 - pw),
+            workspace=workspace,
+            prefix="bwd_",
+        )
+        if workspace is not None:
+            grad_input = workspace.request(
+                "bwd_grad_input", (n, in_channels, cols_g.shape[2]), cols_g.dtype
+            )
+            np.matmul(w_rot, cols_g, out=grad_input)
+        else:
+            grad_input = np.matmul(w_rot, cols_g)
+        return grad_input.reshape(x_shape), grad_weight, grad_bias
     w_mat_t = weight.reshape(filters, -1).T
     if workspace is not None:
         grad_cols = workspace.request(
@@ -243,7 +295,6 @@ def conv2d_backward(
         np.matmul(w_mat_t, grad_flat, out=grad_cols)  # (N, K, L)
     else:
         grad_cols = np.matmul(w_mat_t, grad_flat)
-    kernel = (weight.shape[2], weight.shape[3])
     grad_input = col2im(
         grad_cols, x_shape, kernel, stride, padding, workspace=workspace
     )

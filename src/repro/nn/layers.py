@@ -66,8 +66,8 @@ class Conv2d(Module):
     def forward(self, x: np.ndarray) -> np.ndarray:
         out, cols = conv2d_forward(
             x,
-            self.weight.data,
-            self.bias.data if self.bias is not None else None,
+            self.weight.compute,
+            self.bias.compute if self.bias is not None else None,
             self.stride,
             self.padding,
             workspace=self._workspace,
@@ -83,7 +83,7 @@ class Conv2d(Module):
             grad_output,
             self._cols,
             self._x_shape,
-            self.weight.data,
+            self.weight.compute,
             self.stride,
             self.padding,
             with_bias=self.bias is not None,
@@ -123,8 +123,8 @@ class FusedConvBiasReLU(Module):
     def forward(self, x: np.ndarray) -> np.ndarray:
         out, cols = conv2d_forward(
             x,
-            self.weight.data,
-            self.bias.data if self.bias is not None else None,
+            self.weight.compute,
+            self.bias.compute if self.bias is not None else None,
             self.stride,
             self.padding,
             workspace=self._workspace,
@@ -143,7 +143,7 @@ class FusedConvBiasReLU(Module):
             grad_pre,
             self._cols,
             self._x_shape,
-            self.weight.data,
+            self.weight.compute,
             self.stride,
             self.padding,
             with_bias=self.bias is not None,
@@ -200,11 +200,11 @@ class ConvTranspose2d(Module):
         out_h, out_w = self._output_hw((h, w))
         out_shape = (n, self.out_channels, out_h, out_w)
         # conv-transpose forward == conv backward-data with x as the gradient
-        w_mat = self.weight.data.reshape(c_in, -1)  # (Cin, Cout*kh*kw)
+        w_mat = self.weight.compute.reshape(c_in, -1)  # (Cin, Cout*kh*kw)
         grad_cols = np.matmul(w_mat.T, x.reshape(n, c_in, -1))
         out = col2im(grad_cols, out_shape, self.kernel, self.stride, self.padding)
         if self.bias is not None:
-            out = out + self.bias.data.reshape(1, -1, 1, 1)
+            out = out + self.bias.compute.reshape(1, -1, 1, 1)
         self._x = x
         self._out_shape = out_shape
         return out
@@ -216,12 +216,14 @@ class ConvTranspose2d(Module):
         n, c_in = x.shape[:2]
         cols = im2col(grad_output, self.kernel, self.stride, self.padding)
         x_flat = x.reshape(n, c_in, -1)
-        self.weight.grad += np.einsum("nfl,nkl->fk", x_flat, cols).reshape(
-            self.weight.data.shape
-        )
+        if x_flat.dtype == np.float64 and cols.dtype == np.float64:
+            grad_w = np.einsum("nfl,nkl->fk", x_flat, cols)
+        else:
+            grad_w = np.matmul(x_flat, cols.transpose(0, 2, 1)).sum(axis=0)
+        self.weight.grad += grad_w.reshape(self.weight.data.shape)
         if self.bias is not None:
             self.bias.grad += grad_output.sum(axis=(0, 2, 3))
-        w_mat = self.weight.data.reshape(c_in, -1)
+        w_mat = self.weight.compute.reshape(c_in, -1)
         grad_input = np.matmul(w_mat, cols).reshape(x.shape)
         return grad_input
 
@@ -239,6 +241,13 @@ class BatchNorm2d(Module):
         self.momentum = momentum
         self.running_mean = np.zeros(channels)
         self.running_var = np.ones(channels)
+        #: When False, training-mode forwards still normalise with batch
+        #: statistics but leave the running buffers untouched.  The
+        #: sharded training engine uses this: workers compute per-shard
+        #: stats (exposed via ``batch_stats``) and the parent folds a
+        #: deterministic reduction of them into the buffers itself.
+        self.update_running = True
+        self.batch_stats: tuple[np.ndarray, np.ndarray] | None = None
         self._cache: tuple | None = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
@@ -250,18 +259,32 @@ class BatchNorm2d(Module):
             mean = x.sum(axis=(0, 2, 3)) / count
             mean_sq = np.einsum("nchw,nchw->c", x, x) / count
             var = np.maximum(mean_sq - mean * mean, 0.0)
-            self.running_mean = (
-                (1 - self.momentum) * self.running_mean + self.momentum * mean
-            )
-            self.running_var = (
-                (1 - self.momentum) * self.running_var + self.momentum * var
-            )
+            self.batch_stats = (mean, var)
+            if self.update_running:
+                self.running_mean = (
+                    (1 - self.momentum) * self.running_mean + self.momentum * mean
+                )
+                self.running_var = (
+                    (1 - self.momentum) * self.running_var + self.momentum * var
+                )
         else:
-            mean, var = self.running_mean, self.running_var
+            # Running stats are float64 buffers; cast to the activation
+            # dtype so eval mode never upcasts a reduced-precision pass
+            # (a no-op copy-free cast in fp64).
+            mean = self.running_mean.astype(x.dtype, copy=False)
+            var = self.running_var.astype(x.dtype, copy=False)
         std = np.sqrt(var + self.eps)
-        x_hat = (x - mean.reshape(1, -1, 1, 1)) / std.reshape(1, -1, 1, 1)
+        if x.dtype == np.float64:
+            x_hat = (x - mean.reshape(1, -1, 1, 1)) / std.reshape(1, -1, 1, 1)
+        else:
+            # Reduced precision: multiply by the reciprocal instead of
+            # dividing elementwise (measurably cheaper, same tolerance).
+            inv = (1.0 / std).astype(x.dtype, copy=False)
+            x_hat = (x - mean.reshape(1, -1, 1, 1).astype(x.dtype, copy=False)) * (
+                inv.reshape(1, -1, 1, 1)
+            )
         self._cache = (x_hat, std)
-        return self.gamma.data.reshape(1, -1, 1, 1) * x_hat + self.beta.data.reshape(
+        return self.gamma.compute.reshape(1, -1, 1, 1) * x_hat + self.beta.compute.reshape(
             1, -1, 1, 1
         )
 
@@ -269,18 +292,44 @@ class BatchNorm2d(Module):
         if self._cache is None:
             raise RuntimeError("backward called before forward")
         x_hat, std = self._cache
-        self.gamma.grad += (grad_output * x_hat).sum(axis=(0, 2, 3))
-        self.beta.grad += grad_output.sum(axis=(0, 2, 3))
-        gamma = self.gamma.data.reshape(1, -1, 1, 1)
-        grad_x_hat = grad_output * gamma
+        if grad_output.dtype == np.float64:
+            # Legacy operation order, kept bitwise-stable for fp64 runs.
+            self.gamma.grad += (grad_output * x_hat).sum(axis=(0, 2, 3))
+            self.beta.grad += grad_output.sum(axis=(0, 2, 3))
+            gamma = self.gamma.compute.reshape(1, -1, 1, 1)
+            grad_x_hat = grad_output * gamma
+            if not self.training:
+                return grad_x_hat / std.reshape(1, -1, 1, 1)
+            count = grad_output.shape[0] * grad_output.shape[2] * grad_output.shape[3]
+            sum_g = grad_x_hat.sum(axis=(0, 2, 3), keepdims=True)
+            sum_gx = (grad_x_hat * x_hat).sum(axis=(0, 2, 3), keepdims=True)
+            return (
+                grad_x_hat - sum_g / count - x_hat * sum_gx / count
+            ) / std.reshape(1, -1, 1, 1)
+        # Reduced precision: the parameter-gradient reductions already
+        # carry the per-channel sums the input gradient needs
+        # (sum(g*gamma) = gamma*beta-contrib, sum(g*gamma*x_hat) =
+        # gamma*gamma-contrib), so the whole input gradient collapses to
+        # one per-channel affine form c1*g + c2*x_hat + c3 — two fewer
+        # full-array reduction passes and no grad_x_hat temporary.
+        g_sum = grad_output.sum(axis=(0, 2, 3))
+        gx_sum = np.einsum("nchw,nchw->c", grad_output, x_hat)
+        self.gamma.grad += gx_sum
+        self.beta.grad += g_sum
+        gamma = self.gamma.compute
+        inv_std = (1.0 / std).astype(grad_output.dtype, copy=False)
         if not self.training:
-            return grad_x_hat / std.reshape(1, -1, 1, 1)
+            coef = (gamma * inv_std).reshape(1, -1, 1, 1)
+            return grad_output * coef
         count = grad_output.shape[0] * grad_output.shape[2] * grad_output.shape[3]
-        sum_g = grad_x_hat.sum(axis=(0, 2, 3), keepdims=True)
-        sum_gx = (grad_x_hat * x_hat).sum(axis=(0, 2, 3), keepdims=True)
+        scale = gamma * inv_std
+        c2 = -(scale * gx_sum) / count
+        c3 = -(scale * g_sum) / count
         return (
-            grad_x_hat - sum_g / count - x_hat * sum_gx / count
-        ) / std.reshape(1, -1, 1, 1)
+            grad_output * scale.reshape(1, -1, 1, 1)
+            + x_hat * c2.reshape(1, -1, 1, 1)
+            + c3.reshape(1, -1, 1, 1)
+        )
 
 
 class ReLU(Module):
@@ -489,9 +538,9 @@ class Linear(Module):
         if x.ndim != 2:
             raise ValueError(f"Linear expects (N, F) input, got shape {x.shape}")
         self._x = x
-        out = x @ self.weight.data.T
+        out = x @ self.weight.compute.T
         if self.bias is not None:
-            out = out + self.bias.data
+            out = out + self.bias.compute
         return out
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
@@ -500,7 +549,7 @@ class Linear(Module):
         self.weight.grad += grad_output.T @ self._x
         if self.bias is not None:
             self.bias.grad += grad_output.sum(axis=0)
-        return grad_output @ self.weight.data
+        return grad_output @ self.weight.compute
 
 
 class Concat(Module):

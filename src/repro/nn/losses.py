@@ -121,7 +121,11 @@ class WeightedHotspotLoss(_Loss):
         diff = prediction - target
         per_sample_max = target.max(axis=tuple(range(1, target.ndim)), keepdims=True)
         hot = target > self.threshold * per_sample_max
-        weights = np.where(hot, self.hotspot_weight, 1.0)
+        # np.where over two python scalars yields float64; cast so the
+        # weighted gradient keeps the prediction's compute dtype.
+        weights = np.where(hot, self.hotspot_weight, 1.0).astype(
+            prediction.dtype, copy=False
+        )
         weights = weights / weights.mean()
         self._cache = {"diff": diff, "weights": weights}
         return float(np.mean(weights * np.abs(diff)))
@@ -190,7 +194,9 @@ class KirchhoffLoss(_Loss):
         if self.current_map is None or self.weight == 0.0:
             self._cache = {"physics": None}
             return data_loss
-        current = np.broadcast_to(self.current_map, prediction.shape)
+        current = np.broadcast_to(
+            np.asarray(self.current_map, dtype=prediction.dtype), prediction.shape
+        )
         lap = _laplacian(prediction)
         denom = float((current * current).sum())
         alpha = float((lap * current).sum()) / denom if denom > 0 else 0.0

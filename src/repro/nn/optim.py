@@ -60,6 +60,7 @@ class SGD(Optimizer):
             velocity *= self.momentum
             velocity += grad
             parameter.data -= self.lr * velocity
+            parameter.sync_compute()
 
     def state_dict(self) -> dict[str, np.ndarray]:
         return {f"velocity.{i}": v.copy() for i, v in enumerate(self._velocity)}
@@ -76,7 +77,12 @@ class SGD(Optimizer):
 
 
 class Adam(Optimizer):
-    """Adam with bias correction (Kingma & Ba)."""
+    """Adam with bias correction (Kingma & Ba).
+
+    Steps operate on the float64 master weights (``Parameter.data``) and
+    re-sync each parameter's compute-precision cast afterwards, so mixed
+    precision never degrades the accumulated weight state.
+    """
 
     def __init__(
         self,
@@ -115,6 +121,7 @@ class Adam(Optimizer):
             m_hat = m / bias1
             v_hat = v / bias2
             parameter.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+            parameter.sync_compute()
 
     def state_dict(self) -> dict[str, np.ndarray]:
         state = {f"m.{i}": m.copy() for i, m in enumerate(self._m)}

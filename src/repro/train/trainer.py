@@ -22,11 +22,39 @@ import numpy as np
 from repro.data.curriculum import CurriculumScheduler
 from repro.data.dataset import DesignSample, IRDropDataset
 from repro.nn.containers import fuse_conv_relu
+from repro.nn.layers import BatchNorm2d
 from repro.nn.losses import MAELoss, _Loss
 from repro.nn.module import Module
 from repro.nn.optim import Adam, clip_grad_norm
 from repro.nn.serialize import load_checkpoint, save_checkpoint
-from repro.train.schedule import ConstantLR
+from repro.train.schedule import ConstantLR, shard_batch
+
+#: Shard count the data-parallel engine uses when ``grad_shards`` is 0
+#: and ``jobs`` > 1.  A fixed constant (never derived from ``jobs``) so
+#: auto-sharded runs at different worker counts share one decomposition
+#: and therefore one parameter trajectory.  Two shards keeps each shard
+#: large enough for efficient kernels while still letting every worker
+#: pull shard items from the publication window's many batches.
+DEFAULT_GRAD_SHARDS = 2
+
+
+def _available_cores() -> int:
+    """CPU cores this process may actually run on."""
+    if hasattr(os, "sched_getaffinity"):
+        return len(os.sched_getaffinity(0))
+    return os.cpu_count() or 1
+
+#: Loss-scale floor: repeated overflows halve the scale but never push it
+#: into a denormal spiral.
+MIN_LOSS_SCALE = 1.0 / 65536.0
+
+
+def _iter_modules(module: Module) -> list[Module]:
+    """*module* and every descendant, in deterministic tree-walk order."""
+    found = [module]
+    for child in module.children():
+        found.extend(_iter_modules(child))
+    return found
 
 
 @dataclass(frozen=True)
@@ -73,6 +101,40 @@ class TrainConfig:
         recoveries — the run is unsalvageable, don't spin forever.
     recovery_lr_factor:
         Learning-rate multiplier applied at each NaN recovery.
+    jobs:
+        Worker processes for the data-parallel gradient engine.  With
+        the default ``jobs=1`` and ``grad_shards=0`` the trainer runs
+        the classic in-process loop (bitwise-identical to earlier
+        releases); any other setting engages the sharded engine.
+    precision:
+        ``"fp64"`` (default) computes everything in float64.
+        ``"mixed"`` runs forward/backward kernels in float32 while the
+        optimiser keeps float64 master weights (see
+        ``docs/performance.md`` for the full contract).
+    grad_shards:
+        Mini-batch shard count for the data-parallel engine.  0 = auto:
+        the classic whole-batch loop at ``jobs=1``, a fixed
+        ``DEFAULT_GRAD_SHARDS`` decomposition at ``jobs>1``.  Any
+        explicit value >= 1 forces the sharded engine even at
+        ``jobs=1``; because the decomposition and the fixed-order tree
+        reduction depend only on this value (never on ``jobs``), runs
+        with the same ``grad_shards`` produce bitwise-identical fp64
+        parameter trajectories at any worker count.
+    sync_every:
+        Parameter-publication cadence of the sharded engine, in
+        optimizer steps.  Workers always evaluate gradients at the
+        parameters published at the start of their window: 0 (default)
+        publishes once per epoch (one fork per epoch, maximum
+        throughput, gradients up to one epoch stale), ``k`` republishes
+        every ``k`` steps, and 1 is fully synchronous data parallelism.
+        The optimizer itself always steps once per batch in the parent,
+        in batch order, whatever the window size.
+    loss_scale:
+        Static starting loss scale for mixed precision (0 = auto: 1.0
+        in fp64, 256.0 in mixed).  In mixed mode a guard skips the
+        optimizer step and halves the scale whenever scaled gradients
+        overflow to non-finite values, so overflows never reach the
+        master weights; a NaN recovery resets the scale.
     """
 
     epochs: int = 10
@@ -89,6 +151,25 @@ class TrainConfig:
     nan_recovery: bool = True
     max_recoveries: int = 3
     recovery_lr_factor: float = 0.5
+    jobs: int = 1
+    precision: str = "fp64"
+    grad_shards: int = 0
+    sync_every: int = 0
+    loss_scale: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {self.jobs}")
+        if self.precision not in ("fp64", "mixed"):
+            raise ValueError(
+                f"precision must be 'fp64' or 'mixed', got {self.precision!r}"
+            )
+        if self.grad_shards < 0:
+            raise ValueError("grad_shards must be >= 0 (0 = auto)")
+        if self.sync_every < 0:
+            raise ValueError("sync_every must be >= 0 (0 = once per epoch)")
+        if self.loss_scale < 0:
+            raise ValueError("loss_scale must be >= 0 (0 = auto)")
 
 
 @dataclass
@@ -103,6 +184,7 @@ class TrainHistory:
     recoveries: list[int] = field(default_factory=list)
     resumed_from: int | None = None
     aborted: str | None = None
+    overflow_steps: int = 0
 
     @property
     def final_loss(self) -> float:
@@ -131,6 +213,7 @@ class TrainHistory:
             "recoveries": list(self.recoveries),
             "resumed_from": self.resumed_from,
             "aborted": self.aborted,
+            "overflow_steps": int(self.overflow_steps),
         }
 
     @classmethod
@@ -144,6 +227,7 @@ class TrainHistory:
             recoveries=list(meta.get("recoveries", [])),
             resumed_from=meta.get("resumed_from"),
             aborted=meta.get("aborted"),
+            overflow_steps=int(meta.get("overflow_steps", 0)),
         )
 
 
@@ -180,6 +264,22 @@ class Trainer:
         self.lr_schedule = lr_schedule or ConstantLR(self.config.lr)
         self.optimizer = Adam(model.parameters(), lr=self.config.lr)
         self.fault_hook = fault_hook
+        self.compute_dtype = (
+            np.float32 if self.config.precision == "mixed" else np.float64
+        )
+        self.model.set_compute_dtype(self.compute_dtype)
+        # Parameter list cached once (model structure is frozen after the
+        # fusion pass above): zero_grad / clip / flatten all walk this
+        # list, which is the same tree order model.parameters() returns.
+        self._parameters = self.optimizer.parameters
+        self._bn_layers = [
+            m for m in _iter_modules(model) if isinstance(m, BatchNorm2d)
+        ]
+        self._initial_loss_scale = self.config.loss_scale or (
+            256.0 if self.config.precision == "mixed" else 1.0
+        )
+        self._loss_scale = self._initial_loss_scale
+        self._overflow_steps = 0
 
     # -- checkpointing ---------------------------------------------------------
 
@@ -203,6 +303,7 @@ class Trainer:
         meta = {
             "epoch": epoch,
             "lr_scale": lr_scale,
+            "loss_scale": self._loss_scale,
             "rng_state": rng.bit_generator.state,
             "history": history.to_meta(),
             "config": {
@@ -235,6 +336,10 @@ class Trainer:
         rng.bit_generator.state = meta["rng_state"]
         history = TrainHistory.from_meta(meta.get("history", {}))
         history.resumed_from = int(meta["epoch"])
+        self._loss_scale = float(
+            meta.get("loss_scale", self._initial_loss_scale)
+        )
+        self._overflow_steps = history.overflow_steps
         return int(meta["epoch"]) + 1, float(meta.get("lr_scale", 1.0)), history
 
     # -- fitting --------------------------------------------------------------
@@ -288,11 +393,13 @@ class Trainer:
             lr = float(self.lr_schedule(epoch)) * lr_scale
             self.optimizer.lr = lr
             epoch_loss = self._run_epoch(subset, rng)
+            self._release_workspaces()
             if self.fault_hook is not None:
                 epoch_loss = self.fault_hook(epoch, epoch_loss)
             history.epoch_losses.append(epoch_loss)
             history.epoch_sizes.append(len(subset))
             history.learning_rates.append(lr)
+            history.overflow_steps = self._overflow_steps
             if not np.isfinite(epoch_loss):
                 history.recoveries.append(epoch)
                 if not cfg.nan_recovery:
@@ -302,10 +409,13 @@ class Trainer:
                     break
                 # Reload the last healthy weights and damp the step size;
                 # the sick epoch is recorded but never poisons the model.
+                # The mixed-precision loss scale restarts from its initial
+                # value alongside the reloaded state.
                 model_state, optim_state = last_good
                 self.model.load_state_dict(model_state)
                 self.optimizer.load_state_dict(optim_state)
                 lr_scale *= cfg.recovery_lr_factor
+                self._loss_scale = self._initial_loss_scale
                 continue
             if cfg.nan_recovery:
                 last_good = (self.model.state_dict(), self.optimizer.state_dict())
@@ -343,7 +453,20 @@ class Trainer:
             )
         ):
             self.model.load_state_dict(best_state)
+        self._release_workspaces()
         return history
+
+    def _release_workspaces(self) -> None:
+        """Drop every conv scratch arena (reallocated lazily on demand).
+
+        Buffer contents never survive a call meaningfully — interiors are
+        overwritten every use and borders re-zeroed on allocation — so
+        releasing between epochs is numerically invisible; it just stops
+        long curriculum runs (and the trained model afterwards) from
+        pinning peak-size scratch for their whole lifetime.
+        """
+        for workspace in self.model.workspaces():
+            workspace.clear()
 
     def _validation_mae(self, validation: IRDropDataset) -> float:
         predictions = self.predict(validation)
@@ -358,6 +481,14 @@ class Trainer:
             s.rough_label is not None for s in samples
         )
 
+    def _effective_shards(self) -> int:
+        """Shard count per mini-batch; 0 selects the classic loop."""
+        if self.config.grad_shards > 0:
+            return self.config.grad_shards
+        if self.config.jobs > 1:
+            return DEFAULT_GRAD_SHARDS
+        return 0
+
     def _run_epoch(self, dataset: IRDropDataset, rng: np.random.Generator) -> float:
         x, y = dataset.as_arrays()
         if self._uses_residual(dataset.samples):
@@ -366,21 +497,220 @@ class Trainer:
             )
             y = y - rough
         y = y * self.config.label_scale
+        if self.compute_dtype != np.float64:
+            x = x.astype(self.compute_dtype)
+            y = y.astype(self.compute_dtype)
         order = rng.permutation(len(dataset))
+        batches = [
+            order[start : start + self.config.batch_size]
+            for start in range(0, len(order), self.config.batch_size)
+        ]
+        num_shards = self._effective_shards()
+        if num_shards == 0:
+            return self._run_batches_inprocess(x, y, batches)
+        return self._run_batches_sharded(x, y, batches, num_shards)
+
+    def _run_batches_inprocess(
+        self, x: np.ndarray, y: np.ndarray, batches: list[np.ndarray]
+    ) -> float:
+        """The classic serial loop (bitwise-stable fp64 reference path)."""
+        mixed = self.compute_dtype != np.float64
         total_loss = 0.0
-        batches = 0
-        for start in range(0, len(order), self.config.batch_size):
-            batch = order[start : start + self.config.batch_size]
+        total_samples = 0
+        for batch in batches:
             prediction = self.model(x[batch])
             loss_value = self.loss.forward(prediction, y[batch])
-            self.model.zero_grad()
-            self.model.backward(self.loss.backward())
-            if self.config.grad_clip > 0:
-                clip_grad_norm(self.model.parameters(), self.config.grad_clip)
-            self.optimizer.step()
-            total_loss += loss_value
-            batches += 1
-        return total_loss / max(batches, 1)
+            for parameter in self._parameters:
+                parameter.zero_grad()
+            grad_in = self.loss.backward()
+            scale = self._loss_scale
+            if scale != 1.0:
+                grad_in = grad_in * scale
+            self.model.backward(grad_in)
+            if scale != 1.0:
+                inv_scale = 1.0 / scale
+                for parameter in self._parameters:
+                    parameter.grad *= inv_scale
+            if not mixed or self._grads_finite():
+                if self.config.grad_clip > 0:
+                    clip_grad_norm(self._parameters, self.config.grad_clip)
+                self.optimizer.step()
+            else:
+                self._on_overflow()
+            # Weight by sample count so a short trailing batch doesn't
+            # distort the reported epoch loss.
+            total_loss += loss_value * len(batch)
+            total_samples += len(batch)
+        return total_loss / max(total_samples, 1)
+
+    def _grads_finite(self) -> bool:
+        return all(
+            np.isfinite(parameter.grad).all() for parameter in self._parameters
+        )
+
+    def _on_overflow(self) -> None:
+        """Mixed-precision guard: skip the step, back the loss scale off."""
+        self._loss_scale = max(self._loss_scale * 0.5, MIN_LOSS_SCALE)
+        self._overflow_steps += 1
+
+    def _make_shard_worker(self, x: np.ndarray, y: np.ndarray, scale: float):
+        """Build the per-shard forward+backward closure workers run.
+
+        The closure is published to forked workers copy-on-write (never
+        pickled); only the returned payload crosses the process boundary:
+        ``(mean loss, shard size, flat gradient of the shard-mean loss,
+        flat BatchNorm batch statistics or None)``.
+        """
+        model = self.model
+        loss = self.loss
+        parameters = self._parameters
+        bn_layers = self._bn_layers
+        mixed = self.compute_dtype != np.float64
+
+        def run_shard(shard: np.ndarray):
+            prediction = model(x[shard])
+            loss_value = loss.forward(prediction, y[shard])
+            for parameter in parameters:
+                parameter.zero_grad()
+            grad_in = loss.backward()
+            if scale != 1.0:
+                grad_in = grad_in * scale
+            model.backward(grad_in)
+            flat = np.concatenate(
+                [parameter.grad.ravel() for parameter in parameters]
+            )
+            if mixed:
+                flat = flat.astype(np.float32)
+            stats = None
+            if bn_layers:
+                stats = np.concatenate(
+                    [np.concatenate(bn.batch_stats) for bn in bn_layers]
+                )
+            return float(loss_value), int(len(shard)), flat, stats
+
+        return run_shard
+
+    def _run_batches_sharded(
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        batches: list[np.ndarray],
+        num_shards: int,
+    ) -> float:
+        """Data-parallel engine: per-batch shards, fixed-order reduction.
+
+        Staleness/sync contract: within one publication window
+        (``sync_every`` steps, or the whole epoch when 0) every shard
+        gradient is evaluated at the parameters current when the window
+        started — workers fork once per window and never observe the
+        parent's optimizer steps.  The parent then consumes the window's
+        results strictly in batch order: reduce shards (fixed pairwise
+        tree), clip, step, fold BatchNorm statistics.  The summed
+        gradient is a pure function of the shard decomposition, so fp64
+        runs are bitwise identical at any ``jobs`` for a fixed
+        ``grad_shards``.
+        """
+        # Imported here: repro.core pulls config, which needs TrainConfig
+        # from this module at import time.
+        from repro.core.batch import parallel_map, tree_reduce
+
+        cfg = self.config
+        mixed = self.compute_dtype != np.float64
+        window = cfg.sync_every if cfg.sync_every > 0 else len(batches)
+        for bn in self._bn_layers:
+            bn.update_running = False
+        total_loss = 0.0
+        total_samples = 0
+        try:
+            for window_start in range(0, len(batches), window):
+                window_batches = batches[window_start : window_start + window]
+                shard_lists = [
+                    shard_batch(batch, num_shards) for batch in window_batches
+                ]
+                items = [s for shards in shard_lists for s in shards]
+                scale = self._loss_scale
+                worker = self._make_shard_worker(x, y, scale)
+                # ``jobs`` is an upper bound: shard results are
+                # jobs-invariant by construction, so the engine never
+                # spawns more workers than schedulable cores — on a
+                # saturated or single-core host that collapses to the
+                # in-process path, trading useless fork/IPC for speed
+                # without changing a single bit of the trajectory.
+                workers = min(cfg.jobs, _available_cores())
+                outcomes, _ = parallel_map(worker, items, workers)
+                position = 0
+                for shards in shard_lists:
+                    payloads = []
+                    for _ in shards:
+                        value, error = outcomes[position]
+                        position += 1
+                        if error is not None:
+                            raise RuntimeError(
+                                f"sharded training worker failed: {error}"
+                            )
+                        payloads.append(value)
+                    batch_samples = sum(p[1] for p in payloads)
+                    weights = [p[1] / batch_samples for p in payloads]
+                    if len(payloads) == 1:
+                        flat = payloads[0][2]
+                    else:
+                        flat = tree_reduce(
+                            [p[2] * w for p, w in zip(payloads, weights)]
+                        )
+                    grad = flat.astype(np.float64, copy=False)
+                    if scale != 1.0:
+                        grad = grad / scale
+                    offset = 0
+                    for parameter in self._parameters:
+                        size = parameter.data.size
+                        parameter.grad[...] = grad[
+                            offset : offset + size
+                        ].reshape(parameter.data.shape)
+                        offset += size
+                    if self._bn_layers and payloads[0][3] is not None:
+                        if len(payloads) == 1:
+                            stats = payloads[0][3]
+                        else:
+                            stats = tree_reduce(
+                                [p[3] * w for p, w in zip(payloads, weights)]
+                            )
+                        self._apply_bn_stats(stats)
+                    if not mixed or bool(np.isfinite(grad).all()):
+                        if cfg.grad_clip > 0:
+                            clip_grad_norm(self._parameters, cfg.grad_clip)
+                        self.optimizer.step()
+                    else:
+                        self._on_overflow()
+                    total_loss += sum(
+                        p[0] * p[1] for p in payloads
+                    )
+                    total_samples += batch_samples
+        finally:
+            for bn in self._bn_layers:
+                bn.update_running = True
+        return total_loss / max(total_samples, 1)
+
+    def _apply_bn_stats(self, stats: np.ndarray) -> None:
+        """Fold shard-reduced batch statistics into the running buffers.
+
+        The reduced vector holds the sample-weighted average of per-shard
+        means and variances (ghost-batch-norm style: the between-shard
+        mean spread is not added back), applied with each layer's own
+        momentum exactly as an unsharded forward would.
+        """
+        stats = stats.astype(np.float64, copy=False)
+        offset = 0
+        for bn in self._bn_layers:
+            channels = bn.running_mean.size
+            mean = stats[offset : offset + channels]
+            var = stats[offset + channels : offset + 2 * channels]
+            offset += 2 * channels
+            bn.running_mean = (
+                (1 - bn.momentum) * bn.running_mean + bn.momentum * mean
+            )
+            bn.running_var = (
+                (1 - bn.momentum) * bn.running_var + bn.momentum * var
+            )
 
     # -- inference ---------------------------------------------------------------
 
@@ -389,7 +719,9 @@ class Trainer:
         items = list(samples)
         if not items:
             raise ValueError("nothing to predict")
-        x = np.stack([s.features.data for s in items])
+        x = np.stack([s.features.data for s in items]).astype(
+            self.compute_dtype, copy=False
+        )
         self.model.eval()
         out = self.model(x)
         self.model.train()

@@ -11,7 +11,9 @@ from repro.core.batch import (
     BatchItem,
     BatchReport,
     parallel_map,
+    tree_reduce,
 )
+from repro.train.schedule import shard_batch
 
 
 def _square(x):
@@ -57,6 +59,59 @@ class TestParallelMap:
         outcomes, degraded = parallel_map(fragile, [1, 2, 3, 4], jobs=2)
         assert degraded
         assert [value for value, _ in outcomes] == [10, 20, 30, 40]
+
+
+class TestTreeReduce:
+    def test_pairing_order_is_fixed(self):
+        # Level by level, 2k combines with 2k+1 and an odd tail passes
+        # through: the shape of the reduction depends only on the count.
+        combined = tree_reduce(list("abcde"), combine=lambda a, b: f"({a}{b})")
+        assert combined == "(((ab)(cd))e)"
+
+    @pytest.mark.parametrize("count", [1, 2, 3, 7, 8, 13])
+    def test_matches_plain_sum(self, count):
+        rng = np.random.default_rng(count)
+        values = [rng.standard_normal(5) for _ in range(count)]
+        np.testing.assert_allclose(tree_reduce(values), np.sum(values, axis=0))
+
+    def test_single_value_passes_through(self):
+        value = np.arange(3.0)
+        assert tree_reduce([value]) is value
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            tree_reduce([])
+
+    def test_deterministic_across_repeats(self):
+        rng = np.random.default_rng(9)
+        values = [rng.standard_normal(64) * 10.0**k for k in range(6)]
+        first = tree_reduce(values)
+        np.testing.assert_array_equal(first, tree_reduce(values))
+
+
+class TestShardBatch:
+    def test_concatenation_preserves_order(self):
+        batch = np.array([5, 3, 9, 1, 7])
+        shards = shard_batch(batch, 2)
+        np.testing.assert_array_equal(np.concatenate(shards), batch)
+
+    def test_shard_sizes_balanced(self):
+        shards = shard_batch(np.arange(10), 3)
+        assert [len(s) for s in shards] == [4, 3, 3]
+
+    def test_more_shards_than_samples_drops_empties(self):
+        shards = shard_batch(np.arange(2), 4)
+        assert [len(s) for s in shards] == [1, 1]
+
+    def test_decomposition_independent_of_values(self):
+        # Same length -> same split points, whatever the indices are.
+        a = shard_batch(np.arange(7), 2)
+        b = shard_batch(np.arange(100, 107), 2)
+        assert [len(s) for s in a] == [len(s) for s in b]
+
+    def test_zero_shards_rejected(self):
+        with pytest.raises(ValueError, match="num_shards"):
+            shard_batch(np.arange(4), 0)
 
 
 class TestBatchReport:
