@@ -1,0 +1,59 @@
+"""Project-wide correctness tooling.
+
+Three pillars, all import-light and kernel-free:
+
+- :mod:`repro.analysis.engine` + :mod:`repro.analysis.rules` — an
+  AST-based lint engine enforcing project invariants (no runtime
+  asserts, no unseeded RNG, no wall-clock reads, guarded divisions,
+  frozen fp64 paths, fork-safe workers, import hygiene), runnable as
+  ``python -m repro.analysis``;
+- :mod:`repro.analysis.shapes` — a symbolic shape/dtype verifier that
+  propagates ``(N, C, H, W)`` specs through module graphs without
+  executing kernels, validating every registered architecture and the
+  feature-stack channel contract;
+- :mod:`repro.analysis.sanitizer` — an opt-in runtime numerics
+  sanitizer that traps NaN/Inf/denormal/overflow at the originating op
+  (``FusionConfig.sanitize`` / ``--sanitize``).
+"""
+
+from repro.analysis.engine import (
+    AnalysisEngine,
+    AnalysisReport,
+    Finding,
+    ModuleSource,
+    Rule,
+)
+from repro.analysis.sanitizer import (
+    NumericsFinding,
+    NumericsTrap,
+    SanitizerSession,
+    check_array,
+)
+from repro.analysis.shapes import (
+    ShapeError,
+    ShapeReport,
+    ShapeVerifier,
+    TensorSpec,
+    verify_feature_contract,
+    verify_model,
+    verify_registry,
+)
+
+__all__ = [
+    "AnalysisEngine",
+    "AnalysisReport",
+    "Finding",
+    "ModuleSource",
+    "Rule",
+    "NumericsFinding",
+    "NumericsTrap",
+    "SanitizerSession",
+    "check_array",
+    "ShapeError",
+    "ShapeReport",
+    "ShapeVerifier",
+    "TensorSpec",
+    "verify_feature_contract",
+    "verify_model",
+    "verify_registry",
+]

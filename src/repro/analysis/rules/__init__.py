@@ -1,0 +1,49 @@
+"""Project-specific lint rules.
+
+Each rule encodes one invariant the runtime introduced in earlier PRs:
+
+========================  =================================================
+rule id                   invariant
+========================  =================================================
+``runtime-assert``        no ``assert`` for runtime validation in library
+                          code (stripped under ``python -O``)
+``unseeded-rng``          no unseeded ``np.random`` use outside the shared
+                          construction RNG in ``nn/init.py``
+``wall-clock``            no ``time.time()``/``datetime.now()`` in
+                          deterministic paths (``perf_counter`` is fine)
+``unguarded-division``    no float division without an epsilon or
+                          ``np.errstate`` guard in ``features/`` and
+                          ``solvers/smoothers.py``
+``fp64-narrowing``        no float32 casts inside the frozen fp64 kernel
+                          branches of ``nn/functional.py``/``nn/layers.py``
+``fork-unsafe-closure``   no fork-unsafe state captured by
+                          ``parallel_map`` worker closures
+``dead-import``           no module-level import that is never used
+``import-cycle``          no module-level import cycles inside ``repro``
+========================  =================================================
+"""
+
+from __future__ import annotations
+
+from repro.analysis.engine import Rule
+from repro.analysis.rules.asserts import RuntimeAssertRule
+from repro.analysis.rules.divisions import UnguardedDivisionRule
+from repro.analysis.rules.forksafety import ForkUnsafeClosureRule
+from repro.analysis.rules.imports import DeadImportRule, ImportCycleRule
+from repro.analysis.rules.precision import Fp64NarrowingRule
+from repro.analysis.rules.randomness import UnseededRngRule
+from repro.analysis.rules.wallclock import WallClockRule
+
+
+def default_rules() -> list[Rule]:
+    """The full rule set, in reporting order."""
+    return [
+        RuntimeAssertRule(),
+        UnseededRngRule(),
+        WallClockRule(),
+        UnguardedDivisionRule(),
+        Fp64NarrowingRule(),
+        ForkUnsafeClosureRule(),
+        DeadImportRule(),
+        ImportCycleRule(),
+    ]

@@ -1,0 +1,48 @@
+"""Shared AST helpers for the rule implementations."""
+
+from __future__ import annotations
+
+import ast
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def call_name(node: ast.Call) -> str | None:
+    """Dotted name of a call target, e.g. ``np.random.default_rng``."""
+    return dotted_name(node.func)
+
+
+def iter_parents(tree: ast.AST):
+    """Yield ``(parent, child)`` pairs for the whole tree."""
+    for parent in ast.walk(tree):
+        for child in ast.iter_child_nodes(parent):
+            yield parent, child
+
+
+def build_parent_map(tree: ast.AST) -> dict[ast.AST, ast.AST]:
+    """child -> parent map (identity keyed)."""
+    return {child: parent for parent, child in iter_parents(tree)}
+
+
+def enclosing(
+    node: ast.AST,
+    parents: dict[ast.AST, ast.AST],
+    kinds: tuple[type, ...],
+) -> ast.AST | None:
+    """Nearest ancestor of one of *kinds*, or None."""
+    current = parents.get(node)
+    while current is not None:
+        if isinstance(current, kinds):
+            return current
+        current = parents.get(current)
+    return None

@@ -1,0 +1,36 @@
+"""``runtime-assert``: no ``assert`` for runtime validation in library code.
+
+``assert`` statements vanish under ``python -O``, so a solver or model
+that relies on them for input/state validation silently accepts corrupt
+data in optimised runs.  Library code must raise ``ValueError`` /
+``RuntimeError`` / ``SolverFailure`` instead; ``tests/`` (where asserts
+are the point) is exempt.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.engine import Finding, ModuleSource, Rule
+
+
+class RuntimeAssertRule(Rule):
+    rule_id = "runtime-assert"
+    title = "assert used for runtime validation in library code"
+
+    def applies_to(self, path: str) -> bool:
+        return path.startswith("src/")
+
+    def check(self, module: ModuleSource) -> list[Finding]:
+        findings: list[Finding] = []
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Assert):
+                findings.append(
+                    module.finding(
+                        self.rule_id,
+                        node,
+                        "assert is stripped under python -O; raise "
+                        "ValueError/RuntimeError for runtime validation",
+                    )
+                )
+        return findings

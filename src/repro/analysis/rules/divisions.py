@@ -1,0 +1,163 @@
+"""``unguarded-division``: float divisions in feature/smoother code need
+an epsilon or ``np.errstate`` guard.
+
+Feature extractors and smoothers consume raw (possibly degenerate)
+netlist data: zero currents, zero resistances, empty pixel spans.  A bare
+``a / b`` turns those into inf/NaN that poisons a feature channel or a
+smoother sweep many stages later.  A division counts as guarded when any
+of the following holds:
+
+- it executes inside a ``with np.errstate(...)`` block;
+- the denominator expression (or, for a plain name, every assignment to
+  it in the enclosing function) contains a clamping construct —
+  ``max`` / ``np.maximum`` / ``np.fmax`` / ``np.clip`` / ``np.where``,
+  a ``finfo``-style ``.tiny`` / ``.eps`` floor, or a ``+ <positive
+  constant>`` offset;
+- the denominator is a nonzero literal;
+- the division sits in a conditional expression whose test compares the
+  operands (the ``x / d if d > eps else 0.0`` idiom).
+
+Locally-safe divisions the analysis cannot prove may carry an inline
+``# repro: allow(unguarded-division) — reason`` pragma.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.engine import Finding, ModuleSource, Rule
+from repro.analysis.rules._util import build_parent_map, call_name
+
+_GUARD_CALLS = {
+    "max",
+    "np.maximum", "numpy.maximum",
+    "np.fmax", "numpy.fmax",
+    "np.clip", "numpy.clip",
+    "np.where", "numpy.where",
+}
+_GUARD_ATTRS = {"tiny", "eps", "smallest_normal"}
+_FUNCTION_NODES = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+
+def _is_positive_constant(node: ast.AST) -> bool:
+    return (
+        isinstance(node, ast.Constant)
+        and isinstance(node.value, (int, float))
+        and node.value > 0
+    )
+
+
+def _expr_guarded(expr: ast.AST) -> bool:
+    """Does the expression itself bound its value away from zero?"""
+    if _is_positive_constant(expr):
+        return True
+    for sub in ast.walk(expr):
+        if isinstance(sub, ast.Call) and call_name(sub) in _GUARD_CALLS:
+            return True
+        if isinstance(sub, ast.Attribute) and sub.attr in _GUARD_ATTRS:
+            return True
+        if isinstance(sub, ast.BinOp) and isinstance(sub.op, ast.Add):
+            if _is_positive_constant(sub.left) or _is_positive_constant(
+                sub.right
+            ):
+                return True
+    return False
+
+
+class UnguardedDivisionRule(Rule):
+    rule_id = "unguarded-division"
+    title = "float division without an epsilon/np.errstate guard"
+
+    def applies_to(self, path: str) -> bool:
+        return path.startswith("src/repro/features/") or path.endswith(
+            "solvers/smoothers.py"
+        )
+
+    def check(self, module: ModuleSource) -> list[Finding]:
+        parents = build_parent_map(module.tree)
+        findings: list[Finding] = []
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Div):
+                denominator = node.right
+            elif isinstance(node, ast.AugAssign) and isinstance(
+                node.op, ast.Div
+            ):
+                denominator = node.value
+            else:
+                continue
+            if self._guarded(node, denominator, parents):
+                continue
+            findings.append(
+                module.finding(
+                    self.rule_id,
+                    node,
+                    "division without an epsilon/np.errstate guard; clamp "
+                    "the denominator (np.maximum/max/+eps) or wrap the "
+                    "division in `with np.errstate(...)`",
+                )
+            )
+        return findings
+
+    # -- guard detection ----------------------------------------------------
+
+    def _guarded(
+        self,
+        node: ast.AST,
+        denominator: ast.AST,
+        parents: dict[ast.AST, ast.AST],
+    ) -> bool:
+        if _expr_guarded(denominator):
+            return True
+        if isinstance(denominator, ast.Name) and self._name_guarded(
+            denominator.id, node, parents
+        ):
+            return True
+        current = parents.get(node)
+        while current is not None:
+            if isinstance(current, ast.IfExp) and isinstance(
+                current.test, (ast.Compare, ast.BoolOp)
+            ):
+                return True
+            if isinstance(current, (ast.With, ast.AsyncWith)):
+                for item in current.items:
+                    call = item.context_expr
+                    if isinstance(call, ast.Call):
+                        name = call_name(call) or ""
+                        if name.endswith("errstate"):
+                            return True
+            if isinstance(current, ast.stmt) and not isinstance(
+                current, (ast.With, ast.AsyncWith)
+            ):
+                # keep climbing: guards can wrap several statements up
+                pass
+            current = parents.get(current)
+        return False
+
+    def _name_guarded(
+        self,
+        name: str,
+        node: ast.AST,
+        parents: dict[ast.AST, ast.AST],
+    ) -> bool:
+        """Every assignment to *name* in the enclosing scope is guarded."""
+        scope: ast.AST | None = parents.get(node)
+        while scope is not None and not isinstance(
+            scope, _FUNCTION_NODES + (ast.Module,)
+        ):
+            scope = parents.get(scope)
+        if scope is None:
+            return False
+        values: list[ast.AST] = []
+        for sub in ast.walk(scope):
+            if isinstance(sub, ast.Assign):
+                for target in sub.targets:
+                    if isinstance(target, ast.Name) and target.id == name:
+                        values.append(sub.value)
+            elif isinstance(sub, ast.AnnAssign) and sub.value is not None:
+                if isinstance(sub.target, ast.Name) and sub.target.id == name:
+                    values.append(sub.value)
+            elif isinstance(sub, (ast.AugAssign, ast.For)):
+                target = sub.target
+                if isinstance(target, ast.Name) and target.id == name:
+                    return False  # mutated/iterated: cannot prove a bound
+        return bool(values) and all(_expr_guarded(v) for v in values)

@@ -1,0 +1,226 @@
+"""``dead-import`` / ``import-cycle``: module hygiene rules.
+
+``dead-import`` flags module-level imports whose bound name is never
+used in the rest of the file.  Dead imports hide real dependencies and
+rot into import cycles; ``__init__.py`` files (re-export surface),
+``__future__`` imports, underscore aliases, and names re-exported via
+``__all__`` are exempt.
+
+``import-cycle`` builds the module-level import graph over ``repro.*``
+and reports every strongly connected component with more than one
+module.  Only module-level imports participate: a deferred
+function-level import is the sanctioned way to break a cycle (e.g. the
+trainer deferring ``repro.core.batch``), so those edges are excluded.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+
+from repro.analysis.engine import Finding, ModuleSource, Rule
+
+
+def _module_level_imports(tree: ast.AST):
+    """Yield the Import/ImportFrom statements directly under the module."""
+    for node in ast.iter_child_nodes(tree):
+        if isinstance(node, (ast.Import, ast.ImportFrom)):
+            yield node
+
+
+def _dunder_all_names(tree: ast.AST) -> set[str]:
+    names: set[str] = set()
+    for node in ast.iter_child_nodes(tree):
+        if isinstance(node, ast.Assign) and any(
+            isinstance(t, ast.Name) and t.id == "__all__"
+            for t in node.targets
+        ):
+            for sub in ast.walk(node.value):
+                if isinstance(sub, ast.Constant) and isinstance(
+                    sub.value, str
+                ):
+                    names.add(sub.value)
+    return names
+
+
+class DeadImportRule(Rule):
+    rule_id = "dead-import"
+    title = "module-level import that is never used"
+
+    def applies_to(self, path: str) -> bool:
+        return path.startswith("src/") and not path.endswith("__init__.py")
+
+    def check(self, module: ModuleSource) -> list[Finding]:
+        exported = _dunder_all_names(module.tree)
+        findings: list[Finding] = []
+        for node in _module_level_imports(module.tree):
+            if isinstance(node, ast.ImportFrom) and node.module == "__future__":
+                continue
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                bound = alias.asname or alias.name.split(".")[0]
+                if bound.startswith("_") or bound in exported:
+                    continue
+                if not self._used(module, node, bound):
+                    findings.append(
+                        module.finding(
+                            self.rule_id,
+                            node,
+                            f"'{bound}' is imported but never used; remove "
+                            "the import (or re-export it via __all__)",
+                        )
+                    )
+        return findings
+
+    def _used(
+        self, module: ModuleSource, node: ast.AST, name: str
+    ) -> bool:
+        pattern = re.compile(rf"\b{re.escape(name)}\b")
+        total = len(pattern.findall(module.source))
+        start = getattr(node, "lineno", 1)
+        end = getattr(node, "end_lineno", start) or start
+        on_import = sum(
+            len(pattern.findall(module.lines[i - 1]))
+            for i in range(start, end + 1)
+            if i <= len(module.lines)
+        )
+        return total - on_import > 0
+
+
+def _path_to_module(path: str) -> str | None:
+    """``src/repro/a/b.py`` -> ``repro.a.b``; __init__ maps to the package."""
+    if not path.startswith("src/") or not path.endswith(".py"):
+        return None
+    dotted = path[len("src/"):-len(".py")].replace("/", ".")
+    if dotted.endswith(".__init__"):
+        dotted = dotted[: -len(".__init__")]
+    return dotted
+
+
+class ImportCycleRule(Rule):
+    rule_id = "import-cycle"
+    title = "module-level import cycle inside repro.*"
+
+    def applies_to(self, path: str) -> bool:
+        return path.startswith("src/repro/")
+
+    def check_project(self, modules: list[ModuleSource]) -> list[Finding]:
+        by_name: dict[str, ModuleSource] = {}
+        for module in modules:
+            name = _path_to_module(module.path)
+            if name is not None:
+                by_name[name] = module
+
+        edges: dict[str, set[str]] = {name: set() for name in by_name}
+        edge_nodes: dict[tuple[str, str], ast.AST] = {}
+        for name, module in by_name.items():
+            package = (
+                name
+                if module.path.endswith("__init__.py")
+                else name.rsplit(".", 1)[0]
+            )
+            for node in _module_level_imports(module.tree):
+                for target in self._targets(node, package):
+                    resolved = self._resolve(target, by_name)
+                    if resolved is not None and resolved != name:
+                        edges[name].add(resolved)
+                        edge_nodes.setdefault((name, resolved), node)
+
+        findings: list[Finding] = []
+        for component in _tarjan_sccs(edges):
+            if len(component) < 2:
+                continue
+            ordered = sorted(component)
+            anchor = ordered[0]
+            member = next(m for m in edges[anchor] if m in component)
+            node = edge_nodes[(anchor, member)]
+            findings.append(
+                by_name[anchor].finding(
+                    self.rule_id,
+                    node,
+                    "module-level import cycle: "
+                    + " -> ".join(ordered + [ordered[0]])
+                    + "; defer one import into the function that needs it",
+                )
+            )
+        return findings
+
+    def _targets(self, node: ast.AST, package: str) -> list[str]:
+        if isinstance(node, ast.Import):
+            return [alias.name for alias in node.names]
+        if isinstance(node, ast.ImportFrom):
+            if node.level:
+                parts = package.split(".")
+                base_parts = parts[: len(parts) - node.level + 1]
+                base = ".".join(base_parts)
+                if node.module:
+                    base = f"{base}.{node.module}" if base else node.module
+            else:
+                base = node.module or ""
+            if not base:
+                return []
+            return [f"{base}.{alias.name}" for alias in node.names] + [base]
+        return []
+
+    def _resolve(
+        self, target: str, by_name: dict[str, ModuleSource]
+    ) -> str | None:
+        """Longest known-module prefix of a dotted import target."""
+        parts = target.split(".")
+        for cut in range(len(parts), 0, -1):
+            candidate = ".".join(parts[:cut])
+            if candidate in by_name:
+                return candidate
+        return None
+
+
+def _tarjan_sccs(edges: dict[str, set[str]]) -> list[set[str]]:
+    """Iterative Tarjan strongly-connected components."""
+    index: dict[str, int] = {}
+    lowlink: dict[str, int] = {}
+    on_stack: set[str] = set()
+    stack: list[str] = []
+    sccs: list[set[str]] = []
+    counter = [0]
+
+    def strongconnect(root: str) -> None:
+        work = [(root, iter(sorted(edges.get(root, ()))))]
+        index[root] = lowlink[root] = counter[0]
+        counter[0] += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, successors = work[-1]
+            advanced = False
+            for succ in successors:
+                if succ not in index:
+                    index[succ] = lowlink[succ] = counter[0]
+                    counter[0] += 1
+                    stack.append(succ)
+                    on_stack.add(succ)
+                    work.append((succ, iter(sorted(edges.get(succ, ())))))
+                    advanced = True
+                    break
+                if succ in on_stack:
+                    lowlink[node] = min(lowlink[node], index[succ])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index[node]:
+                component: set[str] = set()
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.add(member)
+                    if member == node:
+                        break
+                sccs.append(component)
+
+    for name in sorted(edges):
+        if name not in index:
+            strongconnect(name)
+    return sccs

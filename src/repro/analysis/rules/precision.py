@@ -1,0 +1,98 @@
+"""``fp64-narrowing``: frozen fp64 kernel paths must stay fp64.
+
+``repro.nn`` keeps a strict precision contract: when an activation
+arrives as float64 the whole kernel branch computes in float64 (these
+branches are pinned by golden-value tests).  Casting to float32 inside
+such a branch — ``x.astype(np.float32)``, ``np.float32(...)``, or a
+``dtype=np.float32`` keyword — silently breaks the contract while the
+tests still pass on the fp32 path.
+
+The rule is lexical: it flags narrowing constructs inside the *body*
+(not the ``else``) of any ``if`` whose test compares a dtype against
+``np.float64``.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.engine import Finding, ModuleSource, Rule
+from repro.analysis.rules._util import call_name, dotted_name
+
+_FP64 = {"np.float64", "numpy.float64"}
+_FP32 = {"np.float32", "numpy.float32"}
+
+
+def _names_fp32(node: ast.AST) -> bool:
+    return dotted_name(node) in _FP32 or (
+        isinstance(node, ast.Constant) and node.value == "float32"
+    )
+
+
+def _is_fp64_guard(test: ast.AST) -> bool:
+    """Does the test contain ``... == np.float64``?"""
+    for sub in ast.walk(test):
+        if not isinstance(sub, ast.Compare):
+            continue
+        if not any(isinstance(op, ast.Eq) for op in sub.ops):
+            continue
+        operands = [sub.left, *sub.comparators]
+        if any(dotted_name(operand) in _FP64 for operand in operands):
+            return True
+    return False
+
+
+class Fp64NarrowingRule(Rule):
+    rule_id = "fp64-narrowing"
+    title = "float32 narrowing inside a frozen fp64 kernel branch"
+
+    def applies_to(self, path: str) -> bool:
+        return path.endswith(("nn/functional.py", "nn/layers.py"))
+
+    def check(self, module: ModuleSource) -> list[Finding]:
+        findings: list[Finding] = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.If) or not _is_fp64_guard(node.test):
+                continue
+            for stmt in node.body:
+                findings.extend(self._narrowings(module, stmt))
+        return findings
+
+    def _narrowings(
+        self, module: ModuleSource, stmt: ast.stmt
+    ) -> list[Finding]:
+        findings: list[Finding] = []
+        for sub in ast.walk(stmt):
+            if isinstance(sub, ast.Call):
+                name = call_name(sub)
+                if name in _FP32:
+                    findings.append(self._finding(module, sub, "np.float32()"))
+                    continue
+                if (
+                    isinstance(sub.func, ast.Attribute)
+                    and sub.func.attr == "astype"
+                    and sub.args
+                    and _names_fp32(sub.args[0])
+                ):
+                    findings.append(
+                        self._finding(module, sub, ".astype(np.float32)")
+                    )
+                    continue
+                for keyword in sub.keywords:
+                    if keyword.arg == "dtype" and _names_fp32(keyword.value):
+                        findings.append(
+                            self._finding(module, sub, "dtype=np.float32")
+                        )
+                        break
+        return findings
+
+    def _finding(
+        self, module: ModuleSource, node: ast.AST, construct: str
+    ) -> Finding:
+        return module.finding(
+            self.rule_id,
+            node,
+            f"{construct} inside an `if dtype == np.float64` branch narrows "
+            "a frozen fp64 kernel path; keep the fp64 branch pure or move "
+            "the cast outside the guard",
+        )

@@ -1,0 +1,65 @@
+"""``unseeded-rng``: no unseeded numpy randomness outside ``nn/init.py``.
+
+Reproducibility hinges on every stochastic choice flowing from an
+explicit seed (or the shared construction RNG that ``nn/init.py`` owns).
+``np.random.default_rng()`` with no seed and the legacy module-global
+``np.random.*`` functions both draw irreproducible state.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.engine import Finding, ModuleSource, Rule
+from repro.analysis.rules._util import call_name
+
+#: Legacy module-global RNG entry points (stateful, process-global).
+_GLOBAL_STATE_FNS = {
+    "random", "rand", "randn", "randint", "random_sample", "choice",
+    "shuffle", "permutation", "normal", "uniform", "standard_normal",
+    "seed", "get_state", "set_state",
+}
+
+
+class UnseededRngRule(Rule):
+    rule_id = "unseeded-rng"
+    title = "unseeded or process-global numpy randomness"
+
+    def applies_to(self, path: str) -> bool:
+        return path.startswith("src/") and not path.endswith("nn/init.py")
+
+    def check(self, module: ModuleSource) -> list[Finding]:
+        findings: list[Finding] = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = call_name(node)
+            if name is None:
+                continue
+            parts = name.split(".")
+            if len(parts) < 3 or parts[-2] != "random" or parts[0] not in (
+                "np", "numpy"
+            ):
+                continue
+            fn = parts[-1]
+            if fn in ("default_rng", "RandomState"):
+                if not node.args and not node.keywords:
+                    findings.append(
+                        module.finding(
+                            self.rule_id,
+                            node,
+                            f"np.random.{fn}() without a seed is "
+                            "irreproducible; pass a seed or use the shared "
+                            "construction RNG from repro.nn.init",
+                        )
+                    )
+            elif fn in _GLOBAL_STATE_FNS:
+                findings.append(
+                    module.finding(
+                        self.rule_id,
+                        node,
+                        f"np.random.{fn} uses the process-global legacy "
+                        "RNG; use a seeded np.random.Generator instead",
+                    )
+                )
+        return findings

@@ -1,0 +1,48 @@
+"""``wall-clock``: no wall-clock reads in deterministic library paths.
+
+``time.time()`` / ``datetime.now()`` make results depend on when the run
+happened — poison for golden files, caches keyed on content, and
+bitwise-reproducibility claims.  Interval measurement must use
+``time.perf_counter()`` (monotonic, and only ever reported, never used
+as data).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.engine import Finding, ModuleSource, Rule
+from repro.analysis.rules._util import call_name
+
+_FORBIDDEN = {
+    "time.time": "time.time() reads the wall clock",
+    "time.time_ns": "time.time_ns() reads the wall clock",
+    "time.ctime": "time.ctime() reads the wall clock",
+    "datetime.now": "datetime.now() reads the wall clock",
+    "datetime.datetime.now": "datetime.now() reads the wall clock",
+    "datetime.utcnow": "datetime.utcnow() reads the wall clock",
+    "datetime.datetime.utcnow": "datetime.utcnow() reads the wall clock",
+    "datetime.today": "datetime.today() reads the wall clock",
+}
+
+
+class WallClockRule(Rule):
+    rule_id = "wall-clock"
+    title = "wall-clock read in a deterministic path"
+
+    def check(self, module: ModuleSource) -> list[Finding]:
+        findings: list[Finding] = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = call_name(node)
+            if name in _FORBIDDEN:
+                findings.append(
+                    module.finding(
+                        self.rule_id,
+                        node,
+                        f"{_FORBIDDEN[name]}; use time.perf_counter() for "
+                        "intervals or pass timestamps in explicitly",
+                    )
+                )
+        return findings

@@ -1,0 +1,232 @@
+"""Opt-in numerics sanitizer: trap NaN/Inf at the op that produced them.
+
+A NaN born in one conv kernel surfaces as an all-NaN prediction map many
+layers later, long after the useful stack frame is gone.  The sanitizer
+closes that gap in two pieces:
+
+- :func:`check_array` — inspect a single array for NaN, Inf, denormals
+  and fp32-overflow risk, returning structured findings;
+- :class:`SanitizerSession` — a context manager that instruments every
+  *leaf* module of a model, checking each forward (and optionally
+  backward) output as it is produced, so the first finding names the
+  originating op by its parameter path (e.g.
+  ``model.bottleneck.modules.0.forward``).
+
+Instrumentation works by shadowing the bound ``forward``/``backward``
+with instance attributes; ``Module.__call__`` resolves through the
+instance, so no class is mutated and ``__exit__`` restores the model
+exactly.  The whole machinery is opt-in (``FusionConfig.sanitize`` /
+``--sanitize``): the default path pays zero overhead.
+
+Two severities: NaN and Inf abort in ``on_finding="raise"`` mode via
+:class:`NumericsTrap` (training wants to stop at the first poisoned
+batch); denormals and fp32-overflow risk are always only recorded —
+they signal precision trouble, not corruption.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.nn.module import Module
+
+#: Finding kinds that abort execution in ``raise`` mode.
+TRAP_KINDS = ("nan", "inf")
+#: Finding kinds that are always recorded, never raised.
+WARN_KINDS = ("denormal", "fp32-overflow-risk")
+
+_F32_MAX = float(np.finfo(np.float32).max)
+
+
+@dataclass(frozen=True)
+class NumericsFinding:
+    """One pathological value population inside one array at one op."""
+
+    op: str  # dotted path of the producing op, e.g. "model.head.forward"
+    kind: str  # "nan" | "inf" | "denormal" | "fp32-overflow-risk"
+    count: int  # elements affected
+    total: int  # elements inspected
+    first_index: tuple[int, ...]  # index of the first affected element
+    example: float  # value at first_index (NaN for the nan kind)
+
+    def summary(self) -> str:
+        return (
+            f"{self.kind}: {self.count}/{self.total} element(s) at {self.op}, "
+            f"first at index {self.first_index} (value {self.example!r})"
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "op": self.op,
+            "kind": self.kind,
+            "count": self.count,
+            "total": self.total,
+            "first_index": list(self.first_index),
+            "example": repr(self.example),
+        }
+
+
+class NumericsTrap(FloatingPointError):
+    """Raised by the sanitizer when a trap-severity finding appears."""
+
+    def __init__(self, finding: NumericsFinding) -> None:
+        super().__init__(finding.summary())
+        self.finding = finding
+
+
+def _finding_from_mask(
+    arr: np.ndarray, mask: np.ndarray, op: str, kind: str
+) -> NumericsFinding | None:
+    count = int(np.count_nonzero(mask))
+    if count == 0:
+        return None
+    flat = int(np.flatnonzero(mask)[0])
+    first = tuple(int(i) for i in np.unravel_index(flat, arr.shape))
+    return NumericsFinding(
+        op=op,
+        kind=kind,
+        count=count,
+        total=int(arr.size),
+        first_index=first,
+        example=float(arr[first]) if arr.ndim else float(arr),
+    )
+
+
+def check_array(
+    values: np.ndarray,
+    op: str,
+    *,
+    check_denormals: bool = True,
+) -> list[NumericsFinding]:
+    """Inspect one array; returns findings ordered most severe first."""
+    arr = np.asarray(values)
+    if arr.size == 0 or not np.issubdtype(arr.dtype, np.floating):
+        return []
+    findings: list[NumericsFinding] = []
+    nan_mask = np.isnan(arr)
+    finding = _finding_from_mask(arr, nan_mask, op, "nan")
+    if finding is not None:
+        findings.append(finding)
+    finding = _finding_from_mask(arr, np.isinf(arr), op, "inf")
+    if finding is not None:
+        findings.append(finding)
+    if check_denormals:
+        tiny = np.finfo(arr.dtype).tiny
+        denormal = (arr != 0.0) & (np.abs(arr) < tiny)
+        finding = _finding_from_mask(arr, denormal, op, "denormal")
+        if finding is not None:
+            findings.append(finding)
+    if arr.dtype == np.float64:
+        risk = np.isfinite(arr) & (np.abs(arr) > _F32_MAX)
+        finding = _finding_from_mask(arr, risk, op, "fp32-overflow-risk")
+        if finding is not None:
+            findings.append(finding)
+    return findings
+
+
+def named_leaf_modules(
+    module: Module, prefix: str = "model"
+) -> list[tuple[str, Module]]:
+    """(dotted path, module) for every childless module in the tree."""
+    leaves: list[tuple[str, Module]] = []
+    children: list[tuple[str, Module]] = []
+    from repro.nn.module import _collect_named
+
+    for attr, value in module.__dict__.items():
+        for sub_path, leaf in _collect_named(value, attr):
+            if isinstance(leaf, Module):
+                children.append((f"{prefix}.{sub_path}", leaf))
+    if not children:
+        return [(prefix, module)]
+    for path, child in children:
+        leaves.extend(named_leaf_modules(child, path))
+    return leaves
+
+
+class SanitizerSession:
+    """Instrument a model's leaf ops for the duration of a ``with`` block.
+
+    ``on_finding="record"`` collects findings (deduplicated per
+    ``(op, kind)``) into :attr:`findings`; ``on_finding="raise"`` turns
+    the first NaN/Inf into a :class:`NumericsTrap` naming the op.
+    """
+
+    def __init__(
+        self,
+        model: Module,
+        *,
+        name: str = "model",
+        on_finding: str = "record",
+        check_backward: bool = True,
+        check_denormals: bool = True,
+    ) -> None:
+        if on_finding not in ("record", "raise"):
+            raise ValueError(
+                f"on_finding must be 'record' or 'raise', got {on_finding!r}"
+            )
+        self.model = model
+        self.name = name
+        self.on_finding = on_finding
+        self.check_backward = check_backward
+        self.check_denormals = check_denormals
+        self.findings: list[NumericsFinding] = []
+        self._seen: set[tuple[str, str]] = set()
+        self._instrumented: list[Module] = []
+
+    # -- context manager ----------------------------------------------------
+
+    def __enter__(self) -> "SanitizerSession":
+        for path, module in named_leaf_modules(self.model, self.name):
+            self._instrument(module, path)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        for module in self._instrumented:
+            module.__dict__.pop("forward", None)
+            module.__dict__.pop("backward", None)
+        self._instrumented.clear()
+
+    # -- instrumentation ----------------------------------------------------
+
+    def _instrument(self, module: Module, path: str) -> None:
+        forward = module.forward
+
+        def checked_forward(*args, **kwargs):
+            out = forward(*args, **kwargs)
+            self._inspect(out, f"{path}.forward")
+            return out
+
+        module.forward = checked_forward
+        if self.check_backward:
+            backward = module.backward
+
+            def checked_backward(*args, **kwargs):
+                out = backward(*args, **kwargs)
+                self._inspect(out, f"{path}.backward")
+                return out
+
+            module.backward = checked_backward
+        self._instrumented.append(module)
+
+    def _inspect(self, value, op: str) -> None:
+        if isinstance(value, (tuple, list)):
+            for i, item in enumerate(value):
+                self._inspect(item, f"{op}[{i}]")
+            return
+        if not isinstance(value, np.ndarray):
+            return
+        for finding in check_array(
+            value, op, check_denormals=self.check_denormals
+        ):
+            self.record(finding)
+
+    def record(self, finding: NumericsFinding) -> None:
+        """Route one finding through the session policy."""
+        if self.on_finding == "raise" and finding.kind in TRAP_KINDS:
+            raise NumericsTrap(finding)
+        key = (finding.op, finding.kind)
+        if key not in self._seen:
+            self._seen.add(key)
+            self.findings.append(finding)

@@ -1,0 +1,601 @@
+"""Symbolic shape/dtype verifier for :mod:`repro.nn` module graphs.
+
+Propagates a symbolic ``(N, C, H, W)`` tensor description through a
+:class:`~repro.nn.module.Module` tree **without executing any kernels**:
+each layer family has a structural handler that checks channel plumbing,
+spatial arithmetic (padding/stride/pool divisibility) and the precision
+contract (every ``Parameter.compute`` dtype must match the activation
+dtype), then emits the output description.  A mistake that would
+otherwise surface as a broadcast error deep inside ``im2col`` instead
+fails here with a readable module path, e.g.::
+
+    IRFusionNet.decoders.0.modules.0: Conv2d expects 12ch input, got 16ch
+    (skip concat = 8ch gated skip + 8ch upsampled decoder signal)
+
+Covered: Conv2d / FusedConvBiasReLU / ConvTranspose2d, BatchNorm2d, the
+activations, max/avg/global pooling, nearest upsampling, Sequential /
+Residual, CBAM (channel + spatial attention), attention gates, all three
+Inception blocks, and the model-level topologies (FlexUNet and friends,
+IRPnet's pyramid, MAVIREC's depth-shared stem, MAUnet's multiscale
+blocks).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.nn.attention import (
+    CBAM,
+    AttentionGate,
+    ChannelAttention,
+    SpatialAttention,
+)
+from repro.nn.containers import Residual, Sequential
+from repro.nn.functional import conv_output_shape
+from repro.nn.inception import _MultiBranch
+from repro.nn.layers import (
+    AvgPool2d,
+    BatchNorm2d,
+    Conv2d,
+    ConvTranspose2d,
+    FusedConvBiasReLU,
+    GlobalAvgPool,
+    GlobalMaxPool,
+    Identity,
+    LeakyReLU,
+    MaxPool2d,
+    ReLU,
+    Sigmoid,
+    Tanh,
+    UpsampleNearest,
+)
+from repro.nn.module import Module, Parameter
+
+
+class ShapeError(ValueError):
+    """A static shape, channel or dtype contract violation."""
+
+
+@dataclass(frozen=True)
+class TensorSpec:
+    """Symbolic activation description: channels, spatial dims, dtype.
+
+    The batch dimension is fully symbolic (every covered op is
+    batch-preserving), so only ``(C, H, W)`` and the dtype are tracked.
+    """
+
+    channels: int
+    height: int
+    width: int
+    dtype: np.dtype
+
+    def with_(self, **kw) -> "TensorSpec":
+        values = {
+            "channels": self.channels,
+            "height": self.height,
+            "width": self.width,
+            "dtype": self.dtype,
+        }
+        values.update(kw)
+        return TensorSpec(**values)
+
+    def describe(self) -> str:
+        return f"{self.channels}ch {self.height}x{self.width} {self.dtype}"
+
+
+@dataclass
+class ShapeReport:
+    """Result of one verification pass."""
+
+    model: str
+    input: TensorSpec
+    output: TensorSpec
+    warnings: list[str] = field(default_factory=list)
+
+
+class ShapeVerifier:
+    """Walks a module tree, propagating a :class:`TensorSpec`.
+
+    Parameters
+    ----------
+    strict:
+        Raise on module types without a handler.  When False, unknown
+        modules are assumed shape-preserving and a warning is recorded
+        (useful when user-registered architectures mix in custom blocks).
+    check_dtype:
+        Enforce that every parameter's compute dtype equals the
+        activation dtype (the fp32-compute/fp64-master contract).
+    """
+
+    def __init__(self, strict: bool = True, check_dtype: bool = True) -> None:
+        self.strict = strict
+        self.check_dtype = check_dtype
+        self.warnings: list[str] = []
+
+    # -- dispatch -----------------------------------------------------------
+
+    def verify(self, module: Module, spec: TensorSpec, path: str) -> TensorSpec:
+        """Infer the output spec of *module* applied to *spec*."""
+        # Model-level topologies first (they subclass Module directly but
+        # need structural walks), then leaf/container layer families.
+        for kind, handler in _HANDLERS:
+            if isinstance(module, kind):
+                return handler(self, module, spec, path)
+        if self.strict:
+            raise ShapeError(
+                f"{path}: no shape handler for {type(module).__name__}; "
+                "register one or verify with strict=False"
+            )
+        self.warnings.append(
+            f"{path}: assuming {type(module).__name__} is shape-preserving"
+        )
+        return spec
+
+    # -- shared checks ------------------------------------------------------
+
+    def check_parameter(self, param: Parameter | None, spec: TensorSpec,
+                        path: str, name: str) -> None:
+        if param is None or not self.check_dtype:
+            return
+        if param.compute_dtype != spec.dtype:
+            raise ShapeError(
+                f"{path}: parameter {name!r} computes in "
+                f"{param.compute_dtype} but the activation dtype is "
+                f"{spec.dtype} — the kernel would silently promote "
+                "(precision-contract break)"
+            )
+
+    def require_channels(self, spec: TensorSpec, expected: int, path: str,
+                         what: str) -> None:
+        if spec.channels != expected:
+            raise ShapeError(
+                f"{path}: {what} expects {expected}ch input, "
+                f"got {spec.channels}ch"
+            )
+
+
+# ---------------------------------------------------------------------------
+# Layer handlers
+# ---------------------------------------------------------------------------
+
+
+def _passthrough(v: ShapeVerifier, m: Module, spec: TensorSpec,
+                 path: str) -> TensorSpec:
+    return spec
+
+
+def _conv2d(v: ShapeVerifier, m, spec: TensorSpec, path: str) -> TensorSpec:
+    out_c, in_c, kh, kw = m.weight.shape
+    v.require_channels(spec, in_c, path, type(m).__name__)
+    v.check_parameter(m.weight, spec, path, "weight")
+    v.check_parameter(m.bias, spec, path, "bias")
+    try:
+        oh, ow = conv_output_shape(
+            (spec.height, spec.width), m.kernel, m.stride, m.padding
+        )
+    except ValueError as exc:
+        raise ShapeError(f"{path}: {exc}") from None
+    return spec.with_(channels=out_c, height=oh, width=ow)
+
+
+def _conv_transpose2d(v: ShapeVerifier, m: ConvTranspose2d, spec: TensorSpec,
+                      path: str) -> TensorSpec:
+    in_c = m.weight.shape[0]
+    v.require_channels(spec, in_c, path, "ConvTranspose2d")
+    v.check_parameter(m.weight, spec, path, "weight")
+    v.check_parameter(m.bias, spec, path, "bias")
+    oh, ow = m._output_hw((spec.height, spec.width))
+    if oh <= 0 or ow <= 0:
+        raise ShapeError(
+            f"{path}: ConvTranspose2d emits non-positive output {oh}x{ow} "
+            f"for input {spec.height}x{spec.width}"
+        )
+    return spec.with_(channels=m.out_channels, height=oh, width=ow)
+
+
+def _batchnorm2d(v: ShapeVerifier, m: BatchNorm2d, spec: TensorSpec,
+                 path: str) -> TensorSpec:
+    expected = m.gamma.shape[0]
+    v.require_channels(spec, expected, path, "BatchNorm2d")
+    v.check_parameter(m.gamma, spec, path, "gamma")
+    v.check_parameter(m.beta, spec, path, "beta")
+    return spec
+
+
+def _maxpool2d(v: ShapeVerifier, m: MaxPool2d, spec: TensorSpec,
+               path: str) -> TensorSpec:
+    kh, kw = m.kernel
+    if spec.height % kh or spec.width % kw:
+        raise ShapeError(
+            f"{path}: MaxPool2d kernel {kh}x{kw} does not divide input "
+            f"{spec.height}x{spec.width}"
+        )
+    return spec.with_(height=spec.height // kh, width=spec.width // kw)
+
+
+def _avgpool2d(v: ShapeVerifier, m: AvgPool2d, spec: TensorSpec,
+               path: str) -> TensorSpec:
+    try:
+        oh, ow = conv_output_shape(
+            (spec.height, spec.width), m.kernel, m.stride, m.padding
+        )
+    except ValueError as exc:
+        raise ShapeError(f"{path}: {exc}") from None
+    return spec.with_(height=oh, width=ow)
+
+
+def _globalpool(v: ShapeVerifier, m: Module, spec: TensorSpec,
+                path: str) -> TensorSpec:
+    return spec.with_(height=1, width=1)
+
+
+def _upsample(v: ShapeVerifier, m: UpsampleNearest, spec: TensorSpec,
+              path: str) -> TensorSpec:
+    return spec.with_(height=spec.height * m.factor,
+                      width=spec.width * m.factor)
+
+
+def _sequential(v: ShapeVerifier, m: Sequential, spec: TensorSpec,
+                path: str) -> TensorSpec:
+    for i, child in enumerate(m.modules):
+        spec = v.verify(child, spec, f"{path}.modules.{i}")
+    return spec
+
+
+def _residual(v: ShapeVerifier, m: Residual, spec: TensorSpec,
+              path: str) -> TensorSpec:
+    out = v.verify(m.body, spec, f"{path}.body")
+    if (out.channels, out.height, out.width) != (
+        spec.channels, spec.height, spec.width
+    ):
+        raise ShapeError(
+            f"{path}: residual add needs body output to match its input; "
+            f"body emits {out.describe()} for input {spec.describe()}"
+        )
+    return spec
+
+
+def _multibranch(v: ShapeVerifier, m: _MultiBranch, spec: TensorSpec,
+                 path: str) -> TensorSpec:
+    outputs = [
+        v.verify(branch, spec, f"{path}.branches.{i}")
+        for i, branch in enumerate(m.branches)
+    ]
+    first = outputs[0]
+    for i, out in enumerate(outputs[1:], start=1):
+        if (out.height, out.width) != (first.height, first.width):
+            raise ShapeError(
+                f"{path}: branch {i} emits {out.height}x{out.width} but "
+                f"branch 0 emits {first.height}x{first.width}; concat "
+                "needs matching spatial dims"
+            )
+    total = sum(out.channels for out in outputs)
+    return spec.with_(channels=total, height=first.height, width=first.width)
+
+
+def _channel_attention(v: ShapeVerifier, m: ChannelAttention, spec: TensorSpec,
+                       path: str) -> TensorSpec:
+    expected = m.w1.shape[1]
+    v.require_channels(spec, expected, path, "ChannelAttention")
+    for name in ("w1", "b1", "w2", "b2"):
+        v.check_parameter(getattr(m, name), spec, path, name)
+    if m.w2.shape[0] != expected:
+        raise ShapeError(
+            f"{path}: ChannelAttention MLP emits {m.w2.shape[0]}ch scales "
+            f"for {expected}ch input"
+        )
+    return spec
+
+
+def _spatial_attention(v: ShapeVerifier, m: SpatialAttention, spec: TensorSpec,
+                       path: str) -> TensorSpec:
+    descriptor = spec.with_(channels=2)
+    gate = v.verify(m.conv, descriptor, f"{path}.conv")
+    if (gate.height, gate.width) != (spec.height, spec.width):
+        raise ShapeError(
+            f"{path}: spatial gate is {gate.height}x{gate.width} but the "
+            f"input is {spec.height}x{spec.width}; the 'same'-padded conv "
+            "must preserve spatial dims"
+        )
+    if gate.channels != 1:
+        raise ShapeError(
+            f"{path}: spatial gate must be single-channel, "
+            f"got {gate.channels}ch"
+        )
+    return spec
+
+
+def _cbam(v: ShapeVerifier, m: CBAM, spec: TensorSpec,
+          path: str) -> TensorSpec:
+    spec = v.verify(m.channel, spec, f"{path}.channel")
+    return v.verify(m.spatial, spec, f"{path}.spatial")
+
+
+def verify_attention_gate(v: ShapeVerifier, gate: AttentionGate,
+                          skip: TensorSpec, signal: TensorSpec,
+                          path: str) -> TensorSpec:
+    """Two-input handler for the attention gate: ``gate(skip, signal)``."""
+    if (skip.height, skip.width) != (signal.height, signal.width):
+        raise ShapeError(
+            f"{path}: skip is {skip.height}x{skip.width} but the gating "
+            f"signal is {signal.height}x{signal.width}; the attention gate "
+            "needs matching spatial dims"
+        )
+    theta = v.verify(gate.theta_x, skip, f"{path}.theta_x")
+    phi = v.verify(gate.phi_g, signal, f"{path}.phi_g")
+    if theta.channels != phi.channels:
+        raise ShapeError(
+            f"{path}: theta_x emits {theta.channels}ch but phi_g emits "
+            f"{phi.channels}ch; the gate sums them elementwise"
+        )
+    psi = v.verify(gate.psi, theta, f"{path}.psi")
+    if psi.channels != 1:
+        raise ShapeError(
+            f"{path}: psi must emit a single-channel gate, "
+            f"got {psi.channels}ch"
+        )
+    return skip  # x * sigmoid(psi): skip channels/extent preserved
+
+
+# ---------------------------------------------------------------------------
+# Model-level handlers
+# ---------------------------------------------------------------------------
+
+
+def _flex_unet(v: ShapeVerifier, m, spec: TensorSpec, path: str) -> TensorSpec:
+    factor = 2**m.depth
+    if spec.height % factor or spec.width % factor:
+        raise ShapeError(
+            f"{path}: input {spec.height}x{spec.width} must be divisible "
+            f"by 2**depth = {factor}"
+        )
+    skips: list[TensorSpec] = []
+    x = spec
+    for i, (encoder, pool) in enumerate(zip(m.encoders, m.pools)):
+        x = v.verify(encoder, x, f"{path}.encoders.{i}")
+        skips.append(x)
+        x = v.verify(pool, x, f"{path}.pools.{i}")
+    x = v.verify(m.bottleneck, x, f"{path}.bottleneck")
+    for stage in range(m.depth):
+        scale = m.depth - 1 - stage
+        x = v.verify(m.ups[stage], x, f"{path}.ups.{stage}")
+        skip = skips[scale]
+        gate = m.gates[stage]
+        if gate is not None:
+            skip = verify_attention_gate(
+                v, gate, skip, x, f"{path}.gates.{stage}"
+            )
+        if (skip.height, skip.width) != (x.height, x.width):
+            raise ShapeError(
+                f"{path}.decoders.{stage}: cannot concat skip "
+                f"{skip.height}x{skip.width} with decoder signal "
+                f"{x.height}x{x.width}"
+            )
+        cat = x.with_(channels=skip.channels + x.channels)
+        try:
+            x = v.verify(m.decoders[stage], cat, f"{path}.decoders.{stage}")
+        except ShapeError as exc:
+            raise ShapeError(
+                f"{exc} (skip concat = {skip.channels}ch "
+                f"{'gated ' if gate is not None else ''}skip + "
+                f"{x.channels}ch upsampled decoder signal)"
+            ) from None
+        post = m.posts[stage]
+        if post is not None:
+            x = v.verify(post, x, f"{path}.posts.{stage}")
+    return v.verify(m.head, x, f"{path}.head")
+
+
+def _irpnet(v: ShapeVerifier, m, spec: TensorSpec, path: str) -> TensorSpec:
+    factor = 2**m.depth
+    if spec.height % factor or spec.width % factor:
+        raise ShapeError(
+            f"{path}: input {spec.height}x{spec.width} must be divisible "
+            f"by 2**depth = {factor}"
+        )
+    x = spec
+    fused: TensorSpec | None = None
+    for scale in range(m.depth + 1):
+        x = v.verify(m.encoders[scale], x, f"{path}.encoders.{scale}")
+        lateral = v.verify(m.laterals[scale], x, f"{path}.laterals.{scale}")
+        contribution = v.verify(
+            m.upsamplers[scale], lateral, f"{path}.upsamplers.{scale}"
+        )
+        if fused is None:
+            fused = contribution
+        elif (contribution.channels, contribution.height,
+              contribution.width) != (fused.channels, fused.height,
+                                      fused.width):
+            raise ShapeError(
+                f"{path}.upsamplers.{scale}: pyramid contribution "
+                f"{contribution.describe()} cannot be summed with the "
+                f"fused map {fused.describe()}"
+            )
+        if scale < m.depth:
+            x = v.verify(m.pools[scale], x, f"{path}.pools.{scale}")
+    if fused is None:  # depth >= 1 is enforced at construction
+        raise ShapeError(f"{path}: pyramid produced no scale contributions")
+    return v.verify(m.head, fused, f"{path}.head")
+
+
+def _mavirec(v: ShapeVerifier, m, spec: TensorSpec, path: str) -> TensorSpec:
+    x = v.verify(m.stem_spatial, spec, f"{path}.stem_spatial")
+    x = v.verify(m.stem_mix, x, f"{path}.stem_mix")
+    return v.verify(m.body, x, f"{path}.body")
+
+
+def _depth_shared_conv(v: ShapeVerifier, m, spec: TensorSpec,
+                       path: str) -> TensorSpec:
+    v.check_parameter(m.weight, spec, path, "weight")
+    v.check_parameter(m.bias, spec, path, "bias")
+    try:
+        oh, ow = conv_output_shape(
+            (spec.height, spec.width), m.kernel, (1, 1), m.padding
+        )
+    except ValueError as exc:
+        raise ShapeError(f"{path}: {exc}") from None
+    if (oh, ow) != (spec.height, spec.width):
+        raise ShapeError(
+            f"{path}: depth-shared stem must preserve spatial dims; "
+            f"emits {oh}x{ow} for {spec.height}x{spec.width}"
+        )
+    return spec
+
+
+def _multiscale_block(v: ShapeVerifier, m, spec: TensorSpec,
+                      path: str) -> TensorSpec:
+    b3 = v.verify(m.branch3, spec, f"{path}.branch3")
+    b5 = v.verify(m.branch5, spec, f"{path}.branch5")
+    shortcut = v.verify(m.shortcut, spec, f"{path}.shortcut")
+    merged = b3.channels + b5.channels
+    if merged != shortcut.channels:
+        raise ShapeError(
+            f"{path}: multiscale concat emits {merged}ch "
+            f"({b3.channels}+{b5.channels}) but the residual shortcut "
+            f"emits {shortcut.channels}ch"
+        )
+    if (b3.height, b3.width) != (b5.height, b5.width) or (
+        b3.height, b3.width
+    ) != (shortcut.height, shortcut.width):
+        raise ShapeError(
+            f"{path}: branch outputs disagree spatially: 3x3 "
+            f"{b3.height}x{b3.width}, 5x5 {b5.height}x{b5.width}, "
+            f"shortcut {shortcut.height}x{shortcut.width}"
+        )
+    return shortcut
+
+
+def _build_handlers():
+    """Most-specific-first (type, handler) dispatch table."""
+    from repro.models.irpnet import IRPnet
+    from repro.models.maunet import MultiScaleBlock
+    from repro.models.mavirec import MAVIREC, DepthSharedConv
+    from repro.models.unet_blocks import FlexUNet
+
+    return (
+        # model topologies (FlexUNet covers its subclasses)
+        (IRPnet, _irpnet),
+        (MAVIREC, _mavirec),
+        (FlexUNet, _flex_unet),
+        (MultiScaleBlock, _multiscale_block),
+        (DepthSharedConv, _depth_shared_conv),
+        # attention
+        (CBAM, _cbam),
+        (ChannelAttention, _channel_attention),
+        (SpatialAttention, _spatial_attention),
+        # multi-branch / containers
+        (_MultiBranch, _multibranch),
+        (Residual, _residual),
+        (Sequential, _sequential),
+        # leaf layers
+        (Conv2d, _conv2d),
+        (FusedConvBiasReLU, _conv2d),
+        (ConvTranspose2d, _conv_transpose2d),
+        (BatchNorm2d, _batchnorm2d),
+        (MaxPool2d, _maxpool2d),
+        (AvgPool2d, _avgpool2d),
+        (GlobalAvgPool, _globalpool),
+        (GlobalMaxPool, _globalpool),
+        (UpsampleNearest, _upsample),
+        (ReLU, _passthrough),
+        (LeakyReLU, _passthrough),
+        (Sigmoid, _passthrough),
+        (Tanh, _passthrough),
+        (Identity, _passthrough),
+    )
+
+
+_HANDLERS = _build_handlers()
+
+
+# ---------------------------------------------------------------------------
+# Public API
+# ---------------------------------------------------------------------------
+
+
+def verify_model(
+    model: Module,
+    in_channels: int,
+    hw: tuple[int, int],
+    dtype=np.float64,
+    strict: bool = True,
+    check_dtype: bool = True,
+    name: str | None = None,
+) -> ShapeReport:
+    """Statically validate *model* for an ``(N, in_channels, H, W)`` input.
+
+    Raises :class:`ShapeError` with a readable module path on the first
+    channel/spatial/dtype contract violation; no kernel is executed.
+    """
+    label = name or type(model).__name__
+    verifier = ShapeVerifier(strict=strict, check_dtype=check_dtype)
+    spec = TensorSpec(
+        channels=in_channels, height=hw[0], width=hw[1], dtype=np.dtype(dtype)
+    )
+    out = verifier.verify(model, spec, label)
+    return ShapeReport(
+        model=label, input=spec, output=out, warnings=verifier.warnings
+    )
+
+
+def verify_registry(
+    in_channels: int = 6,
+    hw: tuple[int, int] = (32, 32),
+    base_channels: int = 6,
+    depth: int = 3,
+    dtype=np.float64,
+) -> dict[str, ShapeReport]:
+    """Verify every registered architecture; raises on the first failure."""
+    from repro.models.registry import MODEL_REGISTRY, create_model
+
+    reports: dict[str, ShapeReport] = {}
+    for model_name in sorted(MODEL_REGISTRY):
+        model = create_model(
+            model_name,
+            in_channels=in_channels,
+            base_channels=base_channels,
+            depth=depth,
+            seed=0,
+        )
+        reports[model_name] = verify_model(
+            model, in_channels, hw, dtype=dtype, name=model_name
+        )
+    return reports
+
+
+def verify_feature_contract() -> None:
+    """Check :func:`repro.features.fusion.channel_names`'s width contract.
+
+    The model's ``in_channels`` is derived from this list, so its length
+    must follow the documented formula for every config/layer-count
+    combination and its entries must be unique.
+    """
+    from repro.features.fusion import FeatureConfig, channel_names
+
+    for hierarchical in (True, False):
+        for use_numerical in (True, False):
+            for layers in ([1], [1, 2], [1, 2, 3], [1, 2, 3, 4]):
+                config = FeatureConfig(
+                    use_numerical=use_numerical, hierarchical=hierarchical
+                )
+                names = channel_names(config, layers)
+                if hierarchical:
+                    expected = (len(layers) if use_numerical else 0) + len(
+                        layers
+                    ) + 4
+                else:
+                    expected = (1 if use_numerical else 0) + 3
+                if len(names) != expected:
+                    raise ShapeError(
+                        "features.fusion.channel_names: "
+                        f"{len(names)} channels for hierarchical="
+                        f"{hierarchical} use_numerical={use_numerical} "
+                        f"layers={layers}, expected {expected}"
+                    )
+                if len(set(names)) != len(names):
+                    raise ShapeError(
+                        "features.fusion.channel_names: duplicate channel "
+                        f"names in {names}"
+                    )

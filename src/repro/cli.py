@@ -122,6 +122,7 @@ def _cmd_train(args: argparse.Namespace) -> int:
                           use_curriculum=True,
                           jobs=args.jobs, precision=args.precision),
         jobs=args.jobs,
+        sanitize=args.sanitize,
     )
     pipeline = IRFusionPipeline(config)
     history = pipeline.train()
@@ -174,6 +175,7 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         solver_iterations=meta["config"]["solver_iterations"],
         train=TrainConfig(),
         jobs=max(1, args.jobs),
+        sanitize=args.sanitize,
     )
     pipeline = IRFusionPipeline(config)
     pipeline.load_model(args.model, in_channels=meta["in_channels"])
@@ -271,6 +273,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="training compute precision: fp64 (bitwise "
                             "legacy path) or mixed (fp32 kernels over "
                             "fp64 master weights)")
+    train.add_argument("--sanitize", action="store_true",
+                       help="trap NaN/Inf at the originating op during "
+                            "training (numerics sanitizer)")
     train.set_defaults(func=_cmd_train)
 
     analyze = sub.add_parser("analyze", help="fused analysis with a checkpoint")
@@ -281,6 +286,9 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("--limit-mv", type=float, default=None)
     analyze.add_argument("--save-map", default=None,
                          help="write the predicted map as CSV")
+    analyze.add_argument("--sanitize", action="store_true",
+                         help="record NaN/Inf/denormal findings per stage "
+                              "in the run diagnostics")
     analyze.set_defaults(func=_cmd_analyze)
     return parser
 

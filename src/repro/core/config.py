@@ -71,6 +71,11 @@ class FusionConfig:
         Worker processes for batchable stages (dataset feature extraction,
         batch analysis); 1 keeps everything serial in-process.  Gradient
         sharding during training is controlled by ``train.jobs`` instead.
+    sanitize:
+        Enable the numerics sanitizer (:mod:`repro.analysis.sanitizer`):
+        training traps NaN/Inf at the originating op, analysis records
+        numerics findings in the run diagnostics.  Off by default — the
+        instrumented path re-checks every leaf-op output.
     """
 
     pixels: int = 32
@@ -92,6 +97,7 @@ class FusionConfig:
     oversample_fake: int = 2
     oversample_real: int = 5
     jobs: int = 1
+    sanitize: bool = False
 
     def __post_init__(self) -> None:
         if self.pixels % (2**self.depth) != 0:

@@ -18,7 +18,7 @@ import numpy as np
 from repro.core.config import FusionConfig
 from repro.data.augment import augment_dataset, oversample
 from repro.diagnostics import RunDiagnostics
-from repro.data.dataset import DesignSample, IRDropDataset, build_sample
+from repro.data.dataset import DesignSample, IRDropDataset
 from repro.data.synthetic import Design, generate_benchmark_suite
 from repro.features.fusion import assemble_feature_stack
 from repro.features.maps import FeatureStack
@@ -149,7 +149,7 @@ class IRFusionPipeline:
 
     def build_model(self, in_channels: int) -> Module:
         cfg = self.config
-        return create_model(
+        model = create_model(
             cfg.model_name,
             in_channels=in_channels,
             base_channels=cfg.base_channels,
@@ -157,6 +157,19 @@ class IRFusionPipeline:
             seed=cfg.model_seed,
             **cfg.model_kwargs,
         )
+        # Static graph check: catches channel/shape wiring mistakes at
+        # build time, before any kernel runs.  strict=False tolerates
+        # custom modules registered without a shape handler.
+        from repro.analysis.shapes import verify_model
+
+        verify_model(
+            model,
+            in_channels,
+            (cfg.pixels, cfg.pixels),
+            strict=False,
+            name=cfg.model_name,
+        )
+        return model
 
     def train(self) -> TrainHistory:
         """Build datasets and fit the configured model."""
@@ -166,6 +179,13 @@ class IRFusionPipeline:
         self._trained_channels = len(prepared.channels)
         loss = preferred_loss(self.config.model_name)
         self.trainer = Trainer(self.model, loss=loss, config=self.config.train)
+        if self.config.sanitize:
+            # Trap NaN/Inf at the producing op instead of three layers
+            # later in the loss.
+            from repro.analysis.sanitizer import SanitizerSession
+
+            with SanitizerSession(self.model, on_finding="raise"):
+                return self.trainer.fit(prepared)
         return self.trainer.fit(prepared)
 
     # -- inference ----------------------------------------------------------------
@@ -230,6 +250,19 @@ class IRFusionPipeline:
             # features must describe, or raster/solver views disagree.
             grid = report.grid
 
+        sanitize = cfg.sanitize
+        if sanitize:
+            from repro.analysis.sanitizer import check_array
+
+            if voltages is not None:
+                diagnostics.numerics.extend(
+                    check_array(voltages, "solver.voltages")
+                )
+            if rough_drop is not None:
+                diagnostics.numerics.extend(
+                    check_array(rough_drop, "solver.rough_drop")
+                )
+
         start = time.perf_counter()
         features = assemble_feature_stack(
             geometry,
@@ -239,6 +272,12 @@ class IRFusionPipeline:
             supply_voltage=supply_voltage,
         )
         feature_seconds = time.perf_counter() - start
+
+        if sanitize:
+            for name, channel in zip(features.channels, features.data):
+                diagnostics.numerics.extend(
+                    check_array(channel, f"features.{name}")
+                )
 
         if (
             self._trained_channels is not None
@@ -260,7 +299,19 @@ class IRFusionPipeline:
             label=np.zeros(features.shape),
             rough_label=rough_drop,
         )
-        predicted = trainer.predict([probe])[0]
+        if sanitize:
+            from repro.analysis.sanitizer import SanitizerSession
+
+            with SanitizerSession(
+                trainer.model, on_finding="record"
+            ) as session:
+                predicted = trainer.predict([probe])[0]
+            diagnostics.numerics.extend(session.findings)
+            diagnostics.numerics.extend(
+                check_array(predicted, "prediction")
+            )
+        else:
+            predicted = trainer.predict([probe])[0]
         model_seconds = time.perf_counter() - start
 
         return AnalysisResult(

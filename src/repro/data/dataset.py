@@ -184,15 +184,17 @@ class IRDropDataset:
                     for d in designs
                 ]
             )
+        import functools
+
         from repro.core.batch import parallel_map
 
-        outcomes, _ = parallel_map(
-            lambda d: build_sample(
-                d, feature_config, solver_iterations, solver_preset
-            ),
-            designs,
-            jobs,
+        worker = functools.partial(
+            build_sample,
+            feature_config=feature_config,
+            solver_iterations=solver_iterations,
+            solver_preset=solver_preset,
         )
+        outcomes, _ = parallel_map(worker, designs, jobs)
         samples = []
         for design, (sample, error) in zip(designs, outcomes):
             if error is not None:

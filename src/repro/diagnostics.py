@@ -35,6 +35,11 @@ class RunDiagnostics:
         reused a previously built hierarchy and skipped the setup stage.
     warnings:
         Free-form notes from other stages (feature guards, trainer).
+    numerics:
+        Findings from the opt-in numerics sanitizer
+        (:mod:`repro.analysis.sanitizer`), as
+        :class:`~repro.analysis.sanitizer.NumericsFinding` instances;
+        empty unless the run had ``sanitize`` enabled.
     """
 
     validation: list[ValidationIssue] = field(default_factory=list)
@@ -42,6 +47,7 @@ class RunDiagnostics:
     solver: SolverDiagnostics | None = None
     solver_cache: CacheStats | None = None
     warnings: list[str] = field(default_factory=list)
+    numerics: list = field(default_factory=list)
 
     @property
     def degraded(self) -> bool:
@@ -61,6 +67,7 @@ class RunDiagnostics:
                 else None
             ),
             "warnings": list(self.warnings),
+            "numerics": [f.to_dict() for f in self.numerics],
             "degraded": self.degraded,
         }
 
@@ -83,4 +90,6 @@ class RunDiagnostics:
             )
         for note in self.warnings:
             lines.append(f"  warning: {note}")
+        for finding in self.numerics:
+            lines.append(f"  numerics[{finding.kind}]: {finding.summary()}")
         return lines

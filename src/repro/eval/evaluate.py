@@ -4,8 +4,6 @@ from __future__ import annotations
 
 import time
 
-import numpy as np
-
 from repro.data.dataset import IRDropDataset
 from repro.nn.losses import _Loss
 from repro.nn.module import Module

@@ -27,12 +27,12 @@ def load_current_map(geometry: GridGeometry, grid: PowerGrid) -> np.ndarray:
 
 def _layer_conductance_shares(geometry: GridGeometry) -> dict[int, float]:
     """Each layer's share of total stack conductance (from sheet resistance)."""
+    tiny = np.finfo(float).tiny
     conductances = {
-        info.index: 1.0 / info.sheet_resistance for info in geometry.layers
+        info.index: 1.0 / max(info.sheet_resistance, tiny)
+        for info in geometry.layers
     }
-    total = sum(conductances.values())
-    if total == 0.0:
-        raise ValueError("layer stack has zero total conductance")
+    total = max(sum(conductances.values()), tiny)
     return {layer: g / total for layer, g in conductances.items()}
 
 
@@ -49,7 +49,7 @@ def layer_current_maps(
     shares = _layer_conductance_shares(geometry)
     maps: dict[int, np.ndarray] = {}
     for info in geometry.layers:
-        window = max(1, int(round(info.pitch_nm / geometry.pixel_w_nm)))
+        window = max(1, int(round(info.pitch_nm / max(geometry.pixel_w_nm, 1))))
         smoothed = uniform_filter(base, size=window, mode="nearest")
         maps[info.index] = shares[info.index] * smoothed
     return maps

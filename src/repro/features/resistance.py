@@ -112,7 +112,7 @@ def resistance_map(geometry: GridGeometry, grid: PowerGrid) -> np.ndarray:
                 (int(x_a[k]), int(y_a[k])),
                 (int(x_b[k]), int(y_b[k])),
             )
-            np.add.at(image, (rows, cols), resistance / len(rows))
+            np.add.at(image, (rows, cols), resistance / max(len(rows), 1))
     if skipped:
         warnings.warn(
             f"resistance_map: skipped {skipped} wire(s) with non-finite or "

@@ -87,8 +87,10 @@ class IRPnet(Module):
                 self.upsamplers[scale].backward(grad_fused)
             )
             if scale < self.depth:
-                assert grad_deeper is not None
+                if grad_deeper is None:
+                    raise RuntimeError("backward called before forward")
                 grad_enc_out = grad_enc_out + self.pools[scale].backward(grad_deeper)
             grad_deeper = self.encoders[scale].backward(grad_enc_out)
-        assert grad_deeper is not None
+        if grad_deeper is None:
+            raise RuntimeError("backward called before forward")
         return grad_deeper

@@ -68,7 +68,11 @@ class DepthSharedConv(Module):
             with_bias=True,
         )
         self.weight.grad += grad_weight
-        assert grad_bias is not None
+        if grad_bias is None:
+            raise RuntimeError(
+                "conv2d_backward returned no bias gradient despite "
+                "with_bias=True"
+            )
         self.bias.grad += grad_bias
         return grad_input.reshape(n, c, h, w)
 

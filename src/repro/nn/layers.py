@@ -13,7 +13,6 @@ from repro.nn.functional import (
     col2im,
     conv2d_backward,
     conv2d_forward,
-    conv_output_shape,
     im2col,
     maxpool2d_backward,
     maxpool2d_forward,

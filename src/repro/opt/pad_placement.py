@@ -10,11 +10,8 @@ the budget is met or the pad budget is exhausted.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
-import numpy as np
-
-from repro.grid.netlist import PowerGrid
 from repro.solvers.powerrush import PowerRushSimulator
 from repro.spice.ast import Netlist, VoltageSource
 

@@ -154,7 +154,11 @@ def coarsen_once(
         )
         if current.shape[0] <= options.max_coarse_size:
             break
-    assert tentative is not None
+    if tentative is None:
+        raise ValueError(
+            "pairwise coarsening produced no prolongation; "
+            "passes_per_level must be >= 1"
+        )
     if not options.smooth_prolongation:
         return tentative, current
     smoothed = smooth_prolongation(matrix, tentative, options.smoothing_omega)

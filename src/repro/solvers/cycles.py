@@ -92,7 +92,11 @@ class CyclePreconditioner:
             return self.hierarchy.coarse_solve(rhs)
         matrix = levels[level].matrix
         prolongation = levels[level].prolongation
-        assert prolongation is not None
+        if prolongation is None:
+            raise ValueError(
+                f"corrupted AMG hierarchy: level {level} is not the "
+                "coarsest but has no prolongation"
+            )
 
         x = np.zeros_like(rhs)
         x = self._smooth(level, rhs, x, self.options.presmooth_sweeps)

@@ -28,7 +28,8 @@ def jacobi(
     diag = matrix.diagonal()
     if np.any(diag == 0.0):
         raise ValueError("Jacobi smoother requires a nonzero diagonal")
-    inv_diag = weight / diag
+    with np.errstate(divide="raise"):
+        inv_diag = weight / diag
     out = x.copy()
     for _ in range(sweeps):
         out += inv_diag * (rhs - matrix @ out)
@@ -82,8 +83,9 @@ def sor(
     diag = sp.diags(matrix.diagonal(), format="csr")
     strict_lower = sp.tril(matrix, k=-1, format="csr")
     strict_upper = sp.triu(matrix, k=1, format="csr")
-    m_left = sp.csr_matrix(diag / omega + strict_lower)
-    m_right = sp.csr_matrix(strict_upper + (1.0 - 1.0 / omega) * diag)
+    with np.errstate(divide="raise"):
+        m_left = sp.csr_matrix(diag / omega + strict_lower)
+        m_right = sp.csr_matrix(strict_upper + (1.0 - 1.0 / omega) * diag)
     out = x.copy()
     for _ in range(sweeps):
         out = spsolve_triangular(m_left, rhs - m_right @ out, lower=True)

@@ -24,7 +24,7 @@ Every repair is an explicit :class:`RepairRecord`; nothing is silent.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -1,0 +1,171 @@
+"""Lint engine: one seeded violation per rule, plus suppression paths."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.engine import AnalysisEngine
+from repro.analysis.__main__ import main as analysis_main
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+ALL_RULES = {
+    "runtime-assert",
+    "unseeded-rng",
+    "wall-clock",
+    "unguarded-division",
+    "fp64-narrowing",
+    "fork-unsafe-closure",
+    "dead-import",
+    "import-cycle",
+}
+
+
+def _write(root: Path, rel: str, text: str) -> None:
+    path = root / rel
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(text)
+
+
+@pytest.fixture
+def seeded_tree(tmp_path: Path) -> Path:
+    """A fake repo with exactly one violation of every rule."""
+    _write(
+        tmp_path,
+        "src/repro/features/bad.py",
+        "import math\n"  # dead-import
+        "import time\n"
+        "import numpy as np\n"
+        "\n"
+        "\n"
+        "def f(x):\n"
+        "    assert x.size > 0\n"  # runtime-assert
+        "    rng = np.random.default_rng()\n"  # unseeded-rng
+        "    started = time.time()\n"  # wall-clock
+        "    return x / x.sum(), rng, started\n",  # unguarded-division
+    )
+    _write(
+        tmp_path,
+        "src/repro/nn/functional.py",
+        "import numpy as np\n"
+        "\n"
+        "\n"
+        "def kernel(x):\n"
+        "    if x.dtype == np.float64:\n"
+        "        x = x.astype(np.float32)\n"  # fp64-narrowing
+        "    return x\n",
+    )
+    _write(
+        tmp_path,
+        "src/repro/core/runner.py",
+        "def run(parallel_map, items):\n"
+        "    out, _ = parallel_map(lambda d: d + 1, items, 2)\n"  # fork-unsafe
+        "    return out\n",
+    )
+    _write(
+        tmp_path,
+        "src/repro/a.py",
+        "from repro.b import g\n\n\ndef f():\n    return g\n",  # cycle a->b
+    )
+    _write(
+        tmp_path,
+        "src/repro/b.py",
+        "from repro.a import f\n\n\ndef g():\n    return f\n",  # cycle b->a
+    )
+    return tmp_path
+
+
+def test_every_rule_fires_once_on_the_seeded_tree(seeded_tree):
+    report = AnalysisEngine(seeded_tree).run(["src"])
+    fired = {f.rule for f in report.findings}
+    assert fired == ALL_RULES
+    # exactly one finding per rule
+    assert len(report.findings) == len(ALL_RULES)
+
+
+def test_strict_cli_fails_on_seeded_tree(seeded_tree):
+    rc = analysis_main(
+        ["--root", str(seeded_tree), "src", "--strict", "--no-models"]
+    )
+    assert rc == 1
+
+
+def test_strict_cli_passes_on_clean_tree(tmp_path):
+    _write(
+        tmp_path,
+        "src/repro/clean.py",
+        "def double(x):\n    return 2 * x\n",
+    )
+    rc = analysis_main(
+        ["--root", str(tmp_path), "src", "--strict", "--no-models"]
+    )
+    assert rc == 0
+
+
+def test_baseline_grandfathers_existing_findings(seeded_tree):
+    engine = AnalysisEngine(seeded_tree)
+    first = engine.run(["src"])
+    baseline = seeded_tree / ".analysis-baseline"
+    engine.write_baseline(baseline, first.findings)
+
+    second = engine.run(["src"], baseline_path=baseline)
+    assert second.ok
+    assert len(second.grandfathered) == len(first.findings)
+    assert second.unused_baseline == []
+
+
+def test_baseline_still_fails_new_findings(seeded_tree):
+    engine = AnalysisEngine(seeded_tree)
+    baseline = seeded_tree / ".analysis-baseline"
+    engine.write_baseline(baseline, engine.run(["src"]).findings)
+
+    _write(
+        seeded_tree,
+        "src/repro/fresh.py",
+        "def g(x):\n    assert x\n    return x\n",
+    )
+    report = engine.run(["src"], baseline_path=baseline)
+    assert [f.rule for f in report.findings] == ["runtime-assert"]
+    assert report.findings[0].path == "src/repro/fresh.py"
+
+
+def test_stale_baseline_entries_are_reported(seeded_tree):
+    engine = AnalysisEngine(seeded_tree)
+    baseline = seeded_tree / ".analysis-baseline"
+    baseline.write_text("runtime-assert:src/gone.py:deadbeefdeadbeef\n")
+    report = engine.run(["src"], baseline_path=baseline)
+    assert report.unused_baseline == [
+        "runtime-assert:src/gone.py:deadbeefdeadbeef"
+    ]
+
+
+def test_inline_pragma_suppresses_a_rule(tmp_path):
+    _write(
+        tmp_path,
+        "src/repro/ok.py",
+        "def f(x):\n"
+        "    assert x  # repro: allow(runtime-assert) — invariant, not input\n"
+        "    return x\n",
+    )
+    report = AnalysisEngine(tmp_path).run(["src"])
+    assert report.ok
+    assert [f.rule for f in report.suppressed] == ["runtime-assert"]
+
+
+def test_fingerprints_survive_line_moves(seeded_tree):
+    engine = AnalysisEngine(seeded_tree)
+    before = {
+        f.fingerprint for f in engine.run(["src"]).findings
+    }
+    # Prepend a comment block: every lineno changes, fingerprints must not.
+    target = seeded_tree / "src/repro/features/bad.py"
+    target.write_text("# moved\n# down\n" + target.read_text())
+    after = {f.fingerprint for f in engine.run(["src"]).findings}
+    assert before == after
+
+
+def test_repo_is_clean_under_strict():
+    rc = analysis_main(
+        ["--root", str(REPO_ROOT), "src", "tests", "--strict", "--no-models"]
+    )
+    assert rc == 0

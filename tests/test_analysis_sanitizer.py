@@ -1,0 +1,202 @@
+"""Numerics sanitizer: array checks, session instrumentation, e2e wiring."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.sanitizer import (
+    NumericsTrap,
+    SanitizerSession,
+    check_array,
+    named_leaf_modules,
+)
+from repro.nn.containers import Sequential
+from repro.nn.layers import Conv2d
+
+
+# -- check_array -----------------------------------------------------------
+
+
+def test_clean_array_has_no_findings():
+    assert check_array(np.ones((4, 4)), "op") == []
+
+
+def test_integer_arrays_are_ignored():
+    assert check_array(np.arange(10), "op") == []
+
+
+def test_nan_finding_reports_first_index_and_count():
+    arr = np.zeros((2, 3))
+    arr[1, 2] = np.nan
+    arr[0, 1] = np.nan
+    findings = check_array(arr, "conv.forward")
+    assert [f.kind for f in findings] == ["nan"]
+    f = findings[0]
+    assert f.op == "conv.forward"
+    assert f.count == 2
+    assert f.total == 6
+    assert f.first_index == (0, 1)
+
+
+def test_inf_and_denormal_and_overflow_risk():
+    arr = np.array([np.inf, np.finfo(np.float64).tiny / 4, 1e40, 1.0])
+    kinds = {f.kind for f in check_array(arr, "op")}
+    assert kinds == {"inf", "denormal", "fp32-overflow-risk"}
+
+
+def test_denormal_check_can_be_disabled():
+    arr = np.array([np.finfo(np.float64).tiny / 4])
+    assert check_array(arr, "op", check_denormals=False) == []
+
+
+# -- SanitizerSession ------------------------------------------------------
+
+
+def _two_convs():
+    rng = np.random.default_rng(0)
+    return Sequential(
+        Conv2d(2, 3, 3, padding=1, rng=rng),
+        Conv2d(3, 3, 3, padding=1, rng=rng),
+    )
+
+
+def test_session_localizes_nan_to_originating_op():
+    model = _two_convs()
+    model.modules[1].weight.data[:] = np.nan
+    model.modules[1].weight.sync_compute()
+    x = np.ones((1, 2, 4, 4))
+    with SanitizerSession(model, on_finding="record") as session:
+        model(x)
+    nan_ops = [f.op for f in session.findings if f.kind == "nan"]
+    assert nan_ops  # something fired
+    # the FIRST nan is at the poisoned conv, not downstream
+    assert nan_ops[0] == "model.modules.1.forward"
+
+
+def test_session_raise_mode_traps_at_the_op():
+    model = _two_convs()
+    model.modules[0].weight.data[:] = np.nan
+    model.modules[0].weight.sync_compute()
+    with SanitizerSession(model, on_finding="raise"):
+        with pytest.raises(NumericsTrap) as excinfo:
+            model(np.ones((1, 2, 4, 4)))
+    assert "model.modules.0.forward" in str(excinfo.value)
+    assert excinfo.value.finding.kind == "nan"
+
+
+def test_session_restores_modules_on_exit():
+    model = _two_convs()
+    with SanitizerSession(model, on_finding="record"):
+        assert "forward" in model.modules[0].__dict__
+    for conv in model.modules:
+        assert "forward" not in conv.__dict__
+        assert "backward" not in conv.__dict__
+    # and the model still runs clean
+    out = model(np.ones((1, 2, 4, 4)))
+    assert np.isfinite(out).all()
+
+
+def test_session_checks_backward_too():
+    model = _two_convs()
+    x = np.ones((1, 2, 4, 4))
+    with SanitizerSession(model, on_finding="raise"):
+        out = model(x)
+        grad = np.zeros_like(out)
+        grad[0, 0, 0, 0] = np.nan
+        with pytest.raises(NumericsTrap) as excinfo:
+            model.backward(grad)
+    assert ".backward" in str(excinfo.value)
+
+
+def test_record_mode_dedupes_per_op_and_kind():
+    model = _two_convs()
+    model.modules[0].weight.data[:] = np.nan
+    model.modules[0].weight.sync_compute()
+    x = np.ones((1, 2, 4, 4))
+    with SanitizerSession(model, on_finding="record") as session:
+        model(x)
+        model(x)  # second pass must not duplicate findings
+    keys = [(f.op, f.kind) for f in session.findings]
+    assert len(keys) == len(set(keys))
+
+
+def test_named_leaf_modules_paths():
+    model = _two_convs()
+    paths = [path for path, _ in named_leaf_modules(model)]
+    assert paths == ["model.modules.0", "model.modules.1"]
+
+
+def test_invalid_policy_rejected():
+    with pytest.raises(ValueError):
+        SanitizerSession(_two_convs(), on_finding="explode")
+
+
+# -- end-to-end pipeline wiring --------------------------------------------
+
+
+def test_analyze_localizes_injected_nan_to_bottleneck(fake_design):
+    from repro.core.config import FusionConfig
+    from repro.core.pipeline import IRFusionPipeline
+    from repro.features.fusion import channel_names
+    from repro.models.registry import preferred_loss
+    from repro.train.trainer import Trainer
+
+    config = FusionConfig(
+        pixels=16, num_fake=1, num_real_train=1, num_real_test=1,
+        sanitize=True,
+    )
+    pipeline = IRFusionPipeline(config)
+    layers = [info.index for info in fake_design.geometry.layers]
+    in_channels = len(channel_names(config.features, layers))
+    pipeline.model = pipeline.build_model(in_channels=in_channels)
+    pipeline.trainer = Trainer(
+        pipeline.model,
+        loss=preferred_loss(config.model_name),
+        config=config.train,
+    )
+    pipeline._trained_channels = in_channels
+
+    # Poison a mid-network op: NaN weights in the bottleneck conv.
+    conv = pipeline.model.bottleneck.modules[0]
+    conv.weight.data[:] = np.nan
+    conv.weight.sync_compute()
+
+    result = pipeline.analyze_design(fake_design)
+    findings = result.diagnostics.numerics
+    assert findings, "sanitizer recorded nothing"
+    model_nans = [
+        f for f in findings if f.kind == "nan" and f.op.startswith("model.")
+    ]
+    assert model_nans, "no model-stage nan recorded"
+    assert "bottleneck" in model_nans[0].op
+    # solver and feature stages stayed clean
+    assert not any(
+        f.kind == "nan" and f.op.startswith(("solver.", "features."))
+        for f in findings
+    )
+    # diagnostics serialization includes the findings
+    assert result.diagnostics.to_dict()["numerics"]
+
+
+def test_sanitize_off_records_nothing(fake_design):
+    from repro.core.config import FusionConfig
+    from repro.core.pipeline import IRFusionPipeline
+    from repro.features.fusion import channel_names
+    from repro.models.registry import preferred_loss
+    from repro.train.trainer import Trainer
+
+    config = FusionConfig(
+        pixels=16, num_fake=1, num_real_train=1, num_real_test=1,
+    )
+    pipeline = IRFusionPipeline(config)
+    layers = [info.index for info in fake_design.geometry.layers]
+    in_channels = len(channel_names(config.features, layers))
+    pipeline.model = pipeline.build_model(in_channels=in_channels)
+    pipeline.trainer = Trainer(
+        pipeline.model,
+        loss=preferred_loss(config.model_name),
+        config=config.train,
+    )
+    pipeline._trained_channels = in_channels
+
+    result = pipeline.analyze_design(fake_design)
+    assert result.diagnostics.numerics == []

@@ -1,0 +1,101 @@
+"""Symbolic shape/dtype verification over every registered architecture."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.shapes import (
+    ShapeError,
+    ShapeVerifier,
+    TensorSpec,
+    verify_feature_contract,
+    verify_model,
+    verify_registry,
+)
+from repro.models.registry import MODEL_REGISTRY, create_model
+from repro.nn.module import Module, Parameter
+
+SIZES = [(16, 16), (32, 32), (16, 32)]
+
+
+def _build(name, in_channels=7, depth=3):
+    return create_model(
+        name, in_channels=in_channels, base_channels=6, depth=depth, seed=0
+    )
+
+
+@pytest.mark.parametrize("hw", SIZES, ids=lambda s: f"{s[0]}x{s[1]}")
+@pytest.mark.parametrize("name", sorted(MODEL_REGISTRY))
+def test_every_architecture_verifies_without_forward(name, hw):
+    model = _build(name)
+    report = verify_model(model, 7, hw, name=name)
+    assert report.output.channels == 1
+    assert (report.output.height, report.output.width) == hw
+    assert report.output.dtype == np.dtype(np.float64)
+    assert report.warnings == []
+
+
+def test_verify_registry_covers_all_models():
+    reports = verify_registry()
+    assert set(reports) == set(MODEL_REGISTRY)
+
+
+def test_channel_mismatch_names_offending_submodule():
+    model = _build("ir_fusion")
+    head = model.head
+    out_c, in_c, kh, kw = head.weight.shape
+    head.weight = Parameter(np.zeros((out_c, in_c + 3, kh, kw)))
+    with pytest.raises(ShapeError, match=r"head.*expects"):
+        verify_model(model, 7, (16, 16), name="ir_fusion")
+
+
+def test_decoder_weight_corruption_names_decoder_path():
+    model = _build("ir_fusion")
+    conv = next(
+        m for m in model.decoders[0].modules if hasattr(m, "weight")
+    )
+    out_c, in_c, kh, kw = conv.weight.shape
+    conv.weight = Parameter(np.zeros((out_c, in_c + 1, kh, kw)))
+    with pytest.raises(ShapeError, match=r"decoders\.0"):
+        verify_model(model, 7, (16, 16), name="ir_fusion")
+
+
+def test_dtype_contract_break_is_reported():
+    model = _build("ir_fusion")
+    model.head.weight.set_compute_dtype(np.float32)
+    with pytest.raises(ShapeError, match="precision-contract"):
+        verify_model(model, 7, (16, 16), name="ir_fusion")
+
+
+def test_full_fp32_model_verifies_with_fp32_activations():
+    model = _build("ir_fusion").set_compute_dtype(np.float32)
+    report = verify_model(model, 7, (16, 16), dtype=np.float32)
+    assert report.output.dtype == np.dtype(np.float32)
+
+
+def test_indivisible_input_rejected():
+    model = _build("ir_fusion")
+    with pytest.raises(ShapeError):
+        verify_model(model, 7, (12, 12), name="ir_fusion")
+
+
+class _Mystery(Module):
+    def forward(self, x):  # pragma: no cover - never executed
+        return x
+
+
+def test_strict_mode_rejects_unknown_modules():
+    spec = TensorSpec(3, 8, 8, np.dtype(np.float64))
+    with pytest.raises(ShapeError, match="no shape handler"):
+        ShapeVerifier(strict=True).verify(_Mystery(), spec, "m")
+
+
+def test_lenient_mode_warns_on_unknown_modules():
+    spec = TensorSpec(3, 8, 8, np.dtype(np.float64))
+    verifier = ShapeVerifier(strict=False)
+    out = verifier.verify(_Mystery(), spec, "m")
+    assert out == spec
+    assert any("Mystery" in w for w in verifier.warnings)
+
+
+def test_feature_contract_holds():
+    verify_feature_contract()
