@@ -41,6 +41,7 @@ import numpy as np
 from repro.core.batch import BatchAnalyzer
 from repro.core.config import FusionConfig
 from repro.core.pipeline import IRFusionPipeline
+from repro.obs import trace
 from repro.grid.geometry import GridGeometry
 from repro.grid.netlist import PGNode, PowerGrid
 from repro.grid.raster import rasterize as _new_rasterize
@@ -307,16 +308,26 @@ def build_pipeline(tiny: bool) -> IRFusionPipeline:
 
 
 def time_analyze(pipeline, designs, repeats: int) -> dict:
-    """Per-repeat mean e2e seconds plus the stage breakdown."""
+    """Per-repeat mean e2e seconds plus the stage breakdown.
+
+    Each repeat runs under a :mod:`repro.obs` tracer and the stage
+    numbers are read off the span tree (summed ``solve``/``features``/
+    ``inference`` durations), so the breakdown is exactly what a traced
+    ``analyze --trace`` run would export — one timing source, no private
+    stopwatch drift.
+    """
     totals, solver, feature, model = [], [], [], []
     for _ in range(repeats):
         start = time.perf_counter()
-        for design in designs:
-            result = pipeline.analyze_design(design)
-            solver.append(result.solver_seconds)
-            feature.append(result.feature_seconds)
-            model.append(result.model_seconds)
+        with trace("bench_analyze") as tracer:
+            for design in designs:
+                pipeline.analyze_design(design)
         totals.append(time.perf_counter() - start)
+        root = tracer.root
+        analyses = [s for s in root.iter_spans() if s.name == "analyze"]
+        solver.extend(s.total("solve") for s in analyses)
+        feature.extend(s.total("features") for s in analyses)
+        model.extend(s.total("inference") for s in analyses)
     return {
         "seconds_mean": float(np.mean(totals)) / len(designs),
         "seconds_best": float(np.min(totals)) / len(designs),

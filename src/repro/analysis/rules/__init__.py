@@ -10,7 +10,10 @@ rule id                   invariant
 ``unseeded-rng``          no unseeded ``np.random`` use outside the shared
                           construction RNG in ``nn/init.py``
 ``wall-clock``            no ``time.time()``/``datetime.now()`` in
-                          deterministic paths (``perf_counter`` is fine)
+                          deterministic paths, and no raw monotonic
+                          reads (``perf_counter``/``monotonic``) outside
+                          ``repro.obs`` — the observability layer owns
+                          the timing primitive
 ``unguarded-division``    no float division without an epsilon or
                           ``np.errstate`` guard in ``features/`` and
                           ``solvers/smoothers.py``

@@ -2,9 +2,12 @@
 
 ``time.time()`` / ``datetime.now()`` make results depend on when the run
 happened — poison for golden files, caches keyed on content, and
-bitwise-reproducibility claims.  Interval measurement must use
-``time.perf_counter()`` (monotonic, and only ever reported, never used
-as data).
+bitwise-reproducibility claims.  Interval measurement belongs to the
+observability layer: :mod:`repro.obs` owns the monotonic primitive
+(``repro.obs.monotonic``) and the span API built on it, so raw
+``time.perf_counter()`` / ``time.monotonic()`` calls anywhere outside
+``src/repro/obs/`` are findings too — scattered private stopwatches are
+exactly what the span layer replaced.
 """
 
 from __future__ import annotations
@@ -25,12 +28,25 @@ _FORBIDDEN = {
     "datetime.today": "datetime.today() reads the wall clock",
 }
 
+#: Monotonic primitives only :mod:`repro.obs` may call directly; all
+#: other code times intervals through spans or ``repro.obs.monotonic``.
+_OBS_ONLY = {
+    "time.perf_counter": "time.perf_counter() bypasses the obs layer",
+    "time.perf_counter_ns": "time.perf_counter_ns() bypasses the obs layer",
+    "time.monotonic": "time.monotonic() bypasses the obs layer",
+    "time.monotonic_ns": "time.monotonic_ns() bypasses the obs layer",
+}
+
+#: The one package allowed to own timing primitives.
+_OBS_PREFIX = "src/repro/obs/"
+
 
 class WallClockRule(Rule):
     rule_id = "wall-clock"
-    title = "wall-clock read in a deterministic path"
+    title = "clock read outside the observability layer"
 
     def check(self, module: ModuleSource) -> list[Finding]:
+        in_obs = module.path.startswith(_OBS_PREFIX)
         findings: list[Finding] = []
         for node in ast.walk(module.tree):
             if not isinstance(node, ast.Call):
@@ -41,8 +57,17 @@ class WallClockRule(Rule):
                     module.finding(
                         self.rule_id,
                         node,
-                        f"{_FORBIDDEN[name]}; use time.perf_counter() for "
-                        "intervals or pass timestamps in explicitly",
+                        f"{_FORBIDDEN[name]}; time intervals with "
+                        "repro.obs spans or pass timestamps in explicitly",
+                    )
+                )
+            elif name in _OBS_ONLY and not in_obs:
+                findings.append(
+                    module.finding(
+                        self.rule_id,
+                        node,
+                        f"{_OBS_ONLY[name]}; use repro.obs.span()/"
+                        "monotonic() so the trace and the numbers agree",
                     )
                 )
         return findings

@@ -32,6 +32,11 @@ code  meaning
 Errors print a one-line message to stderr; pass ``--debug`` for the full
 traceback.  ``simulate``/``analyze`` also print a ``diagnostics:`` block
 recording validation issues, repairs and solver fallbacks.
+
+Observability: ``analyze`` and ``train`` accept ``--trace PATH`` to run
+under a :mod:`repro.obs` tracer and write the JSONL span trace (validate
+it with ``python -m repro.obs --validate PATH``); ``--debug`` on any
+command additionally prints the span summary tree and counters.
 """
 
 from __future__ import annotations
@@ -42,6 +47,8 @@ import sys
 from pathlib import Path
 
 import numpy as np
+
+from repro.obs import span as _span
 
 #: Exit codes (see module docstring).
 EXIT_OK = 0
@@ -107,9 +114,10 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 
 def _cmd_train(args: argparse.Namespace) -> int:
-    from repro.core.config import FusionConfig
-    from repro.core.pipeline import IRFusionPipeline
-    from repro.train.trainer import TrainConfig
+    with _span("imports"):
+        from repro.core.config import FusionConfig
+        from repro.core.pipeline import IRFusionPipeline
+        from repro.train.trainer import TrainConfig
 
     config = FusionConfig(
         pixels=args.pixels,
@@ -163,9 +171,10 @@ def _batch_error_code(error: str) -> int:
 
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
-    from repro.core.config import FusionConfig
-    from repro.core.pipeline import IRFusionPipeline
-    from repro.train.trainer import TrainConfig
+    with _span("imports"):
+        from repro.core.config import FusionConfig
+        from repro.core.pipeline import IRFusionPipeline
+        from repro.train.trainer import TrainConfig
 
     meta = json.loads(Path(str(args.model) + ".json").read_text())
     config = FusionConfig(
@@ -276,6 +285,8 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--sanitize", action="store_true",
                        help="trap NaN/Inf at the originating op during "
                             "training (numerics sanitizer)")
+    train.add_argument("--trace", default=None, metavar="PATH",
+                       help="write a JSONL span trace of the run")
     train.set_defaults(func=_cmd_train)
 
     analyze = sub.add_parser("analyze", help="fused analysis with a checkpoint")
@@ -289,8 +300,37 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("--sanitize", action="store_true",
                          help="record NaN/Inf/denormal findings per stage "
                               "in the run diagnostics")
+    analyze.add_argument("--trace", default=None, metavar="PATH",
+                         help="write a JSONL span trace of the run")
     analyze.set_defaults(func=_cmd_analyze)
     return parser
+
+
+def _dispatch(args: argparse.Namespace) -> int:
+    """Run the selected command, under a tracer when asked to.
+
+    ``--trace PATH`` (analyze/train) and ``--debug`` (any command) both
+    install a :mod:`repro.obs` tracer for the command's whole extent, so
+    every library span — parse, validate, amg_setup, pcg, features,
+    inference, per-epoch train — lands in one tree.  The trace file is
+    written (and the summary printed) only when the command completes;
+    an exception propagates to :func:`main`'s error mapping untouched.
+    """
+    trace_path = getattr(args, "trace", None)
+    if trace_path is None and not args.debug:
+        return args.func(args)
+    from repro.obs import metrics_snapshot, summary_lines, trace, write_trace
+
+    with trace(args.command) as tracer:
+        status = args.func(args)
+    metrics = metrics_snapshot()
+    if trace_path is not None:
+        write_trace(trace_path, tracer.root, metrics)
+        print(f"wrote trace to {trace_path}")
+    if args.debug:
+        for line in summary_lines(tracer.root, metrics):
+            print(line)
+    return status
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -301,7 +341,7 @@ def main(argv: list[str] | None = None) -> int:
     from repro.spice.validate import NetlistValidationError
 
     try:
-        return args.func(args)
+        return _dispatch(args)
     except SolverFailure as exc:
         if args.debug:
             raise

@@ -23,27 +23,63 @@ execution outright — the engine never requires pickling closures.
 from __future__ import annotations
 
 import multiprocessing
-import time
+import threading
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Sequence
+
+from repro.obs import (
+    counter_add,
+    counters_delta,
+    current_tracer,
+    merge_metrics,
+    metrics_snapshot,
+    span,
+    trace,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.pipeline import AnalysisResult, IRFusionPipeline
     from repro.data.synthetic import Design
 
 
-#: (fn, items) inherited by forked workers; never pickled.
-_WORKER_STATE: tuple[Callable, Sequence] | None = None
+#: (fn, items, traced) inherited by forked workers; never pickled.
+_WORKER_STATE: tuple[Callable, Sequence, bool] | None = None
+
+#: Serialises use of :data:`_WORKER_STATE`.  Without it, overlapping
+#: ``parallel_map`` calls would clobber the shared state and fork
+#: workers running the *wrong* ``fn``.  Held for the whole parallel
+#: section; a contender that cannot take it degrades to serial
+#: execution instead of racing.  Forked workers inherit a *held* copy
+#: of the lock, so a nested ``parallel_map`` inside a worker lands on
+#: the serial path (threaded callers are already diverted to serial
+#: before the lock — forking off the main thread is unsafe).
+_WORKER_LOCK = threading.Lock()
 
 
 def _worker_apply(index: int):
-    """Run one item in a worker; exceptions become data, not crashes."""
-    fn, items = _WORKER_STATE
-    try:
-        return index, fn(items[index]), None
-    except Exception as exc:  # noqa: BLE001 - captured per item by design
-        return index, None, f"{type(exc).__name__}: {exc}"
+    """Run one item in a worker; exceptions become data, not crashes.
+
+    Returns ``(index, result, error, span_tree, metrics)``.  The last
+    two are ``None`` unless the parent had an active trace at fork time,
+    in which case the item runs under its own tracer and ships the
+    serialized span tree plus the counter movement it caused, so the
+    parent can graft both into its run telemetry.
+    """
+    fn, items, traced = _WORKER_STATE
+    if not traced:
+        try:
+            return index, fn(items[index]), None, None, None
+        except Exception as exc:  # noqa: BLE001 - captured per item by design
+            return index, None, f"{type(exc).__name__}: {exc}", None, None
+    before = metrics_snapshot()
+    result = error = None
+    with trace("item", index=index) as tracer:
+        try:
+            result = fn(items[index])
+        except Exception as exc:  # noqa: BLE001 - captured per item by design
+            error = f"{type(exc).__name__}: {exc}"
+    return index, result, error, tracer.root.to_dict(), counters_delta(before)
 
 
 def _apply_serial(fn: Callable, item) -> tuple[object | None, str | None]:
@@ -63,9 +99,18 @@ def parallel_map(
     Returns ``(outcomes, degraded)`` where ``outcomes[k]`` is
     ``(result, None)`` on success or ``(None, "ErrType: message")`` on a
     per-item failure, and *degraded* is True when any part of the batch
-    had to fall back to serial execution (no fork support, or a broken
-    worker pool).  ``jobs <= 1`` or a single item runs serially without
-    ever touching multiprocessing.
+    had to fall back to serial execution (no fork support, a broken
+    worker pool, a call from a non-main thread — forking there is
+    unsafe under CPython — or another ``parallel_map`` already in
+    flight: the module lock serialises use of the shared worker state,
+    and a nested call from inside a worker inherits the held lock and
+    degrades to serial rather than clobber it).  ``jobs <= 1`` or a
+    single item runs serially without ever touching multiprocessing.
+
+    When the calling thread has an active :mod:`repro.obs` trace, each
+    worker item runs under its own tracer and ships its span tree and
+    counter movement back with the result; both are grafted into the
+    caller's trace/metrics, so a traced batch reads like one run.
     """
     global _WORKER_STATE
     items = list(items)
@@ -78,10 +123,25 @@ def parallel_map(
     except ValueError:
         return [_apply_serial(fn, item) for item in items], True
 
+    if threading.current_thread() is not threading.main_thread():
+        # Forking from a non-main thread while other threads run is
+        # unsafe in CPython: the child can inherit another thread's
+        # held interpreter lock (e.g. threading's limbo lock) and
+        # deadlock before its worker loop even starts.  Threaded
+        # callers get a correct serial answer instead.
+        return [_apply_serial(fn, item) for item in items], True
+
+    if not _WORKER_LOCK.acquire(blocking=False):
+        # Another parallel_map holds the worker state — a concurrent
+        # thread, or this *is* a nested call inside a forked worker
+        # (which inherited the held lock).  Racing would run the wrong
+        # fn; degrade to serial instead.
+        return [_apply_serial(fn, item) for item in items], True
+
     results: list[tuple[object | None, str | None] | None] = [None] * len(items)
     pending = set(range(len(items)))
     degraded = False
-    _WORKER_STATE = (fn, items)
+    _WORKER_STATE = (fn, items, current_tracer() is not None)
     try:
         with ProcessPoolExecutor(max_workers=jobs, mp_context=context) as pool:
             futures = {
@@ -90,16 +150,22 @@ def parallel_map(
             }
             for future in as_completed(futures):
                 try:
-                    index, value, error = future.result()
+                    index, value, error, span_tree, metrics = future.result()
                 except Exception:  # noqa: BLE001 - worker death ⇒ redo serially
                     degraded = True
                     continue
+                tracer = current_tracer()
+                if span_tree is not None and tracer is not None:
+                    tracer.attach(span_tree)
+                if metrics is not None:
+                    merge_metrics(metrics)
                 results[index] = (value, error)
                 pending.discard(index)
     except Exception:  # noqa: BLE001 - pool-level failure ⇒ redo serially
         degraded = True
     finally:
         _WORKER_STATE = None
+        _WORKER_LOCK.release()
 
     if pending:
         degraded = True
@@ -215,10 +281,11 @@ class BatchAnalyzer:
 
     def analyze_designs(self, designs: Sequence["Design"]) -> BatchReport:
         """Analyse many synthetic designs; per-design failures are recorded."""
-        start = time.perf_counter()
-        outcomes, degraded = parallel_map(
-            self.pipeline.analyze_design, designs, self.jobs
-        )
+        counter_add("batch.items", len(designs))
+        with span("batch", items=len(designs), jobs=self.jobs) as batch_span:
+            outcomes, degraded = parallel_map(
+                self.pipeline.analyze_design, designs, self.jobs
+            )
         return BatchReport(
             items=[
                 BatchItem(name=design.name, result=result, error=error)
@@ -226,15 +293,16 @@ class BatchAnalyzer:
             ],
             jobs=self.jobs,
             degraded=degraded,
-            total_seconds=time.perf_counter() - start,
+            total_seconds=batch_span.duration,
         )
 
     def analyze_files(self, paths: Sequence) -> BatchReport:
         """Analyse many SPICE decks from disk."""
-        start = time.perf_counter()
-        outcomes, degraded = parallel_map(
-            self.pipeline.analyze_file, paths, self.jobs
-        )
+        counter_add("batch.items", len(paths))
+        with span("batch", items=len(paths), jobs=self.jobs) as batch_span:
+            outcomes, degraded = parallel_map(
+                self.pipeline.analyze_file, paths, self.jobs
+            )
         return BatchReport(
             items=[
                 BatchItem(name=str(path), result=result, error=error)
@@ -242,5 +310,5 @@ class BatchAnalyzer:
             ],
             jobs=self.jobs,
             degraded=degraded,
-            total_seconds=time.perf_counter() - start,
+            total_seconds=batch_span.duration,
         )

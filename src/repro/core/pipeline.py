@@ -10,12 +10,12 @@ designs, all driven by one :class:`~repro.core.config.FusionConfig`.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.core.config import FusionConfig
+from repro.obs import span
 from repro.data.augment import augment_dataset, oversample
 from repro.diagnostics import RunDiagnostics
 from repro.data.dataset import DesignSample, IRDropDataset
@@ -50,7 +50,9 @@ class AnalysisResult:
     features:
         The assembled input stack.
     solver_seconds, feature_seconds, model_seconds:
-        Wall-clock breakdown of the three pipeline stages.
+        Wall-clock breakdown of the three pipeline stages — the durations
+        of the ``solve``/``features``/``inference`` spans the run emitted
+        (see :mod:`repro.obs`), so they agree with any exported trace.
     diagnostics:
         Validation issues, repairs and solver fallbacks recorded while
         producing this result (an empty record when nominal; shares the
@@ -149,26 +151,27 @@ class IRFusionPipeline:
 
     def build_model(self, in_channels: int) -> Module:
         cfg = self.config
-        model = create_model(
-            cfg.model_name,
-            in_channels=in_channels,
-            base_channels=cfg.base_channels,
-            depth=cfg.depth,
-            seed=cfg.model_seed,
-            **cfg.model_kwargs,
-        )
-        # Static graph check: catches channel/shape wiring mistakes at
-        # build time, before any kernel runs.  strict=False tolerates
-        # custom modules registered without a shape handler.
-        from repro.analysis.shapes import verify_model
+        with span("model_build", model=cfg.model_name):
+            model = create_model(
+                cfg.model_name,
+                in_channels=in_channels,
+                base_channels=cfg.base_channels,
+                depth=cfg.depth,
+                seed=cfg.model_seed,
+                **cfg.model_kwargs,
+            )
+            # Static graph check: catches channel/shape wiring mistakes at
+            # build time, before any kernel runs.  strict=False tolerates
+            # custom modules registered without a shape handler.
+            from repro.analysis.shapes import verify_model
 
-        verify_model(
-            model,
-            in_channels,
-            (cfg.pixels, cfg.pixels),
-            strict=False,
-            name=cfg.model_name,
-        )
+            verify_model(
+                model,
+                in_channels,
+                (cfg.pixels, cfg.pixels),
+                strict=False,
+                name=cfg.model_name,
+            )
         return model
 
     def train(self) -> TrainHistory:
@@ -201,11 +204,15 @@ class IRFusionPipeline:
 
     def analyze_file(self, path) -> AnalysisResult:
         """Analyse a SPICE deck from disk."""
-        return self.analyze_netlist(parse_spice_file(path))
+        with span("parse", source=str(path)):
+            netlist = parse_spice_file(path)
+        return self.analyze_netlist(netlist)
 
     def analyze_text(self, text: str) -> AnalysisResult:
         """Analyse a SPICE deck held in a string."""
-        return self.analyze_netlist(parse_spice(text))
+        with span("parse", source="<text>"):
+            netlist = parse_spice(text)
+        return self.analyze_netlist(netlist)
 
     def analyze_netlist(self, netlist) -> AnalysisResult:
         """Analyse a parsed deck (geometry inferred from node names)."""
@@ -227,7 +234,13 @@ class IRFusionPipeline:
         geometry: GridGeometry,
         supply_voltage: float,
     ) -> AnalysisResult:
-        """The full fusion flow on an arbitrary power grid."""
+        """The full fusion flow on an arbitrary power grid.
+
+        Every stage runs under a :mod:`repro.obs` span (``analyze`` →
+        ``solve``/``features``/``inference``); the legacy ``*_seconds``
+        fields are those spans' durations, so a traced run and the
+        summary numbers can never disagree.
+        """
         trainer = self._require_trainer()
         cfg = self.config
 
@@ -236,84 +249,92 @@ class IRFusionPipeline:
         voltages = None
         solver_seconds = 0.0
         diagnostics = RunDiagnostics()
-        if cfg.features.use_numerical:
-            start = time.perf_counter()
-            simulator = PowerRushSimulator(
-                max_iterations=cfg.solver_iterations, preset=cfg.solver_preset
-            )
-            report = simulator.simulate_grid(grid, supply_voltage=supply_voltage)
-            solver_seconds = time.perf_counter() - start
-            voltages = report.voltages
-            rough_drop = report.drop_image(geometry, layer=1)
-            diagnostics = report.diagnostics
-            # The repaired grid (e.g. ground-tied islands) is what the
-            # features must describe, or raster/solver views disagree.
-            grid = report.grid
+        with span("analyze") as analyze_span:
+            if cfg.features.use_numerical:
+                with span(
+                    "solve", iterations=cfg.solver_iterations
+                ) as solve_span:
+                    simulator = PowerRushSimulator(
+                        max_iterations=cfg.solver_iterations,
+                        preset=cfg.solver_preset,
+                    )
+                    report = simulator.simulate_grid(
+                        grid, supply_voltage=supply_voltage
+                    )
+                solver_seconds = solve_span.duration
+                voltages = report.voltages
+                rough_drop = report.drop_image(geometry, layer=1)
+                diagnostics = report.diagnostics
+                # The repaired grid (e.g. ground-tied islands) is what the
+                # features must describe, or raster/solver views disagree.
+                grid = report.grid
 
-        sanitize = cfg.sanitize
-        if sanitize:
-            from repro.analysis.sanitizer import check_array
+            sanitize = cfg.sanitize
+            if sanitize:
+                from repro.analysis.sanitizer import check_array
 
-            if voltages is not None:
-                diagnostics.numerics.extend(
-                    check_array(voltages, "solver.voltages")
+                if voltages is not None:
+                    diagnostics.numerics.extend(
+                        check_array(voltages, "solver.voltages")
+                    )
+                if rough_drop is not None:
+                    diagnostics.numerics.extend(
+                        check_array(rough_drop, "solver.rough_drop")
+                    )
+
+            with span("features") as feature_span:
+                features = assemble_feature_stack(
+                    geometry,
+                    grid,
+                    cfg.features,
+                    voltages=voltages,
+                    supply_voltage=supply_voltage,
                 )
-            if rough_drop is not None:
-                diagnostics.numerics.extend(
-                    check_array(rough_drop, "solver.rough_drop")
+            feature_seconds = feature_span.duration
+
+            if sanitize:
+                for name, channel in zip(features.channels, features.data):
+                    diagnostics.numerics.extend(
+                        check_array(channel, f"features.{name}")
+                    )
+
+            if (
+                self._trained_channels is not None
+                and features.num_channels != self._trained_channels
+            ):
+                raise ValueError(
+                    f"design produces {features.num_channels} feature "
+                    f"channels but the model was trained on "
+                    f"{self._trained_channels}; the metal-layer count must "
+                    "match the training designs"
                 )
 
-        start = time.perf_counter()
-        features = assemble_feature_stack(
-            geometry,
-            grid,
-            cfg.features,
-            voltages=voltages,
-            supply_voltage=supply_voltage,
-        )
-        feature_seconds = time.perf_counter() - start
-
-        if sanitize:
-            for name, channel in zip(features.channels, features.data):
-                diagnostics.numerics.extend(
-                    check_array(channel, f"features.{name}")
+            with span("inference") as model_span:
+                # Route through the trainer so residual (fusion) prediction
+                # logic is applied exactly as during evaluation.
+                probe = DesignSample(
+                    name="analysis",
+                    kind="real",
+                    features=features,
+                    label=np.zeros(features.shape),
+                    rough_label=rough_drop,
                 )
+                if sanitize:
+                    from repro.analysis.sanitizer import SanitizerSession
 
-        if (
-            self._trained_channels is not None
-            and features.num_channels != self._trained_channels
-        ):
-            raise ValueError(
-                f"design produces {features.num_channels} feature channels "
-                f"but the model was trained on {self._trained_channels}; "
-                "the metal-layer count must match the training designs"
-            )
+                    with SanitizerSession(
+                        trainer.model, on_finding="record"
+                    ) as session:
+                        predicted = trainer.predict([probe])[0]
+                    diagnostics.numerics.extend(session.findings)
+                    diagnostics.numerics.extend(
+                        check_array(predicted, "prediction")
+                    )
+                else:
+                    predicted = trainer.predict([probe])[0]
+            model_seconds = model_span.duration
 
-        start = time.perf_counter()
-        # Route through the trainer so residual (fusion) prediction logic
-        # is applied exactly as during evaluation.
-        probe = DesignSample(
-            name="analysis",
-            kind="real",
-            features=features,
-            label=np.zeros(features.shape),
-            rough_label=rough_drop,
-        )
-        if sanitize:
-            from repro.analysis.sanitizer import SanitizerSession
-
-            with SanitizerSession(
-                trainer.model, on_finding="record"
-            ) as session:
-                predicted = trainer.predict([probe])[0]
-            diagnostics.numerics.extend(session.findings)
-            diagnostics.numerics.extend(
-                check_array(predicted, "prediction")
-            )
-        else:
-            predicted = trainer.predict([probe])[0]
-        model_seconds = time.perf_counter() - start
-
+        diagnostics.trace = analyze_span.to_dict()
         return AnalysisResult(
             predicted_drop=predicted,
             rough_drop=rough_drop,
@@ -335,8 +356,9 @@ class IRFusionPipeline:
 
     def load_model(self, path, in_channels: int) -> None:
         """Restore a checkpoint into a freshly built model."""
-        self.model = self.build_model(in_channels=in_channels)
-        load_state(self.model, path)
+        with span("model_load", source=str(path)):
+            self.model = self.build_model(in_channels=in_channels)
+            load_state(self.model, path)
         self._trained_channels = in_channels
         loss = preferred_loss(self.config.model_name)
         self.trainer = Trainer(self.model, loss=loss, config=self.config.train)

@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.obs import Span
+from repro.obs import summary_lines as _span_summary_lines
 from repro.solvers.cache import CacheStats
 from repro.solvers.guard import SolverDiagnostics
 from repro.spice.validate import RepairRecord, ValidationIssue
@@ -40,6 +42,11 @@ class RunDiagnostics:
         (:mod:`repro.analysis.sanitizer`), as
         :class:`~repro.analysis.sanitizer.NumericsFinding` instances;
         empty unless the run had ``sanitize`` enabled.
+    trace:
+        Serialized :class:`repro.obs.Span` tree for the run (the
+        ``analyze`` span and its children), as produced by
+        ``Span.to_dict``; ``None`` for records that predate the run or
+        were built outside the pipeline.
     """
 
     validation: list[ValidationIssue] = field(default_factory=list)
@@ -48,6 +55,7 @@ class RunDiagnostics:
     solver_cache: CacheStats | None = None
     warnings: list[str] = field(default_factory=list)
     numerics: list = field(default_factory=list)
+    trace: dict | None = None
 
     @property
     def degraded(self) -> bool:
@@ -69,6 +77,7 @@ class RunDiagnostics:
             "warnings": list(self.warnings),
             "numerics": [f.to_dict() for f in self.numerics],
             "degraded": self.degraded,
+            "trace": self.trace,
         }
 
     def summary_lines(self) -> list[str]:
@@ -92,4 +101,7 @@ class RunDiagnostics:
             lines.append(f"  warning: {note}")
         for finding in self.numerics:
             lines.append(f"  numerics[{finding.kind}]: {finding.summary()}")
+        if self.trace is not None:
+            for line in _span_summary_lines(Span.from_dict(self.trace)):
+                lines.append(f"  {line}")
         return lines

@@ -2,11 +2,10 @@
 
 from __future__ import annotations
 
-import time
-
 from repro.data.dataset import IRDropDataset
 from repro.nn.losses import _Loss
 from repro.nn.module import Module
+from repro.obs import span
 from repro.train.metrics import Metrics, evaluate_prediction
 from repro.train.trainer import TrainConfig, Trainer, TrainHistory
 
@@ -22,11 +21,12 @@ def evaluate_trainer(
     """
     per_design: list[Metrics] = []
     for sample in dataset:
-        start = time.perf_counter()
-        prediction = trainer.predict([sample])[0]
-        elapsed = time.perf_counter() - start
+        with span("inference", design=sample.name) as infer_span:
+            prediction = trainer.predict([sample])[0]
         per_design.append(
-            evaluate_prediction(prediction, sample.label, runtime_seconds=elapsed)
+            evaluate_prediction(
+                prediction, sample.label, runtime_seconds=infer_span.duration
+            )
         )
     return per_design, Metrics.average(per_design)
 
@@ -59,8 +59,7 @@ def train_and_evaluate(
     Returns (history, averaged test metrics, training wall-clock seconds).
     """
     trainer = Trainer(model, loss=loss, config=config)
-    start = time.perf_counter()
-    history = trainer.fit(train_set)
-    train_seconds = time.perf_counter() - start
+    with span("fit") as fit_span:
+        history = trainer.fit(train_set)
     _, averaged = evaluate_trainer(trainer, test_set)
-    return history, averaged, train_seconds
+    return history, averaged, fit_span.duration

@@ -1,0 +1,59 @@
+"""Unified observability layer: tracing, metrics and run telemetry.
+
+This package is the *only* module in the repository that touches timing
+primitives directly (enforced by the ``wall-clock`` lint rule).  Every
+other module expresses timing through :func:`span` / :func:`trace` and
+reads durations back from the resulting :class:`Span` tree, so one run
+produces one coherent account of where its time went instead of eight
+modules each keeping private stopwatches.
+
+Three pieces:
+
+- :mod:`repro.obs.trace` — nested, labelled spans on the monotonic
+  clock.  ``span("pcg")`` attaches to whatever trace is active on the
+  calling thread, or times a detached subtree when none is (so
+  ``SolveResult.setup_seconds``-style fields work with zero
+  configuration).
+- :mod:`repro.obs.metrics` — process-wide named counters and gauges
+  (cache hits, fallback attempts, PCG iterations, overflow steps).
+  Fork-aware: :mod:`repro.core.batch` workers snapshot the registry at
+  item start and ship the delta back with each result.
+- :mod:`repro.obs.export` — structured JSONL trace files plus the
+  human-readable span summary tree; ``python -m repro.obs --validate``
+  checks an emitted file against the schema.
+"""
+
+from repro.obs.export import (
+    summary_lines,
+    validate_trace_file,
+    validate_trace_lines,
+    write_trace,
+)
+from repro.obs.metrics import (
+    counter_add,
+    counters_delta,
+    gauge_set,
+    merge_metrics,
+    metrics_snapshot,
+    reset_metrics,
+)
+from repro.obs.trace import Span, Tracer, current_tracer, monotonic, span, trace
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "counter_add",
+    "counters_delta",
+    "current_tracer",
+    "gauge_set",
+    "merge_metrics",
+    "metrics_snapshot",
+    "monotonic",
+    "reset_metrics",
+    "span",
+    "summary_lines",
+    "trace",
+    "validate_trace_file",
+    "validate_trace_lines",
+    "write_trace",
+]

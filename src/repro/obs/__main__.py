@@ -1,0 +1,55 @@
+"""Trace-file schema validation: ``python -m repro.obs --validate PATH``.
+
+Exit status 0 when every given file conforms to the JSONL trace schema
+(see :mod:`repro.obs.export`), 1 otherwise — the CI bench-smoke job runs
+this on the trace emitted by a traced ``analyze``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.obs.export import validate_trace_file
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="validate JSONL trace files against the schema",
+    )
+    parser.add_argument(
+        "--validate",
+        nargs="+",
+        required=True,
+        metavar="PATH",
+        help="trace file(s) to check",
+    )
+    args = parser.parse_args(argv)
+
+    status = 0
+    for path in args.validate:
+        target = Path(path)
+        if not target.exists():
+            print(f"{path}: no such file", file=sys.stderr)
+            status = 1
+            continue
+        errors = validate_trace_file(target)
+        if errors:
+            for error in errors:
+                print(f"{path}: {error}", file=sys.stderr)
+            status = 1
+        else:
+            spans = sum(
+                1
+                for line in target.read_text().splitlines()
+                if line.strip() and json.loads(line).get("kind") == "span"
+            )
+            print(f"{path}: ok ({spans} span(s))")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

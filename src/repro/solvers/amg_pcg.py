@@ -11,8 +11,9 @@ from __future__ import annotations
 import numpy as np
 import scipy.sparse as sp
 
+from repro.obs import counter_add, span
 from repro.solvers.amg import AMGHierarchy, AMGOptions, build_hierarchy
-from repro.solvers.base import SolveResult, SolverOptions, Timer, check_system
+from repro.solvers.base import SolveResult, SolverOptions, check_system
 from repro.solvers.cache import global_setup_cache, setup_cache_enabled
 from repro.solvers.cg import _pcg
 from repro.solvers.cycles import CycleOptions, CyclePreconditioner
@@ -22,13 +23,19 @@ from repro.solvers.guard import GuardrailOptions, IterationGuard
 class AMGPCGSolver:
     """Flexible CG preconditioned by an aggregation-AMG K-cycle.
 
-    Setup reuse happens at two layers: an ``id()`` fast path for repeated
-    solves with the *same array object* (the Fig. 7 iteration sweep), and
-    the process-wide :mod:`repro.solvers.cache` fingerprint cache for
-    repeated solves of *equal* matrices across solver instances (curriculum
-    epochs, the fallback cascade's retry, the batch engine).  Either way
-    the hierarchy object is shared, so iterate streams stay bitwise
-    identical to an uncached run.
+    Setup reuse happens at two layers: a same-object fast path for
+    repeated solves with the *same array object* (the Fig. 7 iteration
+    sweep), and the process-wide :mod:`repro.solvers.cache` fingerprint
+    cache for repeated solves of *equal* matrices across solver instances
+    (curriculum epochs, the fallback cascade's retry, the batch engine).
+    Either way the hierarchy object is shared, so iterate streams stay
+    bitwise identical to an uncached run.
+
+    The fast path holds a strong reference to the cached matrix and
+    compares by identity (``is``), never by raw ``id()``: a bare ``id``
+    comparison is unsound because CPython reuses addresses once an object
+    is garbage collected, which would silently hand a *different* matrix
+    the previous matrix's preconditioner.
     """
 
     def __init__(
@@ -44,9 +51,13 @@ class AMGPCGSolver:
         self.cycle_options = cycle_options or CycleOptions()
         self.guard_options = guard_options
         self.use_setup_cache = use_setup_cache
-        self._cached_matrix_id: int | None = None
+        #: Strong reference to the matrix the cached preconditioner was
+        #: built for.  Keeping the object alive is what makes the
+        #: identity fast path sound: a live object's address cannot be
+        #: reused by a newly allocated matrix.
+        self._cached_matrix: sp.spmatrix | None = None
         self._cached_preconditioner: CyclePreconditioner | None = None
-        self._cached_setup_seconds: float = 0.0
+        self._last_setup_seconds: float = 0.0
         self._last_setup_was_hit = False
 
     @property
@@ -62,25 +73,34 @@ class AMGPCGSolver:
         return self._last_setup_was_hit
 
     def setup(self, matrix: sp.spmatrix) -> CyclePreconditioner:
-        """Run (or reuse) the AMG setup stage for *matrix*."""
+        """Run (or reuse) the AMG setup stage for *matrix*.
+
+        ``SolveResult.setup_seconds`` accounting contract: only the cost
+        of *this* call is recorded.  A same-object reuse costs (and
+        therefore reports) zero; a fingerprint-cache hit reports just
+        the hash-and-lookup time, never the original build cost.
+        """
         if (
-            self._cached_matrix_id == id(matrix)
+            self._cached_matrix is matrix
             and self._cached_preconditioner is not None
         ):
+            self._last_setup_seconds = 0.0
+            self._last_setup_was_hit = True
             return self._cached_preconditioner
-        timer = Timer()
-        if self.use_setup_cache and setup_cache_enabled():
-            hierarchy, hit = global_setup_cache().get_or_build(
-                matrix, self.amg_options
-            )
-        else:
-            hierarchy, hit = build_hierarchy(matrix, self.amg_options), False
-        self._cached_setup_seconds = timer.lap()
+        with span("amg_setup") as setup_span:
+            if self.use_setup_cache and setup_cache_enabled():
+                hierarchy, hit = global_setup_cache().get_or_build(
+                    matrix, self.amg_options
+                )
+            else:
+                hierarchy, hit = build_hierarchy(matrix, self.amg_options), False
+            setup_span.attrs["cache_hit"] = hit
+        self._last_setup_seconds = setup_span.duration
         self._last_setup_was_hit = hit
         self._cached_preconditioner = CyclePreconditioner(
             hierarchy, self.cycle_options
         )
-        self._cached_matrix_id = id(matrix)
+        self._cached_matrix = matrix
         return self._cached_preconditioner
 
     def solve(
@@ -94,14 +114,16 @@ class AMGPCGSolver:
         preconditioner = self.setup(matrix)
         if guard is None and self.guard_options is not None:
             guard = IterationGuard(self.guard_options, solver_name="amg_pcg")
-        result = _pcg(
-            csr,
-            rhs,
-            x0,
-            preconditioner=preconditioner.apply,
-            options=self.options,
-            flexible=True,
-            guard=guard,
-        )
-        result.setup_seconds += self._cached_setup_seconds
+        with span("pcg", solver="amg_pcg"):
+            result = _pcg(
+                csr,
+                rhs,
+                x0,
+                preconditioner=preconditioner.apply,
+                options=self.options,
+                flexible=True,
+                guard=guard,
+            )
+        counter_add("pcg.iterations", result.iterations)
+        result.setup_seconds += self._last_setup_seconds
         return result

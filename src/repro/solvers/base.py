@@ -2,12 +2,13 @@
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Protocol
 
 import numpy as np
 import scipy.sparse as sp
+
+from repro.obs import monotonic
 
 
 @dataclass(frozen=True)
@@ -107,14 +108,19 @@ class Solver(Protocol):
 
 
 class Timer:
-    """Tiny context-free stopwatch used for setup/solve accounting."""
+    """Tiny context-free stopwatch used for setup/solve accounting.
+
+    Built on :func:`repro.obs.monotonic` — the observability layer owns
+    the timing primitive; this class just keeps the lap arithmetic the
+    inner PCG loop needs without opening a span per iteration.
+    """
 
     def __init__(self) -> None:
-        self._start = time.perf_counter()
+        self._start = monotonic()
 
     def lap(self) -> float:
         """Seconds since construction or the previous lap."""
-        now = time.perf_counter()
+        now = monotonic()
         elapsed = now - self._start
         self._start = now
         return elapsed

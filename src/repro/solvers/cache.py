@@ -32,6 +32,7 @@ from dataclasses import dataclass
 
 import scipy.sparse as sp
 
+from repro.obs import counter_add
 from repro.solvers.amg import AMGHierarchy, AMGOptions, build_hierarchy
 
 
@@ -110,8 +111,10 @@ class AMGSetupCache:
             if cached is not None:
                 self._entries.move_to_end(key)
                 self._hits += 1
+                counter_add("amg_setup_cache.hits")
                 return cached, True
             self._misses += 1
+        counter_add("amg_setup_cache.misses")
         hierarchy = build_hierarchy(matrix, options)
         with self._lock:
             winner = self._entries.setdefault(key, hierarchy)
@@ -119,7 +122,25 @@ class AMGSetupCache:
             while len(self._entries) > self.max_entries:
                 self._entries.popitem(last=False)
                 self._evictions += 1
+                counter_add("amg_setup_cache.evictions")
         return winner, False
+
+    def resize(self, max_entries: int) -> None:
+        """Change the capacity, evicting LRU entries if shrinking.
+
+        Both the capacity write and the eviction loop happen under the
+        lock: a racing :meth:`get_or_build` must never observe the new
+        (smaller) capacity while the cache still holds more entries, nor
+        interleave its own eviction loop with this one.
+        """
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        with self._lock:
+            self.max_entries = max_entries
+            while len(self._entries) > max_entries:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+                counter_add("amg_setup_cache.evictions")
 
     def clear(self) -> None:
         with self._lock:
@@ -169,13 +190,7 @@ def clear_setup_cache() -> None:
 
 def configure_setup_cache(max_entries: int) -> None:
     """Resize the global cache (evicts immediately if shrinking)."""
-    if max_entries < 1:
-        raise ValueError("max_entries must be >= 1")
-    _GLOBAL_CACHE.max_entries = max_entries
-    with _GLOBAL_CACHE._lock:
-        while len(_GLOBAL_CACHE._entries) > max_entries:
-            _GLOBAL_CACHE._entries.popitem(last=False)
-            _GLOBAL_CACHE._evictions += 1
+    _GLOBAL_CACHE.resize(max_entries)
 
 
 @contextmanager

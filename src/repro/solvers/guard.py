@@ -20,13 +20,13 @@ tripped, the solver raised, or the iterate contains non-finite entries.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field, replace
 from typing import Callable
 
 import numpy as np
 import scipy.sparse as sp
 
+from repro.obs import counter_add, monotonic, span
 from repro.solvers.base import SolveResult, SolverOptions
 
 #: Signature of a fault hook: ``(solver_name, iteration, residual) -> residual``.
@@ -84,7 +84,7 @@ class IterationGuard:
         self.tripped: str | None = None
         self._initial: float | None = None
         self._window: list[float] = []
-        self._start = time.perf_counter()
+        self._start = monotonic()
 
     def observe(self, iteration: int, residual_norm: float) -> float:
         """Feed one residual norm; returns it (after any fault injection)."""
@@ -114,14 +114,14 @@ class IterationGuard:
                 return residual_norm
         if (
             opts.max_seconds is not None
-            and time.perf_counter() - self._start > opts.max_seconds
+            and monotonic() - self._start > opts.max_seconds
         ):
             self.tripped = "time_budget"
         return residual_norm
 
     @property
     def seconds_elapsed(self) -> float:
-        return time.perf_counter() - self._start
+        return monotonic() - self._start
 
 
 @dataclass(frozen=True)
@@ -303,39 +303,45 @@ class FallbackCascade:
         stages = self._stages()
         for position, (name, factory) in enumerate(stages):
             guard = IterationGuard(self.guard_options, solver_name=name)
-            start = time.perf_counter()
-            try:
-                solver = factory()
-                if name == "direct":
-                    result = solver.solve(matrix, rhs, x0=x0)
+            counter_add("solver.attempts")
+            with span("solve_attempt", solver=name) as attempt_span:
+                try:
+                    solver = factory()
+                    if name == "direct":
+                        result = solver.solve(matrix, rhs, x0=x0)
+                    else:
+                        result = solver.solve(matrix, rhs, x0=x0, guard=guard)
+                except Exception as exc:  # noqa: BLE001 — any stage error degrades
+                    attempt_span.close()
+                    attempt_span.attrs["outcome"] = "error"
+                    diagnostics.attempts.append(
+                        AttemptRecord(
+                            solver=name,
+                            converged=False,
+                            iterations=0,
+                            final_residual=float("nan"),
+                            seconds=attempt_span.duration,
+                            error=f"{type(exc).__name__}: {exc}",
+                        )
+                    )
                 else:
-                    result = solver.solve(matrix, rhs, x0=x0, guard=guard)
-            except Exception as exc:  # noqa: BLE001 — any stage error degrades
-                diagnostics.attempts.append(
-                    AttemptRecord(
-                        solver=name,
-                        converged=False,
-                        iterations=0,
-                        final_residual=float("nan"),
-                        seconds=time.perf_counter() - start,
-                        error=f"{type(exc).__name__}: {exc}",
+                    reason = _attempt_failed(result)
+                    attempt_span.close()
+                    attempt_span.attrs["outcome"] = reason or "ok"
+                    diagnostics.attempts.append(
+                        AttemptRecord(
+                            solver=name,
+                            converged=result.converged,
+                            iterations=result.iterations,
+                            final_residual=result.final_residual,
+                            seconds=attempt_span.duration,
+                            aborted=reason,
+                        )
                     )
-                )
-            else:
-                reason = _attempt_failed(result)
-                diagnostics.attempts.append(
-                    AttemptRecord(
-                        solver=name,
-                        converged=result.converged,
-                        iterations=result.iterations,
-                        final_residual=result.final_residual,
-                        seconds=time.perf_counter() - start,
-                        aborted=reason,
-                    )
-                )
-                if reason is None:
-                    return result, diagnostics
+                    if reason is None:
+                        return result, diagnostics
             if position + 1 < len(stages):
+                counter_add("solver.fallbacks")
                 diagnostics.fallbacks.append(stages[position + 1][0])
         raise SolverFailure(
             "all solver stages failed: "

@@ -21,6 +21,7 @@ import numpy as np
 
 from repro.diagnostics import RunDiagnostics
 from repro.grid.geometry import GridGeometry
+from repro.obs import span
 from repro.grid.netlist import PowerGrid
 from repro.grid.raster import layer_values_image
 from repro.mna.stamper import build_reduced_system
@@ -189,12 +190,13 @@ class PowerRushSimulator:
             supply_voltage = levels.pop()
 
         diagnostics = RunDiagnostics()
-        if self.robust:
-            diagnostics.validation = validate_grid(grid)
-            grid, diagnostics.repairs = repair_grid(grid, supply_voltage)
-            system = build_reduced_system(grid, validate=False)
-        else:
-            system = build_reduced_system(grid)
+        with span("validate", robust=self.robust):
+            if self.robust:
+                diagnostics.validation = validate_grid(grid)
+                grid, diagnostics.repairs = repair_grid(grid, supply_voltage)
+                system = build_reduced_system(grid, validate=False)
+            else:
+                system = build_reduced_system(grid)
 
         flat_guess = np.full(system.size, supply_voltage, dtype=float)
         cache_before = setup_cache_stats()

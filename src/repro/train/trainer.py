@@ -27,6 +27,7 @@ from repro.nn.losses import MAELoss, _Loss
 from repro.nn.module import Module
 from repro.nn.optim import Adam, clip_grad_norm
 from repro.nn.serialize import load_checkpoint, save_checkpoint
+from repro.obs import counter_add, span
 from repro.train.schedule import ConstantLR, shard_batch
 
 #: Shard count the data-parallel engine uses when ``grad_shards`` is 0
@@ -392,7 +393,8 @@ class Trainer:
             )
             lr = float(self.lr_schedule(epoch)) * lr_scale
             self.optimizer.lr = lr
-            epoch_loss = self._run_epoch(subset, rng)
+            with span("train", epoch=epoch, samples=len(subset)):
+                epoch_loss = self._run_epoch(subset, rng)
             self._release_workspaces()
             if self.fault_hook is not None:
                 epoch_loss = self.fault_hook(epoch, epoch_loss)
@@ -552,6 +554,7 @@ class Trainer:
         """Mixed-precision guard: skip the step, back the loss scale off."""
         self._loss_scale = max(self._loss_scale * 0.5, MIN_LOSS_SCALE)
         self._overflow_steps += 1
+        counter_add("train.overflow_steps")
 
     def _make_shard_worker(self, x: np.ndarray, y: np.ndarray, scale: float):
         """Build the per-shard forward+backward closure workers run.

@@ -2,6 +2,7 @@
 
 import os
 import signal
+import threading
 
 import numpy as np
 import pytest
@@ -13,6 +14,7 @@ from repro.core.batch import (
     parallel_map,
     tree_reduce,
 )
+from repro.obs import monotonic
 from repro.train.schedule import shard_batch
 
 
@@ -22,6 +24,23 @@ def _square(x):
 
 def _reciprocal(x):
     return 1.0 / x
+
+
+def _slow_square(x):
+    # Busy-wait a few ms so concurrent parallel_map calls overlap and
+    # actually contend for the module worker lock.
+    deadline = monotonic() + 0.02
+    while monotonic() < deadline:
+        pass
+    return x * x
+
+
+def _nested_map(x):
+    # Runs inside a forked worker: the inherited worker lock is held, so
+    # this inner call must degrade to serial instead of clobbering the
+    # parent's worker state.
+    outcomes, degraded = parallel_map(_square, [x, x + 1], jobs=2)
+    return ([value for value, _ in outcomes], degraded)
 
 
 class TestParallelMap:
@@ -59,6 +78,42 @@ class TestParallelMap:
         outcomes, degraded = parallel_map(fragile, [1, 2, 3, 4], jobs=2)
         assert degraded
         assert [value for value, _ in outcomes] == [10, 20, 30, 40]
+
+    def test_concurrent_calls_never_mix_results(self):
+        # Regression: threads entering parallel_map used to race on the
+        # shared worker state, forking workers that ran the wrong
+        # function/items (and forking off a non-main thread can deadlock
+        # the child outright).  Non-main-thread callers now degrade to
+        # serial, so every call gets its own correct results.
+        items_by_key = {key: list(range(key, key + 4)) for key in (1, 10, 100)}
+        results: dict[int, tuple] = {}
+
+        def run(key):
+            results[key] = parallel_map(_slow_square, items_by_key[key], 2)
+
+        threads = [
+            threading.Thread(target=run, args=(key,)) for key in items_by_key
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        for key, items in items_by_key.items():
+            outcomes, degraded = results[key]
+            assert degraded
+            assert [value for value, _ in outcomes] == [x * x for x in items]
+
+    def test_nested_call_inside_worker_degrades_to_serial(self):
+        outcomes, outer_degraded = parallel_map(_nested_map, [10, 20], jobs=2)
+        expected = {10: [100, 121], 20: [400, 441]}
+        for item, (value, error) in zip([10, 20], outcomes):
+            assert error is None
+            values, inner_degraded = value
+            assert values == expected[item]
+            if not outer_degraded:
+                # Forked workers inherit the held lock, so the nested
+                # call must have taken the serial path.
+                assert inner_degraded
 
 
 class TestTreeReduce:

@@ -95,6 +95,48 @@ class TestAnalyze:
         result = trained.analyze_text(text)
         assert result.predicted_drop.max() > 0
 
+    def test_diagnostics_carry_span_tree(self, trained):
+        from repro.obs import Span
+
+        _, test_designs = trained.generate_designs()
+        result = trained.analyze_design(test_designs[0])
+        assert result.diagnostics.trace is not None
+        root = Span.from_dict(result.diagnostics.trace)
+        assert root.name == "analyze"
+        assert {c.name for c in root.children} >= {
+            "solve", "features", "inference",
+        }
+        assert any("trace:" in line for line in result.diagnostics.summary_lines())
+
+    def test_legacy_seconds_equal_span_durations(self, trained):
+        from repro.obs import Span
+
+        _, test_designs = trained.generate_designs()
+        result = trained.analyze_design(test_designs[0])
+        root = Span.from_dict(result.diagnostics.trace)
+        assert result.solver_seconds == pytest.approx(
+            root.find("solve").duration, rel=1e-9
+        )
+        assert result.feature_seconds == pytest.approx(
+            root.find("features").duration, rel=1e-9
+        )
+        assert result.model_seconds == pytest.approx(
+            root.find("inference").duration, rel=1e-9
+        )
+
+    def test_stage_spans_cover_analyze_wall_time(self, trained):
+        from repro.obs import Span
+
+        _, test_designs = trained.generate_designs()
+        result = trained.analyze_design(test_designs[0])
+        root = Span.from_dict(result.diagnostics.trace)
+        covered = (
+            root.total("solve")
+            + root.total("features")
+            + root.total("inference")
+        )
+        assert covered >= 0.9 * root.duration
+
     def test_analyze_without_numerical_stage(self, tiny_config):
         config = tiny_config.with_(
             features=FeatureConfig(use_numerical=False)
