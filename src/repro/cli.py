@@ -15,7 +15,10 @@ Subcommands
     (fp64 master weights, see ``docs/performance.md``).
 ``analyze``
     Fused analysis of one or more decks with a previously trained model
-    checkpoint; ``--jobs N`` fans multiple decks across worker processes.
+    checkpoint; ``--jobs N`` fans multiple decks across the supervised
+    worker pool, and ``--task-timeout``/``--retries``/``--deadline``
+    bound each deck and the whole run (hung or crashing decks are
+    retried, then quarantined — see ``docs/robustness.md``).
 
 Every command prints plain text and returns a conventional exit status,
 so the tool scripts cleanly:
@@ -190,7 +193,16 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     pipeline.load_model(args.model, in_channels=meta["in_channels"])
 
     if len(args.deck) == 1:
-        result = pipeline.analyze_file(args.deck[0])
+        if args.deadline is not None:
+            # Same cooperative budget the batch path hands each worker:
+            # the solver cascade short-circuits stages that cannot
+            # finish before it expires.
+            from repro.obs import deadline_scope
+
+            with deadline_scope(args.deadline):
+                result = pipeline.analyze_file(args.deck[0])
+        else:
+            result = pipeline.analyze_file(args.deck[0])
         print(
             f"worst_predicted_drop_mV={result.worst_predicted_drop() * 1e3:.4f}"
         )
@@ -213,7 +225,14 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         raise ValueError("--save-map needs a single deck")
     from repro.core.batch import BatchAnalyzer
 
-    report = BatchAnalyzer(pipeline, jobs=config.jobs).analyze_files(args.deck)
+    analyzer = BatchAnalyzer(
+        pipeline,
+        jobs=config.jobs,
+        task_timeout=args.task_timeout,
+        retries=args.retries,
+        deadline=args.deadline,
+    )
+    report = analyzer.analyze_files(args.deck)
     status = EXIT_OK
     for item in report.items:
         if not item.ok:
@@ -297,6 +316,20 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("--limit-mv", type=float, default=None)
     analyze.add_argument("--save-map", default=None,
                          help="write the predicted map as CSV")
+    analyze.add_argument("--task-timeout", type=float, default=None,
+                         metavar="SECONDS",
+                         help="per-deck budget in batch mode: a hung deck "
+                              "is killed, retried, then quarantined")
+    analyze.add_argument("--retries", type=int, default=None, metavar="N",
+                         help="extra attempts per deck after a worker "
+                              "crash, timeout or transient failure "
+                              "(default: pool default)")
+    analyze.add_argument("--deadline", type=float, default=None,
+                         metavar="SECONDS",
+                         help="whole-run budget: batch items still "
+                              "unfinished are quarantined; a single deck "
+                              "short-circuits solver fallbacks that "
+                              "cannot finish in time")
     analyze.add_argument("--sanitize", action="store_true",
                          help="record NaN/Inf/denormal findings per stage "
                               "in the run diagnostics")

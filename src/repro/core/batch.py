@@ -1,33 +1,67 @@
 """Parallel batch-analysis engine.
 
 Fans independent per-design work (end-to-end analysis, training-set
-feature extraction) across ``multiprocessing`` workers:
+feature extraction, gradient shards) across worker processes.  Since
+PR 6 the default substrate is the persistent spawn-safe pool in
+:mod:`repro.core.pool`:
 
-- **fork-safe**: workers are forked from the parent, so the trained model,
-  the designs and the warm AMG setup cache are inherited copy-on-write —
-  nothing is re-pickled per task except a tiny item index;
-- **seed-deterministic**: the analysis path draws no runtime randomness
-  and results are keyed back to their submission index, so the output
-  list is identical to a serial run regardless of completion order;
+- **spawn-safe**: the pool parallelizes correctly from non-main threads
+  and under nesting — the cases the old fork-per-call engine had to
+  degrade to serial;
+- **supervised**: crashed workers are respawned and their items retried
+  with backoff, hung items are killed at ``task_timeout``, repeat
+  offenders are quarantined with a structured record, and a whole-batch
+  ``deadline`` bounds the run (see :mod:`repro.core.pool`);
+- **seed-deterministic**: results are keyed back to their submission
+  index, so the output list is identical to a serial run regardless of
+  completion order;
 - **diagnostics-preserving**: every :class:`AnalysisResult` (including
   its :class:`~repro.diagnostics.RunDiagnostics`) crosses the process
   boundary intact;
-- **gracefully degrading**: per-item exceptions are captured as strings,
-  and if the pool itself breaks (a worker is killed) the unfinished items
-  are recomputed serially in the parent instead of failing the batch.
+- **gracefully degrading**: per-item exceptions are captured as data,
+  and when the pool cannot run a job at all (unpicklable closure, no
+  spawn support) the batch falls back to the legacy fork engine and,
+  past that, to serial execution in the parent — never an exception.
 
-Platforms without the ``fork`` start method fall back to serial
-execution outright — the engine never requires pickling closures.
+Execution-mode selection (``mode=`` argument, overridden by the
+``REPRO_POOL_MODE`` environment variable):
+
+======== =============================================================
+mode     behavior
+======== =============================================================
+auto     spawn pool, falling back to fork, falling back to serial
+spawn    the supervised pool only (serial if it cannot run the job)
+fork     the legacy fork-per-call engine (kept for bitwise-comparison
+         tests and fork-specific regressions)
+serial   in-process loop, no multiprocessing at all
+======== =============================================================
+
+Every fallback to serial execution increments the
+``batch.serial_fallbacks`` counter and is surfaced as a note on
+:class:`BatchReport`, so lost parallelism is visible to operators
+instead of silent.  ``REPRO_CHAOS`` (a
+:meth:`repro.testing.faults.WorkerFaultPlan.from_spec` string such as
+``kill@1,flaky@3``) injects worker faults into every pool batch — the
+hook the CI chaos-smoke job uses.
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import os
 import threading
+import traceback as _traceback
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Sequence
 
+from repro.core.pool import (
+    PoolUnusableError,
+    QuarantineRecord,
+    TaskOutcome,
+    WORKER_ENV,
+    get_pool,
+)
 from repro.obs import (
     counter_add,
     counters_delta,
@@ -42,103 +76,119 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.pipeline import AnalysisResult, IRFusionPipeline
     from repro.data.synthetic import Design
 
+#: Execution modes accepted by :func:`parallel_map_ex` / ``REPRO_POOL_MODE``.
+_MODES = ("auto", "spawn", "fork", "serial")
+
+
+def _serial_fallback(reason: str, count: int = 1) -> None:
+    """Record that *count* batches lost parallelism (obs + nothing else)."""
+    counter_add("batch.serial_fallbacks", count)
+    counter_add(f"batch.serial_fallbacks.{reason}", count)
+
+
+# -- legacy fork engine --------------------------------------------------------
 
 #: (fn, items, traced) inherited by forked workers; never pickled.
 _WORKER_STATE: tuple[Callable, Sequence, bool] | None = None
 
 #: Serialises use of :data:`_WORKER_STATE`.  Without it, overlapping
-#: ``parallel_map`` calls would clobber the shared state and fork
-#: workers running the *wrong* ``fn``.  Held for the whole parallel
-#: section; a contender that cannot take it degrades to serial
-#: execution instead of racing.  Forked workers inherit a *held* copy
-#: of the lock, so a nested ``parallel_map`` inside a worker lands on
-#: the serial path (threaded callers are already diverted to serial
-#: before the lock — forking off the main thread is unsafe).
+#: fork-path calls would clobber the shared state and fork workers
+#: running the *wrong* ``fn``.  Held for the whole parallel section; a
+#: contender that cannot take it degrades to serial execution instead
+#: of racing.  Forked workers inherit a *held* copy of the lock, so a
+#: nested fork-path call inside a worker lands on the serial path.
 _WORKER_LOCK = threading.Lock()
 
 
 def _worker_apply(index: int):
-    """Run one item in a worker; exceptions become data, not crashes.
+    """Run one item in a forked worker; exceptions become data.
 
-    Returns ``(index, result, error, span_tree, metrics)``.  The last
-    two are ``None`` unless the parent had an active trace at fork time,
-    in which case the item runs under its own tracer and ships the
-    serialized span tree plus the counter movement it caused, so the
-    parent can graft both into its run telemetry.
+    Returns ``(index, result, error, traceback, span_tree, metrics)``.
+    The last two are ``None`` unless the parent had an active trace at
+    fork time, in which case the item runs under its own tracer and
+    ships the serialized span tree plus the counter movement it caused,
+    so the parent can graft both into its run telemetry.
     """
     fn, items, traced = _WORKER_STATE
     if not traced:
         try:
-            return index, fn(items[index]), None, None, None
+            return index, fn(items[index]), None, None, None, None
         except Exception as exc:  # noqa: BLE001 - captured per item by design
-            return index, None, f"{type(exc).__name__}: {exc}", None, None
+            return (
+                index,
+                None,
+                f"{type(exc).__name__}: {exc}",
+                _traceback.format_exc(),
+                None,
+                None,
+            )
     before = metrics_snapshot()
-    result = error = None
+    result = error = error_tb = None
     with trace("item", index=index) as tracer:
         try:
             result = fn(items[index])
         except Exception as exc:  # noqa: BLE001 - captured per item by design
             error = f"{type(exc).__name__}: {exc}"
-    return index, result, error, tracer.root.to_dict(), counters_delta(before)
+            error_tb = _traceback.format_exc()
+    return (
+        index,
+        result,
+        error,
+        error_tb,
+        tracer.root.to_dict(),
+        counters_delta(before),
+    )
 
 
-def _apply_serial(fn: Callable, item) -> tuple[object | None, str | None]:
+def _apply_serial(fn: Callable, item, index: int) -> TaskOutcome:
     try:
-        return fn(item), None
+        return TaskOutcome(index=index, result=fn(item))
     except Exception as exc:  # noqa: BLE001 - captured per item by design
-        return None, f"{type(exc).__name__}: {exc}"
+        return TaskOutcome(
+            index=index,
+            error=f"{type(exc).__name__}: {exc}",
+            traceback=_traceback.format_exc(),
+        )
 
 
-def parallel_map(
-    fn: Callable,
-    items: Sequence,
-    jobs: int,
-) -> tuple[list[tuple[object | None, str | None]], bool]:
-    """Order-preserving map of *fn* over *items* across *jobs* processes.
+def _serial_map(fn: Callable, items: Sequence) -> list[TaskOutcome]:
+    return [_apply_serial(fn, item, k) for k, item in enumerate(items)]
 
-    Returns ``(outcomes, degraded)`` where ``outcomes[k]`` is
-    ``(result, None)`` on success or ``(None, "ErrType: message")`` on a
-    per-item failure, and *degraded* is True when any part of the batch
-    had to fall back to serial execution (no fork support, a broken
-    worker pool, a call from a non-main thread — forking there is
-    unsafe under CPython — or another ``parallel_map`` already in
-    flight: the module lock serialises use of the shared worker state,
-    and a nested call from inside a worker inherits the held lock and
-    degrades to serial rather than clobber it).  ``jobs <= 1`` or a
-    single item runs serially without ever touching multiprocessing.
 
-    When the calling thread has an active :mod:`repro.obs` trace, each
-    worker item runs under its own tracer and ships its span tree and
-    counter movement back with the result; both are grafted into the
-    caller's trace/metrics, so a traced batch reads like one run.
+def _fork_map(
+    fn: Callable, items: Sequence, jobs: int
+) -> tuple[list[TaskOutcome], bool]:
+    """The pre-pool fork engine: fork-per-call, main-thread-only.
+
+    Kept behind ``mode="fork"`` for bitwise-comparison tests, and as the
+    ``auto`` fallback when the pool cannot pickle a job (forked workers
+    inherit closures and open state copy-on-write).  Returns
+    ``(outcomes, degraded)`` with *degraded* True when any part of the
+    batch had to run serially.
     """
-    global _WORKER_STATE
-    items = list(items)
-    jobs = max(1, min(int(jobs), len(items))) if items else 1
-    if jobs == 1:
-        return [_apply_serial(fn, item) for item in items], False
-
     try:
         context = multiprocessing.get_context("fork")
     except ValueError:
-        return [_apply_serial(fn, item) for item in items], True
+        _serial_fallback("no_fork")
+        return _serial_map(fn, items), True
 
     if threading.current_thread() is not threading.main_thread():
         # Forking from a non-main thread while other threads run is
-        # unsafe in CPython: the child can inherit another thread's
-        # held interpreter lock (e.g. threading's limbo lock) and
-        # deadlock before its worker loop even starts.  Threaded
-        # callers get a correct serial answer instead.
-        return [_apply_serial(fn, item) for item in items], True
+        # unsafe in CPython: the child can inherit another thread's held
+        # interpreter lock and deadlock before its worker loop starts.
+        _serial_fallback("fork_off_main_thread")
+        return _serial_map(fn, items), True
 
     if not _WORKER_LOCK.acquire(blocking=False):
-        # Another parallel_map holds the worker state — a concurrent
+        # Another fork-path call holds the worker state — a concurrent
         # thread, or this *is* a nested call inside a forked worker
         # (which inherited the held lock).  Racing would run the wrong
         # fn; degrade to serial instead.
-        return [_apply_serial(fn, item) for item in items], True
+        _serial_fallback("fork_reentry")
+        return _serial_map(fn, items), True
 
-    results: list[tuple[object | None, str | None] | None] = [None] * len(items)
+    global _WORKER_STATE
+    results: list[TaskOutcome | None] = [None] * len(items)
     pending = set(range(len(items)))
     degraded = False
     _WORKER_STATE = (fn, items, current_tracer() is not None)
@@ -150,7 +200,9 @@ def parallel_map(
             }
             for future in as_completed(futures):
                 try:
-                    index, value, error, span_tree, metrics = future.result()
+                    index, value, error, tb, span_tree, metrics = (
+                        future.result()
+                    )
                 except Exception:  # noqa: BLE001 - worker death ⇒ redo serially
                     degraded = True
                     continue
@@ -159,7 +211,9 @@ def parallel_map(
                     tracer.attach(span_tree)
                 if metrics is not None:
                     merge_metrics(metrics)
-                results[index] = (value, error)
+                results[index] = TaskOutcome(
+                    index=index, result=value, error=error, traceback=tb
+                )
                 pending.discard(index)
     except Exception:  # noqa: BLE001 - pool-level failure ⇒ redo serially
         degraded = True
@@ -169,9 +223,133 @@ def parallel_map(
 
     if pending:
         degraded = True
+        _serial_fallback("fork_worker_death")
         for index in sorted(pending):
-            results[index] = _apply_serial(fn, items[index])
+            results[index] = _apply_serial(fn, items[index], index)
     return results, degraded  # type: ignore[return-value]
+
+
+# -- pool engine + mode dispatch -----------------------------------------------
+
+
+def _chaos_plan():
+    """The ``REPRO_CHAOS`` worker-fault plan, or ``None``."""
+    spec = os.environ.get("REPRO_CHAOS")
+    if not spec:
+        return None
+    from repro.testing.faults import WorkerFaultPlan  # lazy: avoids a cycle
+
+    return WorkerFaultPlan.from_spec(spec)
+
+
+def _pool_map(
+    fn: Callable,
+    items: Sequence,
+    jobs: int,
+    task_timeout: float | None,
+    retries: int | None,
+    deadline: float | None,
+    fault_plan,
+) -> list[TaskOutcome]:
+    """Run the batch on the shared spawn pool; telemetry rides back."""
+    tracer = current_tracer()
+    result = get_pool(jobs).map(
+        fn,
+        items,
+        jobs=jobs,
+        timeout=task_timeout,
+        retries=retries,
+        deadline=deadline,
+        fault_plan=fault_plan if fault_plan is not None else _chaos_plan(),
+        traced=tracer is not None,
+    )
+    if tracer is not None:
+        for payload in result.span_payloads:
+            tracer.attach(payload)
+        for payload in result.attempt_spans:
+            tracer.attach(payload)
+    return result.outcomes
+
+
+def parallel_map_ex(
+    fn: Callable,
+    items: Sequence,
+    jobs: int,
+    *,
+    task_timeout: float | None = None,
+    retries: int | None = None,
+    deadline: float | None = None,
+    fault_plan=None,
+    mode: str | None = None,
+) -> tuple[list[TaskOutcome], bool]:
+    """Order-preserving supervised map of *fn* over *items*.
+
+    Returns ``(outcomes, degraded)`` where ``outcomes[k]`` is the
+    :class:`~repro.core.pool.TaskOutcome` for item *k* — a result, a
+    captured error (with traceback and attempt count), or a
+    :class:`~repro.core.pool.QuarantineRecord` — and *degraded* is True
+    when any part of the batch fell back to serial execution.
+
+    *task_timeout*, *retries* and *deadline* are honoured on the pool
+    path (see :class:`~repro.core.pool.PoolOptions`); the fork and
+    serial paths run each item once with no timeout.  *mode* picks the
+    engine (``auto``/``spawn``/``fork``/``serial``, see the module
+    docstring); the ``REPRO_POOL_MODE`` environment variable overrides
+    it, and inside a pool worker the call always runs serially (workers
+    are daemonic and cannot have children).
+
+    When the calling thread has an active :mod:`repro.obs` trace, each
+    worker item runs under its own tracer and ships its span tree and
+    counter movement back with the result; both are grafted into the
+    caller's trace/metrics, so a traced batch reads like one run.
+    """
+    items = list(items)
+    jobs = max(1, min(int(jobs), len(items))) if items else 1
+    mode = os.environ.get("REPRO_POOL_MODE") or mode or "auto"
+    if mode not in _MODES:
+        raise ValueError(f"unknown pool mode {mode!r}; expected one of {_MODES}")
+
+    if jobs == 1:
+        return _serial_map(fn, items), False
+    if os.environ.get(WORKER_ENV):
+        # Nested call inside a pool worker: daemonic processes cannot
+        # have children, so run serially (correct, just not parallel).
+        _serial_fallback("nested_in_worker")
+        return _serial_map(fn, items), True
+    if mode == "serial":
+        return _serial_map(fn, items), False
+    if mode == "fork":
+        return _fork_map(fn, items, jobs)
+
+    try:
+        return (
+            _pool_map(
+                fn, items, jobs, task_timeout, retries, deadline, fault_plan
+            ),
+            False,
+        )
+    except PoolUnusableError:
+        if mode == "auto":
+            return _fork_map(fn, items, jobs)
+        _serial_fallback("pool_unusable")
+        return _serial_map(fn, items), True
+
+
+def parallel_map(
+    fn: Callable,
+    items: Sequence,
+    jobs: int,
+) -> tuple[list[tuple[object | None, str | None]], bool]:
+    """Compatibility wrapper: :func:`parallel_map_ex` without the knobs.
+
+    Returns ``(outcomes, degraded)`` where ``outcomes[k]`` is
+    ``(result, None)`` on success or ``(None, "ErrType: message")`` on a
+    per-item failure, and *degraded* is True when any part of the batch
+    fell back to serial execution.  ``jobs <= 1`` or a single item runs
+    serially without ever touching multiprocessing.
+    """
+    outcomes, degraded = parallel_map_ex(fn, items, jobs)
+    return [(o.result, o.error) for o in outcomes], degraded
 
 
 def tree_reduce(values: Sequence, combine: Callable = None):
@@ -205,15 +383,29 @@ def tree_reduce(values: Sequence, combine: Callable = None):
 
 @dataclass
 class BatchItem:
-    """Outcome of one design in a batch run."""
+    """Outcome of one design in a batch run.
+
+    ``error`` holds the one-line summary, ``traceback`` the full worker
+    traceback when one was captured, ``attempts`` how many times the
+    item ran (> 1 after crash/timeout/transient retries), and
+    ``quarantine`` the structured record when the item was removed from
+    the batch instead of resolved.
+    """
 
     name: str
     result: "AnalysisResult | None"
     error: str | None = None
+    traceback: str | None = None
+    attempts: int = 1
+    quarantine: QuarantineRecord | None = None
 
     @property
     def ok(self) -> bool:
         return self.error is None and self.result is not None
+
+    @property
+    def quarantined(self) -> bool:
+        return self.quarantine is not None
 
 
 @dataclass
@@ -228,15 +420,18 @@ class BatchReport:
         Worker count the batch was asked to use.
     degraded:
         True when any work fell back to serial execution (dead workers,
-        missing fork support).
+        missing fork/spawn support, nested callers).
     total_seconds:
         Wall-clock time for the whole batch.
+    notes:
+        Operator-facing observations (lost parallelism, quarantines).
     """
 
     items: list[BatchItem] = field(default_factory=list)
     jobs: int = 1
     degraded: bool = False
     total_seconds: float = 0.0
+    notes: list[str] = field(default_factory=list)
 
     @property
     def results(self) -> list["AnalysisResult"]:
@@ -247,6 +442,10 @@ class BatchReport:
     def num_failed(self) -> int:
         return sum(1 for item in self.items if not item.ok)
 
+    @property
+    def num_quarantined(self) -> int:
+        return sum(1 for item in self.items if item.quarantined)
+
     def summary_lines(self) -> list[str]:
         lines = [
             f"batch: designs={len(self.items)} failed={self.num_failed} "
@@ -254,8 +453,20 @@ class BatchReport:
             f"wall_s={self.total_seconds:.2f}"
         ]
         for item in self.items:
-            if not item.ok:
-                lines.append(f"  failed[{item.name}]: {item.error}")
+            if item.quarantined:
+                record = item.quarantine
+                lines.append(
+                    f"  quarantined[{item.name}]: reason={record.reason} "
+                    f"attempts={record.attempts} "
+                    f"elapsed_s={record.elapsed_seconds:.2f}: {item.error}"
+                )
+            elif not item.ok:
+                suffix = (
+                    f" (attempts={item.attempts})" if item.attempts > 1 else ""
+                )
+                lines.append(f"  failed[{item.name}]: {item.error}{suffix}")
+        for note in self.notes:
+            lines.append(f"  note: {note}")
         return lines
 
 
@@ -265,50 +476,93 @@ class BatchAnalyzer:
     Parameters
     ----------
     pipeline:
-        A trained :class:`~repro.core.pipeline.IRFusionPipeline` (workers
-        inherit its model weights via fork, so it is never re-pickled).
+        A trained :class:`~repro.core.pipeline.IRFusionPipeline`.
     jobs:
         Worker count; defaults to the pipeline config's ``jobs`` field.
+    task_timeout:
+        Per-design budget in seconds (pool path); hung designs are
+        killed, retried and eventually quarantined.
+    retries:
+        Extra attempts per design after a crash/timeout/transient error
+        (pool default when ``None``).
+    deadline:
+        Whole-batch budget in seconds; unfinished designs are
+        quarantined when it expires.
     """
 
     def __init__(
-        self, pipeline: "IRFusionPipeline", jobs: int | None = None
+        self,
+        pipeline: "IRFusionPipeline",
+        jobs: int | None = None,
+        *,
+        task_timeout: float | None = None,
+        retries: int | None = None,
+        deadline: float | None = None,
     ) -> None:
         self.pipeline = pipeline
         self.jobs = int(jobs if jobs is not None else pipeline.config.jobs)
         if self.jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {self.jobs}")
+        self.task_timeout = task_timeout
+        self.retries = retries
+        self.deadline = deadline
 
-    def analyze_designs(self, designs: Sequence["Design"]) -> BatchReport:
-        """Analyse many synthetic designs; per-design failures are recorded."""
-        counter_add("batch.items", len(designs))
-        with span("batch", items=len(designs), jobs=self.jobs) as batch_span:
-            outcomes, degraded = parallel_map(
-                self.pipeline.analyze_design, designs, self.jobs
+    def _run(self, fn: Callable, names: list[str], work: Sequence) -> BatchReport:
+        counter_add("batch.items", len(work))
+        with span("batch", items=len(work), jobs=self.jobs) as batch_span:
+            outcomes, degraded = parallel_map_ex(
+                fn,
+                work,
+                self.jobs,
+                task_timeout=self.task_timeout,
+                retries=self.retries,
+                deadline=self.deadline,
             )
-        return BatchReport(
+        report = BatchReport(
             items=[
-                BatchItem(name=design.name, result=result, error=error)
-                for design, (result, error) in zip(designs, outcomes)
+                BatchItem(
+                    name=name,
+                    result=outcome.result,
+                    error=outcome.error,
+                    traceback=outcome.traceback,
+                    attempts=outcome.attempts,
+                    quarantine=outcome.quarantine,
+                )
+                for name, outcome in zip(names, outcomes)
             ],
             jobs=self.jobs,
             degraded=degraded,
             total_seconds=batch_span.duration,
         )
+        if degraded and self.jobs > 1:
+            note = (
+                "parallelism degraded: part of the batch ran serially "
+                "(see the batch.serial_fallbacks counter)"
+            )
+            report.notes.append(note)
+            for item in report.items:
+                if item.ok and item.result.diagnostics is not None:
+                    item.result.diagnostics.warnings.append(note)
+        if report.num_quarantined:
+            report.notes.append(
+                f"{report.num_quarantined} item(s) quarantined; see "
+                "quarantine records above"
+            )
+        retried = sum(1 for item in report.items if item.attempts > 1)
+        if retried:
+            report.notes.append(f"{retried} item(s) needed retries")
+        return report
+
+    def analyze_designs(self, designs: Sequence["Design"]) -> BatchReport:
+        """Analyse many synthetic designs; per-design failures are recorded."""
+        return self._run(
+            self.pipeline.analyze_design,
+            [design.name for design in designs],
+            designs,
+        )
 
     def analyze_files(self, paths: Sequence) -> BatchReport:
         """Analyse many SPICE decks from disk."""
-        counter_add("batch.items", len(paths))
-        with span("batch", items=len(paths), jobs=self.jobs) as batch_span:
-            outcomes, degraded = parallel_map(
-                self.pipeline.analyze_file, paths, self.jobs
-            )
-        return BatchReport(
-            items=[
-                BatchItem(name=str(path), result=result, error=error)
-                for path, (result, error) in zip(paths, outcomes)
-            ],
-            jobs=self.jobs,
-            degraded=degraded,
-            total_seconds=batch_span.duration,
+        return self._run(
+            self.pipeline.analyze_file, [str(path) for path in paths], paths
         )

@@ -21,8 +21,17 @@ Three pieces:
 - :mod:`repro.obs.export` — structured JSONL trace files plus the
   human-readable span summary tree; ``python -m repro.obs --validate``
   checks an emitted file against the schema.
+- :mod:`repro.obs.deadline` — thread-local cooperative deadlines on the
+  same monotonic clock: the worker pool scopes each task attempt, the
+  solver cascade reads the remaining budget to short-circuit stages it
+  cannot finish in time.
 """
 
+from repro.obs.deadline import (
+    deadline_active,
+    deadline_remaining,
+    deadline_scope,
+)
 from repro.obs.export import (
     summary_lines,
     validate_trace_file,
@@ -45,6 +54,9 @@ __all__ = [
     "counter_add",
     "counters_delta",
     "current_tracer",
+    "deadline_active",
+    "deadline_remaining",
+    "deadline_scope",
     "gauge_set",
     "merge_metrics",
     "metrics_snapshot",

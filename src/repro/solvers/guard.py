@@ -20,13 +20,15 @@ tripped, the solver raised, or the iterate contains non-finite entries.
 
 from __future__ import annotations
 
+import time
+import zlib
 from dataclasses import dataclass, field, replace
 from typing import Callable
 
 import numpy as np
 import scipy.sparse as sp
 
-from repro.obs import counter_add, monotonic, span
+from repro.obs import counter_add, deadline_remaining, monotonic, span
 from repro.solvers.base import SolveResult, SolverOptions
 
 #: Signature of a fault hook: ``(solver_name, iteration, residual) -> residual``.
@@ -117,6 +119,13 @@ class IterationGuard:
             and monotonic() - self._start > opts.max_seconds
         ):
             self.tripped = "time_budget"
+            return residual_norm
+        remaining = deadline_remaining()
+        if remaining is not None and remaining <= 0.0:
+            # The cooperative deadline (batch budget handed down by the
+            # worker pool) expired mid-solve: abort this attempt so the
+            # cascade can decide what still fits in zero budget.
+            self.tripped = "deadline"
         return residual_norm
 
     @property
@@ -126,7 +135,13 @@ class IterationGuard:
 
 @dataclass(frozen=True)
 class AttemptRecord:
-    """One solve attempt inside the cascade (success or failure)."""
+    """One solve attempt inside the cascade (success or failure).
+
+    ``backoff_seconds`` is the jittered wait the cascade inserted
+    *before* this attempt (0.0 for the primary attempt and whenever the
+    previous stage succeeded), so summing ``seconds + backoff_seconds``
+    across attempts accounts for the cascade's whole wall time.
+    """
 
     solver: str
     converged: bool
@@ -135,6 +150,7 @@ class AttemptRecord:
     seconds: float
     aborted: str | None = None
     error: str | None = None
+    backoff_seconds: float = 0.0
 
     @property
     def failed(self) -> bool:
@@ -149,6 +165,7 @@ class AttemptRecord:
             "seconds": self.seconds,
             "aborted": self.aborted,
             "error": self.error,
+            "backoff_seconds": self.backoff_seconds,
         }
 
 
@@ -173,8 +190,8 @@ class SolverDiagnostics:
 
     @property
     def budget_seconds(self) -> float:
-        """Total wall clock consumed across every attempt."""
-        return sum(a.seconds for a in self.attempts)
+        """Total wall clock consumed across every attempt (incl. backoff)."""
+        return sum(a.seconds + a.backoff_seconds for a in self.attempts)
 
     def to_dict(self) -> dict:
         return {
@@ -225,6 +242,14 @@ class FallbackCascade:
         Include the adjusted-parameter AMG-PCG retry stage (stronger
         smoothing, 10x relaxed tolerance) between the primary attempt and
         Jacobi-PCG.
+    backoff_base, backoff_cap:
+        Jittered exponential wait inserted before a fallback attempt
+        (stage ``k`` waits ``min(cap, base * 2**(k-1))`` scaled by a
+        deterministic jitter in ``[0.5, 1.5)``), giving transient
+        conditions — a contended cache, a torn shared resource — time to
+        clear instead of retrying into the same failure.  The wait is
+        recorded in :attr:`AttemptRecord.backoff_seconds` and skipped
+        entirely under an expiring cooperative deadline.
     """
 
     def __init__(
@@ -234,12 +259,22 @@ class FallbackCascade:
         cycle_options=None,
         guard_options: GuardrailOptions | None = None,
         retry: bool = True,
+        backoff_base: float = 0.02,
+        backoff_cap: float = 0.25,
     ) -> None:
         self.options = options or SolverOptions()
         self.amg_options = amg_options
         self.cycle_options = cycle_options
         self.guard_options = guard_options or GuardrailOptions()
         self.retry = retry
+        self.backoff_base = float(backoff_base)
+        self.backoff_cap = float(backoff_cap)
+
+    def _backoff_delay(self, position: int, name: str) -> float:
+        """Deterministic jittered wait before fallback stage *position*."""
+        raw = self.backoff_base * (2.0 ** max(position - 1, 0))
+        jitter = (zlib.crc32(f"{position}:{name}".encode()) % 1024) / 1024.0
+        return min(self.backoff_cap, raw) * (0.5 + jitter)
 
     # -- stages -------------------------------------------------------------
 
@@ -301,7 +336,40 @@ class FallbackCascade:
         """
         diagnostics = SolverDiagnostics()
         stages = self._stages()
+        pending_backoff = 0.0
         for position, (name, factory) in enumerate(stages):
+            final_stage = position + 1 >= len(stages)
+            remaining = deadline_remaining()
+            if remaining is not None and remaining <= 0.0 and not final_stage:
+                # The cooperative deadline is already gone: an iterative
+                # attempt cannot finish in the remaining budget, so
+                # short-circuit straight toward the direct stage (which
+                # always runs — returning *something* beats nothing).
+                counter_add("solver.deadline_skips")
+                diagnostics.attempts.append(
+                    AttemptRecord(
+                        solver=name,
+                        converged=False,
+                        iterations=0,
+                        final_residual=float("nan"),
+                        seconds=0.0,
+                        aborted="deadline_skipped",
+                    )
+                )
+                counter_add("solver.fallbacks")
+                diagnostics.fallbacks.append(stages[position + 1][0])
+                pending_backoff = 0.0
+                continue
+            backoff = 0.0
+            if pending_backoff > 0.0 and (
+                remaining is None or remaining > pending_backoff
+            ):
+                # Give a transient condition time to clear before the
+                # fallback attempt; skipped when the deadline cannot
+                # afford the wait.
+                backoff = pending_backoff
+                time.sleep(backoff)
+            pending_backoff = 0.0
             guard = IterationGuard(self.guard_options, solver_name=name)
             counter_add("solver.attempts")
             with span("solve_attempt", solver=name) as attempt_span:
@@ -322,6 +390,7 @@ class FallbackCascade:
                             final_residual=float("nan"),
                             seconds=attempt_span.duration,
                             error=f"{type(exc).__name__}: {exc}",
+                            backoff_seconds=backoff,
                         )
                     )
                 else:
@@ -336,13 +405,17 @@ class FallbackCascade:
                             final_residual=result.final_residual,
                             seconds=attempt_span.duration,
                             aborted=reason,
+                            backoff_seconds=backoff,
                         )
                     )
                     if reason is None:
                         return result, diagnostics
-            if position + 1 < len(stages):
+            if not final_stage:
                 counter_add("solver.fallbacks")
                 diagnostics.fallbacks.append(stages[position + 1][0])
+                pending_backoff = self._backoff_delay(
+                    position + 1, stages[position + 1][0]
+                )
         raise SolverFailure(
             "all solver stages failed: "
             + "; ".join(

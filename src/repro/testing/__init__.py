@@ -1,5 +1,10 @@
 """Deterministic fault injection for exercising degradation paths."""
 
-from repro.testing.faults import FaultPlan, corrupt_matrix, make_singular
+from repro.testing.faults import (
+    FaultPlan,
+    WorkerFaultPlan,
+    corrupt_matrix,
+    make_singular,
+)
 
-__all__ = ["FaultPlan", "corrupt_matrix", "make_singular"]
+__all__ = ["FaultPlan", "WorkerFaultPlan", "corrupt_matrix", "make_singular"]

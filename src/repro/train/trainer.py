@@ -50,6 +50,56 @@ def _available_cores() -> int:
 MIN_LOSS_SCALE = 1.0 / 65536.0
 
 
+class _ShardWorker:
+    """Per-shard forward+backward step, shippable to any worker kind.
+
+    A plain picklable object (module-level class, array/module state
+    only) instead of a closure, so the spawn pool can pickle it; forked
+    workers still receive it by reference copy-on-write.  One pickle
+    payload carries the whole object graph, so the aliasing between
+    ``model``'s parameters and ``parameters`` (the optimizer's view,
+    same order) survives the round-trip and ``zero_grad``/``backward``
+    keep mutating the same arrays inside the worker.
+
+    Only the returned payload crosses back per shard: ``(mean loss,
+    shard size, flat gradient of the shard-mean loss, flat BatchNorm
+    batch statistics or None)``.
+    """
+
+    def __init__(
+        self, model, loss, parameters, bn_layers, x, y, scale, mixed
+    ) -> None:
+        self.model = model
+        self.loss = loss
+        self.parameters = parameters
+        self.bn_layers = bn_layers
+        self.x = x
+        self.y = y
+        self.scale = scale
+        self.mixed = mixed
+
+    def __call__(self, shard: np.ndarray):
+        prediction = self.model(self.x[shard])
+        loss_value = self.loss.forward(prediction, self.y[shard])
+        for parameter in self.parameters:
+            parameter.zero_grad()
+        grad_in = self.loss.backward()
+        if self.scale != 1.0:
+            grad_in = grad_in * self.scale
+        self.model.backward(grad_in)
+        flat = np.concatenate(
+            [parameter.grad.ravel() for parameter in self.parameters]
+        )
+        if self.mixed:
+            flat = flat.astype(np.float32)
+        stats = None
+        if self.bn_layers:
+            stats = np.concatenate(
+                [np.concatenate(bn.batch_stats) for bn in self.bn_layers]
+            )
+        return float(loss_value), int(len(shard)), flat, stats
+
+
 def _iter_modules(module: Module) -> list[Module]:
     """*module* and every descendant, in deterministic tree-walk order."""
     found = [module]
@@ -556,42 +606,20 @@ class Trainer:
         self._overflow_steps += 1
         counter_add("train.overflow_steps")
 
-    def _make_shard_worker(self, x: np.ndarray, y: np.ndarray, scale: float):
-        """Build the per-shard forward+backward closure workers run.
-
-        The closure is published to forked workers copy-on-write (never
-        pickled); only the returned payload crosses the process boundary:
-        ``(mean loss, shard size, flat gradient of the shard-mean loss,
-        flat BatchNorm batch statistics or None)``.
-        """
-        model = self.model
-        loss = self.loss
-        parameters = self._parameters
-        bn_layers = self._bn_layers
-        mixed = self.compute_dtype != np.float64
-
-        def run_shard(shard: np.ndarray):
-            prediction = model(x[shard])
-            loss_value = loss.forward(prediction, y[shard])
-            for parameter in parameters:
-                parameter.zero_grad()
-            grad_in = loss.backward()
-            if scale != 1.0:
-                grad_in = grad_in * scale
-            model.backward(grad_in)
-            flat = np.concatenate(
-                [parameter.grad.ravel() for parameter in parameters]
-            )
-            if mixed:
-                flat = flat.astype(np.float32)
-            stats = None
-            if bn_layers:
-                stats = np.concatenate(
-                    [np.concatenate(bn.batch_stats) for bn in bn_layers]
-                )
-            return float(loss_value), int(len(shard)), flat, stats
-
-        return run_shard
+    def _make_shard_worker(
+        self, x: np.ndarray, y: np.ndarray, scale: float
+    ) -> _ShardWorker:
+        """Build the per-shard forward+backward worker processes run."""
+        return _ShardWorker(
+            model=self.model,
+            loss=self.loss,
+            parameters=self._parameters,
+            bn_layers=self._bn_layers,
+            x=x,
+            y=y,
+            scale=scale,
+            mixed=self.compute_dtype != np.float64,
+        )
 
     def _run_batches_sharded(
         self,
@@ -605,7 +633,8 @@ class Trainer:
         Staleness/sync contract: within one publication window
         (``sync_every`` steps, or the whole epoch when 0) every shard
         gradient is evaluated at the parameters current when the window
-        started — workers fork once per window and never observe the
+        started — workers receive that snapshot once per window (fork
+        copy-on-write or one spawn-pool pickle) and never observe the
         parent's optimizer steps.  The parent then consumes the window's
         results strictly in batch order: reduce shards (fixed pairwise
         tree), clip, step, fold BatchNorm statistics.  The summed

@@ -36,9 +36,10 @@ def _slow_square(x):
 
 
 def _nested_map(x):
-    # Runs inside a forked worker: the inherited worker lock is held, so
-    # this inner call must degrade to serial instead of clobbering the
-    # parent's worker state.
+    # Runs inside a worker: a pool worker is daemonic (sees the worker
+    # env marker), a forked worker inherits the held worker lock —
+    # either way the inner call must degrade to serial instead of
+    # spawning grandchildren or clobbering the parent's worker state.
     outcomes, degraded = parallel_map(_square, [x, x + 1], jobs=2)
     return ([value for value, _ in outcomes], degraded)
 
@@ -83,8 +84,9 @@ class TestParallelMap:
         # Regression: threads entering parallel_map used to race on the
         # shared worker state, forking workers that ran the wrong
         # function/items (and forking off a non-main thread can deadlock
-        # the child outright).  Non-main-thread callers now degrade to
-        # serial, so every call gets its own correct results.
+        # the child outright).  The spawn pool serialises job intake in
+        # one supervisor, so concurrent threaded callers parallelize
+        # safely — no degradation, and every call gets its own results.
         items_by_key = {key: list(range(key, key + 4)) for key in (1, 10, 100)}
         results: dict[int, tuple] = {}
 
@@ -100,7 +102,7 @@ class TestParallelMap:
             thread.join()
         for key, items in items_by_key.items():
             outcomes, degraded = results[key]
-            assert degraded
+            assert not degraded
             assert [value for value, _ in outcomes] == [x * x for x in items]
 
     def test_nested_call_inside_worker_degrades_to_serial(self):

@@ -1,0 +1,392 @@
+"""Tests for the persistent spawn-safe worker pool and its chaos paths."""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.batch import parallel_map, parallel_map_ex
+from repro.core.pool import (
+    PoolOptions,
+    PoolUnusableError,
+    TransientTaskError,
+    WorkerPool,
+    backoff_delay,
+    get_pool,
+)
+from repro.obs import counters_delta, metrics_snapshot, reset_metrics, trace
+from repro.testing.faults import WorkerFaultPlan
+
+
+def _square(x):
+    return x * x
+
+
+def _boom(x):
+    if x == 1:
+        raise ValueError(f"bad item {x}")
+    return x
+
+
+def _nap(seconds):
+    time.sleep(seconds)
+    return seconds
+
+
+def _warm_pool(jobs: int = 2) -> None:
+    """Make sure the shared pool's workers are up (cold spawn on this
+    box imports numpy/scipy and can take seconds — tests that assert on
+    timing must not pay it inside the measured window)."""
+    outcomes, _ = parallel_map_ex(_square, [0, 1, 2, 3], jobs)
+    assert [o.result for o in outcomes] == [0, 1, 4, 9]
+
+
+class TestPoolBasics:
+    def test_results_in_submission_order(self):
+        outcomes, degraded = parallel_map_ex(_square, list(range(9)), 2)
+        assert [o.result for o in outcomes] == [k * k for k in range(9)]
+        assert not degraded
+        assert all(o.ok and o.attempts == 1 for o in outcomes)
+
+    def test_errors_carry_traceback_and_attempts(self):
+        outcomes, _ = parallel_map_ex(_boom, [0, 1, 2], 2)
+        bad = outcomes[1]
+        assert not bad.ok and bad.quarantine is None
+        assert bad.error.startswith("ValueError: bad item 1")
+        assert "Traceback" in bad.traceback
+        assert "_boom" in bad.traceback
+        assert bad.attempts == 1  # deterministic errors are not retried
+
+    def test_parallelizes_from_non_main_thread(self):
+        _warm_pool()
+        box = {}
+
+        def run():
+            box["out"] = parallel_map_ex(_square, [2, 3, 4, 5], 2)
+
+        worker = threading.Thread(target=run)
+        worker.start()
+        worker.join(timeout=60)
+        assert not worker.is_alive()
+        outcomes, degraded = box["out"]
+        assert [o.result for o in outcomes] == [4, 9, 16, 25]
+        assert not degraded  # PR 5 forced this case to serial
+
+    def test_unpicklable_fn_falls_back_not_raises(self):
+        marker = object()
+
+        def closure(x):  # closures cannot cross a spawn boundary
+            assert marker is not None
+            return x + 1
+
+        outcomes, _ = parallel_map_ex(closure, [1, 2, 3], 2)
+        assert [o.result for o in outcomes] == [2, 3, 4]
+
+    def test_explicit_spawn_mode_with_unpicklable_degrades_serial(self):
+        sink = []
+
+        def closure(x):
+            sink.append(x)
+            return x
+
+        before = metrics_snapshot()
+        outcomes, degraded = parallel_map_ex(
+            closure, [1, 2, 3], 2, mode="spawn"
+        )
+        assert degraded
+        assert [o.result for o in outcomes] == [1, 2, 3]
+        delta = counters_delta(before)["counters"]
+        assert delta.get("batch.serial_fallbacks", 0) >= 1
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError, match="unknown pool mode"):
+            parallel_map_ex(_square, [1, 2], 2, mode="threads")
+
+    def test_pool_raises_unusable_for_unpicklable(self):
+        pool = get_pool(2)
+        with pytest.raises(PoolUnusableError, match="not picklable"):
+            pool.map(lambda x: x, [1, 2], jobs=2)
+
+
+class TestChaosPaths:
+    def test_sigkilled_worker_respawned_and_item_retried(self):
+        _warm_pool()
+        plan = WorkerFaultPlan.from_spec("kill@2x1")
+        before = metrics_snapshot()
+        outcomes, degraded = parallel_map_ex(
+            _square, list(range(6)), 2, fault_plan=plan, retries=2
+        )
+        assert not degraded
+        assert [o.result for o in outcomes] == [k * k for k in range(6)]
+        assert outcomes[2].attempts == 2  # died once, succeeded on retry
+        delta = counters_delta(before)["counters"]
+        assert delta.get("pool.workers_respawned", 0) >= 1
+        assert delta.get("task.retries", 0) >= 1
+
+    def test_flaky_once_succeeds_on_retry(self):
+        plan = WorkerFaultPlan(flaky={1: frozenset({1})})
+        outcomes, _ = parallel_map_ex(
+            _square, [5, 6, 7], 2, fault_plan=plan, retries=2
+        )
+        assert [o.result for o in outcomes] == [25, 36, 49]
+        assert outcomes[1].attempts == 2
+        assert outcomes[1].injected_faults == []  # raise, not survivable
+
+    def test_transient_exhaustion_quarantines(self):
+        plan = WorkerFaultPlan(flaky={0: None})  # every attempt
+        before = metrics_snapshot()
+        outcomes, _ = parallel_map_ex(
+            _square, [1, 2], 2, fault_plan=plan, retries=1
+        )
+        record = outcomes[0].quarantine
+        assert record is not None
+        assert record.reason == "transient"
+        assert record.attempts == 2  # retries + 1
+        assert "injected flaky failure" in record.error
+        assert record.elapsed_seconds >= 0.0
+        assert outcomes[1].result == 4
+        delta = counters_delta(before)["counters"]
+        assert delta.get("task.quarantined", 0) >= 1
+
+    def test_hung_worker_hits_timeout_then_quarantine(self):
+        _warm_pool()
+        plan = WorkerFaultPlan.from_spec("hang@0")
+        before = metrics_snapshot()
+        start = time.monotonic()
+        outcomes, _ = parallel_map_ex(
+            _square,
+            [9, 10, 11],
+            2,
+            fault_plan=plan,
+            task_timeout=1.0,
+            retries=0,
+        )
+        elapsed = time.monotonic() - start
+        record = outcomes[0].quarantine
+        assert record is not None and record.reason == "timeout"
+        assert "task timeout" in record.error
+        assert [o.result for o in outcomes[1:]] == [100, 121]
+        assert elapsed < 30.0  # parent never waits for the 3600 s sleep
+        delta = counters_delta(before)["counters"]
+        assert delta.get("task.timeouts", 0) >= 1
+
+    def test_poison_item_quarantined_after_retry_budget(self):
+        _warm_pool()
+        plan = WorkerFaultPlan.from_spec("kill@1")  # every attempt
+        outcomes, _ = parallel_map_ex(
+            _square, [1, 2, 3], 2, fault_plan=plan, retries=2
+        )
+        record = outcomes[1].quarantine
+        assert record is not None
+        assert record.reason == "crash"
+        assert record.attempts == 3
+        assert "worker died" in record.error
+        # The poison item never takes healthy neighbours down with it.
+        assert outcomes[0].result == 1 and outcomes[2].result == 9
+
+    def test_batch_deadline_quarantines_unfinished(self):
+        _warm_pool()
+        start = time.monotonic()
+        outcomes, _ = parallel_map_ex(
+            _nap, [3600.0, 3600.0, 3600.0], 2, deadline=1.5, retries=0
+        )
+        elapsed = time.monotonic() - start
+        assert elapsed < 30.0
+        assert all(o.quarantine is not None for o in outcomes)
+        assert {o.quarantine.reason for o in outcomes} == {"deadline"}
+
+    def test_slow_item_survives_generous_timeout(self):
+        _warm_pool()
+        plan = WorkerFaultPlan.from_spec("slow@0:0.3")
+        outcomes, _ = parallel_map_ex(
+            _square, [4, 5], 2, fault_plan=plan, task_timeout=30.0
+        )
+        assert [o.result for o in outcomes] == [16, 25]
+        assert outcomes[0].injected_faults == ["slow"]
+
+
+class TestTelemetry:
+    def test_traced_batch_ships_item_and_attempt_spans(self):
+        _warm_pool()
+        plan = WorkerFaultPlan(flaky={1: frozenset({1})})
+        reset_metrics()
+        with trace("pool_batch") as tracer:
+            outcomes, _ = parallel_map_ex(
+                _square, [1, 2, 3], 2, fault_plan=plan, retries=1
+            )
+        assert [o.result for o in outcomes] == [1, 4, 9]
+        items = [s for s in tracer.root.iter_spans() if s.name == "item"]
+        attempts = [
+            s for s in tracer.root.iter_spans() if s.name == "task_attempt"
+        ]
+        # The flaky fault fires before the item's traced body, so the
+        # failed attempt ships no "item" span — the parent-side
+        # "task_attempt" span is what accounts for it.
+        assert len(items) == 3
+        assert len(attempts) == 4
+        assert sorted(s.attrs["index"] for s in items) == [0, 1, 2]
+        outcomes_seen = sorted(s.attrs["outcome"] for s in attempts)
+        assert outcomes_seen == ["ok", "ok", "ok", "transient_error"]
+        reset_metrics()
+
+
+class TestPoolLifecycle:
+    def test_idle_shutdown_and_lazy_restart(self):
+        pool = WorkerPool(
+            max_workers=2, options=PoolOptions(idle_timeout=0.4)
+        )
+        try:
+            result = pool.map(_square, [1, 2, 3], jobs=2)
+            assert [o.result for o in result.outcomes] == [1, 4, 9]
+            deadline = time.monotonic() + 30.0
+            while pool.worker_pids and time.monotonic() < deadline:
+                time.sleep(0.1)
+            assert pool.worker_pids == []  # idle supervisor stopped them
+            # The next map lazily restarts the runtime.
+            result = pool.map(_square, [4, 5], jobs=2)
+            assert [o.result for o in result.outcomes] == [16, 25]
+        finally:
+            pool.shutdown()
+
+    def test_shutdown_then_map_raises_unusable(self):
+        pool = WorkerPool(max_workers=1)
+        pool.shutdown()
+        with pytest.raises(PoolUnusableError, match="shut down"):
+            pool.map(_square, [1], jobs=1)
+
+    def test_backoff_delay_is_deterministic_and_capped(self):
+        first = backoff_delay(1, index=3, base=0.05, cap=2.0)
+        assert first == backoff_delay(1, index=3, base=0.05, cap=2.0)
+        assert 0.025 <= first <= 0.075  # base x jitter in [0.5, 1.5)
+        huge = backoff_delay(30, index=3, base=0.05, cap=2.0)
+        assert huge <= 2.0 * 1.5
+
+
+class TestWorkerFaultPlanSpec:
+    def test_from_spec_round_trip(self):
+        plan = WorkerFaultPlan.from_spec(
+            "kill@2x1,hang@5,flaky@0x1+2,slow@3:0.5"
+        )
+        assert plan.kill == {2: frozenset({1})}
+        assert plan.hang == {5: None}
+        assert plan.flaky == {0: frozenset({1, 2})}
+        assert plan.slow == {3: 0.5}
+
+    def test_from_spec_rejects_garbage(self):
+        with pytest.raises(ValueError, match="unknown chaos fault"):
+            WorkerFaultPlan.from_spec("explode@1")
+        with pytest.raises(ValueError, match="bad chaos entry"):
+            WorkerFaultPlan.from_spec("kill")
+
+    def test_flaky_raises_transient(self):
+        plan = WorkerFaultPlan(flaky={4: None})
+        with pytest.raises(TransientTaskError, match="item 4"):
+            plan.apply(4, attempt=1)
+        assert plan.apply(3, attempt=1) is None
+
+    def test_attempt_filter(self):
+        plan = WorkerFaultPlan(flaky={4: frozenset({1})})
+        with pytest.raises(TransientTaskError):
+            plan.apply(4, attempt=1)
+        assert plan.apply(4, attempt=2) is None
+
+
+@pytest.fixture(scope="module")
+def trained_tiny_pipeline():
+    from repro.core.config import FusionConfig
+    from repro.core.pipeline import IRFusionPipeline
+    from repro.train.trainer import TrainConfig
+
+    config = FusionConfig(
+        pixels=16,
+        num_fake=2,
+        num_real_train=1,
+        num_real_test=2,
+        base_channels=4,
+        depth=2,
+        train=TrainConfig(epochs=1, batch_size=4),
+        augment=False,
+        oversample_fake=1,
+        oversample_real=1,
+    )
+    pipeline = IRFusionPipeline(config)
+    pipeline.train()
+    return pipeline
+
+
+class TestBatchAnalyzerChaos:
+    def test_sixteen_item_batch_survives_kill_hang_flaky(
+        self, trained_tiny_pipeline, monkeypatch
+    ):
+        # The ISSUE acceptance scenario: a 16-item BatchAnalyzer run
+        # under worker SIGKILL, a hang past the task timeout, and a
+        # flaky-once item.  The parent must never deadlock, every item
+        # must end as a result, a captured error, or a QuarantineRecord,
+        # and retried-transient items must still succeed.
+        _warm_pool()
+        pipeline = trained_tiny_pipeline
+        _, test_designs = pipeline.generate_designs()
+        designs = (test_designs * 8)[:16]
+        assert len(designs) == 16
+        monkeypatch.setenv("REPRO_CHAOS", "kill@3x1,hang@7,flaky@11x1")
+        analyzer = __import__(
+            "repro.core.batch", fromlist=["BatchAnalyzer"]
+        ).BatchAnalyzer(
+            pipeline, jobs=2, task_timeout=8.0, retries=1
+        )
+        report = analyzer.analyze_designs(designs)
+        assert len(report.items) == 16
+        for position, item in enumerate(report.items):
+            if position == 7:
+                assert item.quarantined
+                assert item.quarantine.reason == "timeout"
+                assert item.quarantine.attempts == 2
+            else:
+                assert item.ok, f"item {position}: {item.error}"
+        assert report.items[3].attempts == 2  # SIGKILL'd once, retried
+        assert report.items[11].attempts == 2  # flaky once, retried
+        assert report.num_quarantined == 1
+        assert any("quarantined" in note for note in report.notes)
+        assert any("retries" in note for note in report.notes)
+        lines = report.summary_lines()
+        assert any("quarantined[" in line for line in lines)
+
+    def test_fork_and_pool_results_bitwise_identical(
+        self, trained_tiny_pipeline
+    ):
+        # Fault-free batches must not depend on the execution substrate:
+        # the legacy fork engine and the spawn pool run the same
+        # deterministic computation on the same machine.
+        pipeline = trained_tiny_pipeline
+        _, test_designs = pipeline.generate_designs()
+        forked, fork_degraded = parallel_map_ex(
+            pipeline.analyze_design, test_designs, 2, mode="fork"
+        )
+        pooled, pool_degraded = parallel_map_ex(
+            pipeline.analyze_design, test_designs, 2, mode="spawn"
+        )
+        assert not fork_degraded and not pool_degraded
+        for fork_out, pool_out in zip(forked, pooled):
+            assert fork_out.ok and pool_out.ok
+            np.testing.assert_array_equal(
+                fork_out.result.predicted_drop, pool_out.result.predicted_drop
+            )
+            if fork_out.result.rough_drop is not None:
+                np.testing.assert_array_equal(
+                    fork_out.result.rough_drop, pool_out.result.rough_drop
+                )
+
+
+class TestSerialFallbackVisibility:
+    def test_nested_worker_call_counts_serial_fallback(self, monkeypatch):
+        from repro.core.pool import WORKER_ENV
+
+        monkeypatch.setenv(WORKER_ENV, "1")
+        before = metrics_snapshot()
+        outcomes, degraded = parallel_map_ex(_square, [1, 2, 3], 2)
+        assert degraded
+        assert [o.result for o in outcomes] == [1, 4, 9]
+        delta = counters_delta(before)["counters"]
+        assert delta.get("batch.serial_fallbacks", 0) >= 1
+        assert delta.get("batch.serial_fallbacks.nested_in_worker", 0) >= 1

@@ -63,6 +63,24 @@ class TestIterationGuard:
         guard.observe(1, 0.9)
         assert guard.tripped == "time_budget"
 
+    def test_expired_deadline_trips(self):
+        from repro.obs import deadline_scope
+
+        with deadline_scope(0.0):
+            guard = IterationGuard()
+            guard.observe(0, 1.0)
+            guard.observe(1, 0.9)
+        assert guard.tripped == "deadline"
+
+    def test_generous_deadline_never_trips(self):
+        from repro.obs import deadline_scope
+
+        with deadline_scope(3600.0):
+            guard = IterationGuard()
+            for i, norm in enumerate(10.0 * 0.5 ** np.arange(20)):
+                guard.observe(i, float(norm))
+        assert guard.tripped is None
+
 
 class TestGuardedPCG:
     def test_nan_matrix_aborts_not_raises(self):
@@ -168,6 +186,58 @@ class TestFallbackCascade:
         payload = diagnostics.to_dict()
         assert payload["final_solver"] == "amg_pcg"
         assert "solver_chain=" in diagnostics.summary()
+        assert payload["attempts"][0]["backoff_seconds"] == 0.0
+
+    def test_fallback_attempts_record_jittered_backoff(self):
+        matrix, rhs = small_spd()
+        plan = FaultPlan(nan_residual={"amg_pcg": 1, "amg_pcg_retry": 1})
+        cascade = FallbackCascade(
+            guard_options=GuardrailOptions(fault_hook=plan.residual_hook),
+            backoff_base=0.01,
+            backoff_cap=0.05,
+        )
+        result, diagnostics = cascade.solve(matrix, rhs)
+        assert result.converged
+        assert diagnostics.attempts[0].backoff_seconds == 0.0
+        for attempt in diagnostics.attempts[1:]:
+            assert 0.005 <= attempt.backoff_seconds <= 0.075
+        # budget_seconds accounts for the waits, not just the solves.
+        assert diagnostics.budget_seconds >= sum(
+            a.backoff_seconds for a in diagnostics.attempts
+        )
+
+    def test_backoff_deterministic_per_stage(self):
+        cascade = FallbackCascade()
+        assert cascade._backoff_delay(1, "amg_pcg_retry") == (
+            cascade._backoff_delay(1, "amg_pcg_retry")
+        )
+        assert cascade._backoff_delay(3, "direct") <= cascade.backoff_cap * 1.5
+
+    def test_expired_deadline_short_circuits_to_direct(self):
+        from repro.obs import deadline_scope
+
+        matrix, rhs = small_spd()
+        with deadline_scope(0.0):
+            result, diagnostics = FallbackCascade().solve(matrix, rhs)
+        assert np.all(np.isfinite(result.x))
+        # Every iterative stage is skipped without running; the direct
+        # stage always runs so the caller still gets a solution.
+        assert [a.solver for a in diagnostics.attempts] == [
+            "amg_pcg", "amg_pcg_retry", "jacobi_pcg", "direct",
+        ]
+        for attempt in diagnostics.attempts[:3]:
+            assert attempt.aborted == "deadline_skipped"
+            assert attempt.seconds == 0.0
+        assert diagnostics.final_solver == "direct"
+
+    def test_live_deadline_runs_normally(self):
+        from repro.obs import deadline_scope
+
+        matrix, rhs = small_spd()
+        with deadline_scope(3600.0):
+            result, diagnostics = FallbackCascade().solve(matrix, rhs)
+        assert result.converged
+        assert [a.solver for a in diagnostics.attempts] == ["amg_pcg"]
 
 
 class TestSimulatorIntegration:
