@@ -48,6 +48,8 @@ from repro.grid.raster import rasterize as _new_rasterize
 from repro.solvers.cache import clear_setup_cache, setup_cache_disabled
 from repro.train.trainer import TrainConfig
 
+from common import append_trajectory, attach_provenance, calibration_seconds
+
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
 #: Allowed calibrated slowdown of the optimised analyze path vs the
@@ -269,24 +271,6 @@ def legacy_feature_paths():
 # ---------------------------------------------------------------------------
 
 
-def calibration_seconds(rounds: int = 5) -> float:
-    """Fixed numpy workload: a machine-speed yardstick for CI comparisons."""
-    rng = np.random.default_rng(0)
-    a = rng.standard_normal((256, 256))
-    b = rng.standard_normal((256, 256))
-    idx = rng.integers(0, 256 * 256, size=200_000)
-    vals = rng.standard_normal(200_000)
-    best = np.inf
-    for _ in range(rounds):
-        start = time.perf_counter()
-        for _ in range(10):
-            c = a @ b
-            np.bincount(idx, weights=vals, minlength=256 * 256)
-            c.sum()
-        best = min(best, time.perf_counter() - start)
-    return best
-
-
 def build_pipeline(tiny: bool) -> IRFusionPipeline:
     config = FusionConfig(
         pixels=16 if tiny else 32,
@@ -466,8 +450,20 @@ def main(argv=None) -> int:
                              "calibrated regression")
     args = parser.parse_args(argv)
 
-    results = run_bench(tiny=args.tiny, repeats=args.repeats)
+    results = attach_provenance(
+        run_bench(tiny=args.tiny, repeats=args.repeats), "e2e_pipeline"
+    )
     args.out.write_text(json.dumps(results, indent=2) + "\n")
+    append_trajectory({
+        "bench": results["bench"],
+        "git_sha": results["git_sha"],
+        "timestamp": results["timestamp"],
+        "tiny": results["tiny"],
+        "speedup": results["analyze_design"]["speedup"],
+        "optimized_calibrated": (
+            results["analyze_design"]["optimized_calibrated"]
+        ),
+    })
 
     analyze = results["analyze_design"]
     print(f"wrote {args.out}")

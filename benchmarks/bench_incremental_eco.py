@@ -1,0 +1,204 @@
+"""Incremental ECO re-solve benchmark: legacy pad sweep vs the engine.
+
+The workload is the greedy pad-placement sweep of
+:mod:`repro.opt.pad_placement` — the canonical ECO loop: evaluate a pool
+of candidate pad sites, commit the best, repeat.  Two arms:
+
+- **legacy** re-simulates every trial netlist from scratch
+  (parse → stamp → AMG setup → solve per candidate);
+- **incremental** drives the same sweep over
+  :class:`repro.solvers.incremental.IncrementalEngine`: one stamping +
+  one AMG setup for the whole sweep, each candidate a rank-2
+  Sherman–Morrison–Woodbury preview against the cached hierarchy.
+
+Both arms must commit the same pads and report worst drops agreeing to
+solver tolerance; the speedup is meaningless otherwise.  The incremental
+arm is additionally timed under every available kernel backend
+(``numpy`` always; ``numba`` when the ``[perf]`` extra is installed).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_incremental_eco.py          # full
+    PYTHONPATH=src python benchmarks/bench_incremental_eco.py --tiny   # CI
+    PYTHONPATH=src python benchmarks/bench_incremental_eco.py --tiny \
+        --check benchmarks/artifacts/BENCH_pr7_tiny.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.kernels import available_backends, use_backend
+from repro.data.synthetic import DesignSpec, generate_design
+from repro.opt.pad_placement import greedy_pad_placement
+from repro.solvers.cache import clear_setup_cache
+
+from common import append_trajectory, attach_provenance, calibration_seconds
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Allowed calibrated slowdown of the incremental sweep vs the committed
+#: baseline before --check fails (the CI regression gate).
+REGRESSION_LIMIT = 1.25
+
+#: The acceptance floor for the full-scale committed run: the incremental
+#: engine must beat the legacy sweep by at least this factor.
+MIN_SPEEDUP = 5.0
+
+
+def build_netlist(tiny: bool):
+    spec = DesignSpec(
+        name="eco_bench",
+        kind="fake",
+        pixels=16 if tiny else 24,
+        num_layers=2,
+        supply_voltage=1.0,
+        total_current=0.6,
+        num_pads=4,
+        seed=17,
+    )
+    return generate_design(spec).netlist
+
+
+def sweep_kwargs(tiny: bool) -> dict:
+    return dict(
+        budget_volts=1e-9,  # unreachable: every round runs
+        max_new_pads=2 if tiny else 3,
+        max_candidates=6 if tiny else 12,
+    )
+
+
+def time_sweep(netlist, method: str, repeats: int, kwargs: dict):
+    """Best-of-repeats wall time plus the final result for equivalence."""
+    best = np.inf
+    result = None
+    for _ in range(repeats):
+        clear_setup_cache()  # both arms start cold each repeat
+        start = time.perf_counter()
+        result = greedy_pad_placement(netlist, method=method, **kwargs)
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def run_bench(tiny: bool, repeats: int) -> dict:
+    netlist = build_netlist(tiny)
+    kwargs = sweep_kwargs(tiny)
+
+    legacy_seconds, legacy = time_sweep(netlist, "legacy", repeats, kwargs)
+    arms = {}
+    incremental = None
+    for backend in available_backends():
+        with use_backend(backend):
+            seconds, result = time_sweep(
+                netlist, "incremental", repeats, kwargs
+            )
+        arms[backend] = {"seconds_best": seconds}
+        if backend == "numpy":
+            incremental = result
+            incremental_seconds = seconds
+
+    drop_diff = float(np.max(np.abs(
+        np.asarray(legacy.worst_drop_history)
+        - np.asarray(incremental.worst_drop_history)
+    ))) if len(legacy.worst_drop_history) == len(
+        incremental.worst_drop_history
+    ) else float("inf")
+    equivalence = {
+        "same_pads": legacy.added_pads == incremental.added_pads,
+        "worst_drop_max_abs_diff": drop_diff,
+        "tolerance": 1e-6,
+        "passed": (
+            legacy.added_pads == incremental.added_pads
+            and drop_diff <= 1e-6
+        ),
+    }
+
+    calibration = calibration_seconds()
+    return {
+        "tiny": tiny,
+        "repeats": repeats,
+        "sweep": {k: v for k, v in kwargs.items()},
+        "pads_added": incremental.added_pads,
+        "legacy_seconds_best": legacy_seconds,
+        "incremental_seconds_best": incremental_seconds,
+        "speedup": legacy_seconds / incremental_seconds,
+        "incremental_calibrated": incremental_seconds / calibration,
+        "calibration_seconds": calibration,
+        "backends": arms,
+        "equivalence": equivalence,
+    }
+
+
+def check_regression(results: dict, baseline_path: Path) -> int:
+    """CI gate: equivalence must hold, calibrated time must not regress."""
+    if not results["equivalence"]["passed"]:
+        print(f"FAIL: legacy/incremental disagree ({results['equivalence']})")
+        return 1
+    if not results["tiny"] and results["speedup"] < MIN_SPEEDUP:
+        print(f"FAIL: speedup {results['speedup']:.2f}x < {MIN_SPEEDUP}x")
+        return 1
+    baseline = json.loads(baseline_path.read_text())
+    if baseline.get("tiny") != results["tiny"]:
+        print("FAIL: baseline and current run use different scales "
+              f"(baseline tiny={baseline.get('tiny')}, "
+              f"current tiny={results['tiny']}); compare like for like")
+        return 1
+    base = baseline["incremental_calibrated"]
+    now = results["incremental_calibrated"]
+    ratio = now / base
+    print(f"calibrated ECO sweep: baseline={base:.3f} now={now:.3f} "
+          f"ratio={ratio:.3f} (limit {REGRESSION_LIMIT})")
+    if ratio > REGRESSION_LIMIT:
+        print(f"FAIL: incremental sweep regressed {ratio:.2f}x vs baseline")
+        return 1
+    print("regression gate passed")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--tiny", action="store_true",
+                        help="reduced grid for CI smoke runs")
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--out", type=Path,
+                        default=REPO_ROOT / "BENCH_pr7.json")
+    parser.add_argument("--check", type=Path, default=None, metavar="BASELINE",
+                        help="compare against a committed BENCH_pr7 json and "
+                             f"fail on >{(REGRESSION_LIMIT - 1):.0%} "
+                             "calibrated regression")
+    args = parser.parse_args(argv)
+
+    results = attach_provenance(
+        run_bench(tiny=args.tiny, repeats=args.repeats), "incremental_eco"
+    )
+    args.out.write_text(json.dumps(results, indent=2) + "\n")
+    append_trajectory({
+        "bench": results["bench"],
+        "git_sha": results["git_sha"],
+        "timestamp": results["timestamp"],
+        "tiny": results["tiny"],
+        "speedup": results["speedup"],
+        "incremental_calibrated": results["incremental_calibrated"],
+    })
+
+    print(f"wrote {args.out}")
+    print(f"pad sweep: legacy={results['legacy_seconds_best'] * 1e3:.0f}ms "
+          f"incremental={results['incremental_seconds_best'] * 1e3:.0f}ms "
+          f"speedup={results['speedup']:.2f}x")
+    for backend, row in results["backends"].items():
+        print(f"backend {backend}: {row['seconds_best'] * 1e3:.0f}ms")
+    print(f"equivalence: {results['equivalence']}")
+
+    if args.check is not None:
+        return check_regression(results, args.check)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -263,6 +263,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--debug", action="store_true",
                         help="print full tracebacks instead of one-line errors")
+    parser.add_argument("--backend", choices=("numpy", "numba"), default=None,
+                        help="compute-kernel tier for dense/sparse hot loops "
+                             "(default: REPRO_BACKEND env var, else numpy)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     simulate = sub.add_parser("simulate", help="numerical (PowerRush) analysis")
@@ -369,12 +372,20 @@ def _dispatch(args: argparse.Namespace) -> int:
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     # Imported here so `repro --help` stays instant.
+    from repro.core.kernels import BackendUnavailableError, set_backend
     from repro.solvers.guard import SolverFailure
     from repro.spice.parser import SpiceParseError
     from repro.spice.validate import NetlistValidationError
 
     try:
+        if args.backend is not None:
+            set_backend(args.backend)
         return _dispatch(args)
+    except BackendUnavailableError as exc:
+        if args.debug:
+            raise
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_BAD_INPUT
     except SolverFailure as exc:
         if args.debug:
             raise

@@ -76,6 +76,12 @@ class FusionConfig:
         training traps NaN/Inf at the originating op, analysis records
         numerics findings in the run diagnostics.  Off by default — the
         instrumented path re-checks every leaf-op output.
+    backend:
+        Compute-kernel tier (:mod:`repro.core.kernels`): ``None`` keeps
+        the ambient selection (the ``REPRO_BACKEND`` environment
+        variable, defaulting to ``"numpy"``); ``"numpy"`` / ``"numba"``
+        pin it for the run.  Requesting ``"numba"`` without the optional
+        dependency installed fails fast at pipeline start.
     """
 
     pixels: int = 32
@@ -98,6 +104,7 @@ class FusionConfig:
     oversample_real: int = 5
     jobs: int = 1
     sanitize: bool = False
+    backend: str | None = None
 
     def __post_init__(self) -> None:
         if self.pixels % (2**self.depth) != 0:
@@ -111,6 +118,14 @@ class FusionConfig:
             raise ValueError("solver_iterations must be >= 0")
         if self.jobs < 1:
             raise ValueError("jobs must be >= 1")
+        if self.backend is not None:
+            from repro.core.kernels import BACKENDS
+
+            if self.backend not in BACKENDS:
+                raise ValueError(
+                    f"unknown backend {self.backend!r}; "
+                    f"choose from {BACKENDS}"
+                )
 
     def with_(self, **overrides) -> "FusionConfig":
         """A copy with the given fields replaced (ablation helper)."""

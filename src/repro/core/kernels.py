@@ -1,0 +1,269 @@
+"""Tiered numerical kernel backend: frozen numpy + optional numba.
+
+The two numeric hot loops of the whole flow — the conv GEMMs behind
+:mod:`repro.nn.functional` and the CSR matvec inside the PCG iteration —
+are routed through this module so a faster native backend can be swapped
+in without touching any call site.
+
+Two tiers:
+
+``numpy`` (default, frozen)
+    Delegates straight to ``np.matmul`` / scipy's CSR ``@``.  This tier
+    is the *bitwise contract*: every golden-value and determinism test in
+    the repository pins its outputs, so it must never change behaviour.
+
+``numba`` (optional, opt-in)
+    Blocked/threaded kernels JIT-compiled at first use.  The GEMM tier
+    engages only for float32 operands (the mixed-precision compute path);
+    fp64 GEMMs always fall through to numpy so the frozen fp64 kernel
+    branches stay bitwise stable even under ``REPRO_BACKEND=numba``.  The
+    CSR matvec tier runs in any dtype — solver results then agree with
+    the numpy backend to rounding (reordered reductions), which is what
+    the ``backend-equivalence`` CI job checks.
+
+Selection, in priority order:
+
+1. :func:`set_backend` / :func:`use_backend` (programmatic, e.g. from
+   ``FusionConfig.backend`` or the CLI ``--backend`` flag);
+2. the ``REPRO_BACKEND`` environment variable;
+3. the ``numpy`` default.
+
+Requesting ``numba`` when the extra is not installed raises immediately
+(install with ``pip install repro[perf]``) — a benchmark silently running
+the fallback would report fiction.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from contextlib import contextmanager
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.obs import counter_add
+
+#: Environment variable consulted when no backend was set programmatically.
+BACKEND_ENV = "REPRO_BACKEND"
+
+BACKENDS = ("numpy", "numba")
+
+_LOCK = threading.Lock()
+_BACKEND: str | None = None  # None = not yet resolved (env or default)
+_NUMBA_KERNELS: dict | None = None  # compiled lazily, once
+
+
+class BackendUnavailableError(RuntimeError):
+    """Requested kernel backend cannot be used in this environment."""
+
+
+def numba_available() -> bool:
+    """True when the optional numba extra is importable."""
+    try:
+        import numba  # noqa: F401
+    except Exception:  # pragma: no cover - import machinery varies
+        return False
+    return True
+
+
+def available_backends() -> tuple[str, ...]:
+    """Backends usable right now (``numpy`` always; ``numba`` if installed)."""
+    if numba_available():
+        return BACKENDS
+    return ("numpy",)
+
+
+def _validate(name: str) -> str:
+    if name not in BACKENDS:
+        raise ValueError(
+            f"unknown kernel backend {name!r}; choose from {BACKENDS}"
+        )
+    if name == "numba" and not numba_available():
+        raise BackendUnavailableError(
+            "backend 'numba' requested but numba is not installed; "
+            "install the [perf] extra or use REPRO_BACKEND=numpy"
+        )
+    return name
+
+
+def backend_name() -> str:
+    """The active backend, resolving ``REPRO_BACKEND`` on first use."""
+    global _BACKEND
+    backend = _BACKEND
+    if backend is None:
+        with _LOCK:
+            if _BACKEND is None:
+                _BACKEND = _validate(os.environ.get(BACKEND_ENV, "numpy"))
+            backend = _BACKEND
+    return backend
+
+
+def set_backend(name: str | None) -> None:
+    """Select the kernel backend process-wide.
+
+    ``None`` resets to the environment/default resolution.  Selecting
+    ``"numba"`` raises :class:`BackendUnavailableError` when the extra is
+    missing rather than silently falling back.
+    """
+    global _BACKEND
+    with _LOCK:
+        _BACKEND = None if name is None else _validate(name)
+
+
+@contextmanager
+def use_backend(name: str):
+    """Context manager scoping a backend selection (tests, benchmarks)."""
+    global _BACKEND
+    with _LOCK:
+        previous = _BACKEND
+        _BACKEND = _validate(name)
+    try:
+        yield
+    finally:
+        with _LOCK:
+            _BACKEND = previous
+
+
+# ---------------------------------------------------------------------------
+# numba tier (compiled on first use; this module imports without numba)
+# ---------------------------------------------------------------------------
+
+
+def _numba_kernels() -> dict:
+    """Compile (once) and return the jitted kernels."""
+    global _NUMBA_KERNELS
+    kernels = _NUMBA_KERNELS
+    if kernels is not None:
+        return kernels
+    with _LOCK:
+        if _NUMBA_KERNELS is not None:
+            return _NUMBA_KERNELS
+        import numba
+
+        @numba.njit(parallel=True, fastmath=True, nogil=True)
+        def gemm2d(a, b, out):  # pragma: no cover - requires numba
+            # Blocked over rows of A; each prange block streams B once.
+            m, k = a.shape
+            n = b.shape[1]
+            block = 64
+            blocks = (m + block - 1) // block
+            for bi in numba.prange(blocks):
+                lo = bi * block
+                hi = min(lo + block, m)
+                for i in range(lo, hi):
+                    for j in range(n):
+                        out[i, j] = 0.0
+                    for p in range(k):
+                        aip = a[i, p]
+                        if aip != 0.0:
+                            for j in range(n):
+                                out[i, j] += aip * b[p, j]
+
+            return out
+
+        @numba.njit(parallel=True, fastmath=True, nogil=True)
+        def gemm3d(a, b, out):  # pragma: no cover - requires numba
+            # Batched GEMM: parallelise over the batch dimension.
+            batch, m, k = a.shape
+            n = b.shape[2]
+            for nb in numba.prange(batch):
+                for i in range(m):
+                    for j in range(n):
+                        out[nb, i, j] = 0.0
+                    for p in range(k):
+                        aip = a[nb, i, p]
+                        if aip != 0.0:
+                            for j in range(n):
+                                out[nb, i, j] += aip * b[nb, p, j]
+            return out
+
+        @numba.njit(parallel=True, nogil=True)
+        def spmv(indptr, indices, data, x, out):  # pragma: no cover
+            n = indptr.shape[0] - 1
+            for i in numba.prange(n):
+                acc = 0.0
+                for p in range(indptr[i], indptr[i + 1]):
+                    acc += data[p] * x[indices[p]]
+                out[i] = acc
+            return out
+
+        _NUMBA_KERNELS = {"gemm2d": gemm2d, "gemm3d": gemm3d, "spmv": spmv}
+    return _NUMBA_KERNELS
+
+
+def _numba_matmul_applies(a: np.ndarray, b: np.ndarray) -> bool:
+    """The numba GEMM tier only takes over fp32 2-D/3-D products.
+
+    fp64 products stay on numpy so the frozen fp64 kernel branches remain
+    bitwise stable regardless of the selected backend.
+    """
+    return (
+        a.dtype == np.float32
+        and b.dtype == np.float32
+        and a.ndim in (2, 3)
+        and b.ndim == a.ndim
+    )
+
+
+# ---------------------------------------------------------------------------
+# public kernels
+# ---------------------------------------------------------------------------
+
+
+def matmul(
+    a: np.ndarray, b: np.ndarray, out: np.ndarray | None = None
+) -> np.ndarray:
+    """Backend-dispatched matrix product (``np.matmul`` semantics).
+
+    The numpy tier *is* ``np.matmul`` — bitwise identical to calling it
+    directly.  The numba tier engages only for float32 2-D/3-D operands
+    (see :func:`_numba_matmul_applies`); anything else falls through.
+    """
+    if backend_name() == "numba" and _numba_matmul_applies(a, b):
+        kernels = _numba_kernels()
+        a_c = np.ascontiguousarray(a)
+        b_c = np.ascontiguousarray(b)
+        if a.ndim == 2:
+            shape = (a.shape[0], b.shape[1])
+            result = out if out is not None else np.empty(shape, dtype=a.dtype)
+            kernels["gemm2d"](a_c, b_c, result)
+        else:
+            if a_c.shape[0] != b_c.shape[0]:
+                # Broadcasting batches is numpy territory.
+                return np.matmul(a, b, out=out) if out is not None else np.matmul(a, b)
+            shape = (a.shape[0], a.shape[1], b.shape[2])
+            result = out if out is not None else np.empty(shape, dtype=a.dtype)
+            kernels["gemm3d"](a_c, b_c, result)
+        counter_add("kernels.numba_gemm")
+        return result
+    if out is not None:
+        return np.matmul(a, b, out=out)
+    return np.matmul(a, b)
+
+
+def csr_matvec(
+    matrix: sp.csr_matrix, x: np.ndarray, out: np.ndarray | None = None
+) -> np.ndarray:
+    """Backend-dispatched CSR sparse matrix–vector product.
+
+    The numpy tier delegates to scipy's ``matrix @ x`` (bitwise frozen);
+    the numba tier runs a row-parallel accumulation, identical up to
+    floating-point reassociation.
+    """
+    if backend_name() == "numba" and isinstance(matrix, sp.csr_matrix):
+        kernels = _numba_kernels()
+        x_c = np.ascontiguousarray(x, dtype=np.float64)
+        result = (
+            out
+            if out is not None
+            else np.empty(matrix.shape[0], dtype=np.float64)
+        )
+        kernels["spmv"](matrix.indptr, matrix.indices, matrix.data, x_c, result)
+        counter_add("kernels.numba_spmv")
+        return result
+    product = matrix @ x
+    if out is not None:
+        out[...] = product
+        return out
+    return product

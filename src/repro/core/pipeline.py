@@ -90,6 +90,11 @@ class IRFusionPipeline:
 
     def __init__(self, config: FusionConfig | None = None) -> None:
         self.config = config or FusionConfig()
+        if self.config.backend is not None:
+            # Fail fast (numba requested but absent) before any work runs.
+            from repro.core.kernels import set_backend
+
+            set_backend(self.config.backend)
         self._designs: tuple[list[Design], list[Design]] | None = None
         self._datasets: tuple[IRDropDataset, IRDropDataset] | None = None
         self.model: Module | None = None

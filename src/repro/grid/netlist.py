@@ -176,6 +176,42 @@ class PowerGrid:
             )
         node.pad_voltage = pad.voltage
 
+    # -- ECO mutation ------------------------------------------------------
+
+    def pin_pad(self, node: int | str, voltage: float) -> None:
+        """Pin a node to a supply voltage (add a pad in place)."""
+        record = self.node(node)
+        if record.pad_voltage is not None and record.pad_voltage != voltage:
+            raise ValueError(
+                f"node {record.name!r} already pinned to {record.pad_voltage}"
+            )
+        record.pad_voltage = voltage
+
+    def unpin_pad(self, node: int | str) -> None:
+        """Remove a pad pin, returning the node to the unknown set."""
+        record = self.node(node)
+        if record.pad_voltage is None:
+            raise ValueError(f"node {record.name!r} is not a pad")
+        record.pad_voltage = None
+
+    def set_load(self, node: int | str, amps: float) -> None:
+        """Set a node's attached load current (absolute, not additive)."""
+        self.node(node).load_current = amps
+
+    def set_wire_resistance(self, wire_index: int, resistance: float) -> None:
+        """Replace one wire's resistance (ECO resize).
+
+        Wires are immutable records, so the slot gets a fresh
+        :class:`PGWire`; adjacency is positional and survives unchanged.
+        """
+        if resistance <= 0 or not np.isfinite(resistance):
+            raise ValueError(f"resistance must be positive, got {resistance}")
+        old = self._wires[wire_index]
+        self._wires[wire_index] = PGWire(
+            old.name, old.node_a, old.node_b, resistance
+        )
+        self._wire_arrays_cache = None
+
     def clone(self) -> "PowerGrid":
         """Independent copy: repairs may mutate nodes without aliasing.
 

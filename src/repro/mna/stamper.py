@@ -11,6 +11,8 @@ given a branch-current unknown (full form).
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 import scipy.sparse as sp
 
@@ -104,6 +106,192 @@ def build_reduced_system(
         pad_voltages=pad_voltages,
         num_grid_nodes=grid.num_nodes,
     )
+
+
+# ---------------------------------------------------------------------------
+# Delta stamping: patch an already-reduced CSR system in place.
+#
+# ECO-style edits (a pad added, a wire resized, loads revised) change a
+# handful of matrix entries; re-running the full stamp throws away the
+# CSR structure, the RHS and — further downstream — the AMG hierarchy.
+# The helpers below edit ``matrix.data``/``rhs`` directly and return an
+# undo record, so a caller can speculatively apply a candidate edit,
+# solve, and revert.  The sparsity *pattern* never changes: every update
+# touches entries the symmetric stamp already materialised.
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SystemPatch:
+    """Undo record for one in-place reduced-system edit.
+
+    ``data_indices`` index straight into ``matrix.data`` (CSR storage
+    order); ``rhs_rows`` index into the RHS vector.  Reverting writes the
+    saved old values back, restoring the system bitwise.
+    """
+
+    data_indices: np.ndarray
+    data_old: np.ndarray
+    rhs_rows: np.ndarray
+    rhs_old: np.ndarray
+
+    @classmethod
+    def empty(cls) -> "SystemPatch":
+        return cls(
+            data_indices=np.empty(0, dtype=np.int64),
+            data_old=np.empty(0, dtype=float),
+            rhs_rows=np.empty(0, dtype=np.int64),
+            rhs_old=np.empty(0, dtype=float),
+        )
+
+
+def csr_entry(matrix: sp.csr_matrix, row: int, col: int) -> int:
+    """Position of entry ``(row, col)`` in ``matrix.data``.
+
+    Requires canonical CSR (sorted indices, duplicates summed) — which
+    :func:`build_reduced_system` guarantees.  Raises ``KeyError`` when
+    the entry is not materialised: delta stamping never creates fill-in.
+    """
+    lo, hi = int(matrix.indptr[row]), int(matrix.indptr[row + 1])
+    pos = lo + int(np.searchsorted(matrix.indices[lo:hi], col))
+    if pos >= hi or matrix.indices[pos] != col:
+        raise KeyError(f"entry ({row}, {col}) is not stored in the CSR pattern")
+    return pos
+
+
+def revert_patch(
+    matrix: sp.csr_matrix, rhs: np.ndarray, patch: SystemPatch
+) -> None:
+    """Undo an in-place edit, restoring matrix and RHS bitwise."""
+    matrix.data[patch.data_indices] = patch.data_old
+    rhs[patch.rhs_rows] = patch.rhs_old
+
+
+def patch_conductance(
+    matrix: sp.csr_matrix,
+    rhs: np.ndarray,
+    row_a: int | None,
+    row_b: int | None,
+    delta_g: float,
+    voltage_a: float | None = None,
+    voltage_b: float | None = None,
+) -> SystemPatch:
+    """Re-stamp one wire's conductance change ``delta_g`` in place.
+
+    ``row_a``/``row_b`` are reduced-system rows, or ``None`` for an
+    endpoint pinned to a known voltage (an eliminated pad *or* a node
+    pinned by a delta), in which case the matching ``voltage_*`` supplies
+    the coupling term that moves to the RHS — exactly mirroring the full
+    stamp's elimination rules.
+    """
+    data_indices: list[int] = []
+    rhs_rows: list[int] = []
+    if row_a is not None and row_b is not None:
+        data_indices = [
+            csr_entry(matrix, row_a, row_a),
+            csr_entry(matrix, row_b, row_b),
+            csr_entry(matrix, row_a, row_b),
+            csr_entry(matrix, row_b, row_a),
+        ]
+    elif row_a is not None:
+        if voltage_b is None:
+            raise ValueError("pinned endpoint b needs voltage_b")
+        data_indices = [csr_entry(matrix, row_a, row_a)]
+        rhs_rows = [row_a]
+    elif row_b is not None:
+        if voltage_a is None:
+            raise ValueError("pinned endpoint a needs voltage_a")
+        data_indices = [csr_entry(matrix, row_b, row_b)]
+        rhs_rows = [row_b]
+    # both endpoints pinned: nothing reaches the reduced system
+
+    idx = np.asarray(data_indices, dtype=np.int64)
+    rows = np.asarray(rhs_rows, dtype=np.int64)
+    patch = SystemPatch(
+        data_indices=idx,
+        data_old=matrix.data[idx].copy(),
+        rhs_rows=rows,
+        rhs_old=rhs[rows].copy(),
+    )
+    if row_a is not None and row_b is not None:
+        matrix.data[idx[0]] += delta_g
+        matrix.data[idx[1]] += delta_g
+        matrix.data[idx[2]] -= delta_g
+        matrix.data[idx[3]] -= delta_g
+    elif row_a is not None:
+        matrix.data[idx[0]] += delta_g
+        rhs[row_a] += delta_g * voltage_b
+    elif row_b is not None:
+        matrix.data[idx[0]] += delta_g
+        rhs[row_b] += delta_g * voltage_a
+    return patch
+
+
+def pin_row(
+    matrix: sp.csr_matrix, rhs: np.ndarray, row: int, voltage: float
+) -> tuple[SystemPatch, np.ndarray, np.ndarray]:
+    """Pin unknown ``row`` to ``voltage`` by in-place row/column surgery.
+
+    The constraint ``x[row] = voltage`` is imposed *exactly* while
+    keeping the matrix dimension (and SPD-ness): row and column ``row``
+    are zeroed, the diagonal keeps its old value ``d`` (scale
+    preserving), ``rhs[row]`` becomes ``d * voltage``, and every
+    neighbour ``r`` gets the eliminated coupling ``q_r * voltage`` moved
+    onto its RHS.  After the permutation separating ``row`` the system
+    is block-diagonal ``diag(G_rr, d)`` — the remaining unknowns satisfy
+    precisely the system a from-scratch stamp with one more pad yields.
+
+    Returns ``(patch, q_indices, q_values)`` where ``q`` is the original
+    matrix column ``row`` (equal to the row, by symmetry) *including* the
+    diagonal — the low-rank factor the SMW solver needs.
+    """
+    lo, hi = int(matrix.indptr[row]), int(matrix.indptr[row + 1])
+    q_indices = matrix.indices[lo:hi].astype(np.int64, copy=True)
+    q_values = matrix.data[lo:hi].copy()
+    diag_pos = lo + int(np.searchsorted(matrix.indices[lo:hi], row))
+    if diag_pos >= hi or matrix.indices[diag_pos] != row:
+        raise KeyError(f"row {row} has no stored diagonal")
+    diag = float(matrix.data[diag_pos])
+
+    # Positions of the symmetric column entries (r, row) for r != row.
+    col_positions = [
+        csr_entry(matrix, int(r), row) for r in q_indices if int(r) != row
+    ]
+    data_indices = np.concatenate(
+        [np.arange(lo, hi, dtype=np.int64), np.asarray(col_positions, np.int64)]
+    )
+    rhs_rows = q_indices.copy()  # neighbours plus the pinned row itself
+    patch = SystemPatch(
+        data_indices=data_indices,
+        data_old=matrix.data[data_indices].copy(),
+        rhs_rows=rhs_rows,
+        rhs_old=rhs[rhs_rows].copy(),
+    )
+
+    matrix.data[lo:hi] = 0.0
+    matrix.data[diag_pos] = diag
+    for pos in col_positions:
+        matrix.data[pos] = 0.0
+    for r, q_r in zip(q_indices, q_values):
+        if int(r) != row:
+            rhs[int(r)] -= q_r * voltage
+    rhs[row] = diag * voltage
+    return patch, q_indices, q_values
+
+
+def patch_rhs(
+    rhs: np.ndarray, rows: np.ndarray, deltas: np.ndarray
+) -> SystemPatch:
+    """Apply additive RHS changes (load revisions) with an undo record."""
+    rows = np.asarray(rows, dtype=np.int64)
+    patch = SystemPatch(
+        data_indices=np.empty(0, dtype=np.int64),
+        data_old=np.empty(0, dtype=float),
+        rhs_rows=rows,
+        rhs_old=rhs[rows].copy(),
+    )
+    rhs[rows] += deltas
+    return patch
 
 
 def build_full_mna(grid: PowerGrid) -> FullMNASystem:

@@ -62,6 +62,26 @@ class ReducedSystem:
             )
         return full[self.unknown_indices].copy()
 
+    def mutable_copy(self) -> "ReducedSystem":
+        """A deep-enough copy for in-place delta stamping.
+
+        The CSR matrix and RHS are copied (the arrays delta stamping
+        mutates); index arrays and pad voltages are shared — the
+        incremental engine never changes the unknown set without a full
+        rebuild.
+        """
+        return ReducedSystem(
+            matrix=self.matrix.copy(),
+            rhs=self.rhs.copy(),
+            unknown_indices=self.unknown_indices,
+            pad_voltages=dict(self.pad_voltages),
+            num_grid_nodes=self.num_grid_nodes,
+        )
+
+    def row_map(self) -> dict[int, int]:
+        """``{grid_node_index: reduced_row}`` for the unknown nodes."""
+        return {int(g): r for r, g in enumerate(self.unknown_indices)}
+
     def residual_norm(self, x: np.ndarray) -> float:
         """Two-norm of ``b - Gx`` for a candidate solution."""
         return float(np.linalg.norm(self.rhs - self.matrix @ x))

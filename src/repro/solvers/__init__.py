@@ -27,7 +27,18 @@ from repro.solvers.guard import (
     SolverFailure,
 )
 from repro.solvers.powerrush import PowerRushSimulator, SimulationReport
-from repro.solvers.incremental import IncrementalAnalyzer, IncrementalSolve
+from repro.solvers.incremental import (
+    AddPad,
+    GridDelta,
+    IncrementalAnalyzer,
+    IncrementalEngine,
+    IncrementalOptions,
+    IncrementalSolve,
+    RemovePad,
+    ReviseLoads,
+    ScaleWire,
+    SetWireResistance,
+)
 from repro.solvers.macromodel import SchurReduction, layer_port_rows
 from repro.solvers.schwarz import AdditiveSchwarzPreconditioner, SchwarzPCGSolver
 from repro.solvers.random_walk import RandomWalkOptions, RandomWalkSolver
@@ -45,8 +56,16 @@ __all__ = [
     "IterationGuard",
     "SolverDiagnostics",
     "SolverFailure",
+    "AddPad",
+    "GridDelta",
     "IncrementalAnalyzer",
+    "IncrementalEngine",
+    "IncrementalOptions",
     "IncrementalSolve",
+    "RemovePad",
+    "ReviseLoads",
+    "ScaleWire",
+    "SetWireResistance",
     "JacobiPCGSolver",
     "PowerRushSimulator",
     "RandomWalkOptions",

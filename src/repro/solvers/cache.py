@@ -79,6 +79,27 @@ def matrix_fingerprint(matrix: sp.spmatrix) -> str:
     return digest.hexdigest()
 
 
+def chained_fingerprint(parent: str, delta_token: str) -> str:
+    """Fingerprint of ``parent`` matrix after one structural delta.
+
+    The incremental engine identifies its patched systems by *delta
+    chain* — ``chain(chain(fp0, d1), d2)`` — instead of re-hashing the
+    full CSR content after every edit.  Two chains collide only when
+    they apply the same token sequence to the same base, so an ECO sweep
+    that revisits a structural state (apply candidate, revert, re-apply)
+    hits the setup cache without touching the matrix data.  Chain keys
+    live in the same namespace as content fingerprints but are distinct
+    from them: the same matrix reached by stamping and by patching gets
+    two cache entries, which costs one redundant build, never a wrong
+    hierarchy.
+    """
+    digest = hashlib.blake2b(digest_size=16)
+    digest.update(parent.encode())
+    digest.update(b"\x00")
+    digest.update(delta_token.encode())
+    return digest.hexdigest()
+
+
 class AMGSetupCache:
     """LRU cache of AMG hierarchies keyed by (matrix fingerprint, options)."""
 
@@ -97,15 +118,23 @@ class AMGSetupCache:
     # -- core API ------------------------------------------------------------
 
     def get_or_build(
-        self, matrix: sp.spmatrix, options: AMGOptions
+        self,
+        matrix: sp.spmatrix,
+        options: AMGOptions,
+        fingerprint: str | None = None,
     ) -> tuple[AMGHierarchy, bool]:
         """The hierarchy for *matrix* under *options*; builds on first use.
 
         Returns ``(hierarchy, hit)``.  The build itself runs outside the
         lock so concurrent threads are not serialised on setup; a racing
         duplicate build is resolved first-writer-wins.
+
+        *fingerprint* lets a caller that already knows the matrix
+        identity (the incremental engine's delta-chain keys) skip the
+        content hash; the caller is then responsible for the key being
+        injective over the matrices it presents.
         """
-        key = (matrix_fingerprint(matrix), options)
+        key = (fingerprint or matrix_fingerprint(matrix), options)
         with self._lock:
             cached = self._entries.get(key)
             if cached is not None:

@@ -1,0 +1,172 @@
+"""Tests for the tiered compute-kernel backend."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.core import kernels
+from repro.core.kernels import (
+    BackendUnavailableError,
+    available_backends,
+    backend_name,
+    csr_matvec,
+    matmul,
+    numba_available,
+    set_backend,
+    use_backend,
+)
+
+needs_numba = pytest.mark.skipif(
+    not numba_available(), reason="numba not installed"
+)
+
+
+@pytest.fixture(autouse=True)
+def _reset_backend():
+    set_backend(None)
+    yield
+    set_backend(None)
+
+
+class TestSelection:
+    def test_default_is_numpy(self, monkeypatch):
+        monkeypatch.delenv(kernels.BACKEND_ENV, raising=False)
+        set_backend(None)
+        assert backend_name() == "numpy"
+
+    def test_env_variable_selects(self, monkeypatch):
+        monkeypatch.setenv(kernels.BACKEND_ENV, "numpy")
+        set_backend(None)
+        assert backend_name() == "numpy"
+
+    def test_set_backend_overrides_env(self, monkeypatch):
+        monkeypatch.setenv(kernels.BACKEND_ENV, "nonsense")
+        set_backend("numpy")
+        assert backend_name() == "numpy"
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError):
+            set_backend("fortran")
+
+    def test_unknown_env_value_rejected(self, monkeypatch):
+        monkeypatch.setenv(kernels.BACKEND_ENV, "fortran")
+        set_backend(None)
+        with pytest.raises(ValueError):
+            backend_name()
+
+    def test_numba_unavailable_raises(self):
+        if numba_available():
+            pytest.skip("numba installed in this environment")
+        with pytest.raises(BackendUnavailableError):
+            set_backend("numba")
+
+    def test_use_backend_restores(self):
+        before = backend_name()
+        with use_backend("numpy"):
+            assert backend_name() == "numpy"
+        assert backend_name() == before
+
+    def test_available_backends_lists_numpy(self):
+        names = available_backends()
+        assert "numpy" in names
+        assert ("numba" in names) == numba_available()
+
+
+class TestNumpyTier:
+    """The numpy tier must be *bitwise* identical to direct numpy/scipy."""
+
+    def test_matmul_bitwise_fp64(self):
+        rng = np.random.default_rng(0)
+        a = rng.standard_normal((17, 9))
+        b = rng.standard_normal((9, 13))
+        out = matmul(a, b)
+        assert out.dtype == np.float64
+        assert np.array_equal(out, np.matmul(a, b))
+
+    def test_matmul_bitwise_fp32_batched(self):
+        rng = np.random.default_rng(1)
+        a = rng.standard_normal((3, 5, 7)).astype(np.float32)
+        b = rng.standard_normal((3, 7, 4)).astype(np.float32)
+        assert np.array_equal(matmul(a, b), np.matmul(a, b))
+
+    def test_matmul_out_param(self):
+        rng = np.random.default_rng(2)
+        a = rng.standard_normal((4, 6))
+        b = rng.standard_normal((6, 3))
+        out = np.empty((4, 3))
+        returned = matmul(a, b, out=out)
+        assert returned is out
+        assert np.array_equal(out, np.matmul(a, b))
+
+    def test_csr_matvec_bitwise(self):
+        rng = np.random.default_rng(3)
+        dense = rng.standard_normal((20, 20))
+        dense[np.abs(dense) < 1.0] = 0.0
+        matrix = sp.csr_matrix(dense)
+        x = rng.standard_normal(20)
+        assert np.array_equal(csr_matvec(matrix, x), matrix @ x)
+
+
+@needs_numba
+class TestNumbaTier:
+    """Numba tier agrees with numpy to tight float tolerances."""
+
+    def test_gemm2d_fp32(self):
+        rng = np.random.default_rng(4)
+        a = rng.standard_normal((33, 47)).astype(np.float32)
+        b = rng.standard_normal((47, 29)).astype(np.float32)
+        with use_backend("numba"):
+            got = matmul(a, b)
+        np.testing.assert_allclose(got, np.matmul(a, b), rtol=1e-5, atol=1e-5)
+
+    def test_gemm3d_fp32(self):
+        rng = np.random.default_rng(5)
+        a = rng.standard_normal((4, 18, 23)).astype(np.float32)
+        b = rng.standard_normal((4, 23, 11)).astype(np.float32)
+        with use_backend("numba"):
+            got = matmul(a, b)
+        np.testing.assert_allclose(got, np.matmul(a, b), rtol=1e-5, atol=1e-5)
+
+    def test_fp64_matmul_stays_on_numpy(self):
+        # The fp64 paths are bitwise-frozen: the numba tier must not touch
+        # them even when selected.
+        rng = np.random.default_rng(6)
+        a = rng.standard_normal((12, 12))
+        b = rng.standard_normal((12, 12))
+        with use_backend("numba"):
+            got = matmul(a, b)
+        assert np.array_equal(got, np.matmul(a, b))
+
+    def test_spmv(self):
+        rng = np.random.default_rng(7)
+        dense = rng.standard_normal((40, 40))
+        dense[np.abs(dense) < 1.2] = 0.0
+        matrix = sp.csr_matrix(dense)
+        x = rng.standard_normal(40)
+        with use_backend("numba"):
+            got = csr_matvec(matrix, x)
+        np.testing.assert_allclose(got, matrix @ x, rtol=1e-12, atol=1e-12)
+
+
+class TestConfigIntegration:
+    def test_fusion_config_rejects_unknown_backend(self):
+        from repro.core.config import FusionConfig
+
+        with pytest.raises(ValueError):
+            FusionConfig(backend="fortran")
+
+    def test_fusion_config_accepts_numpy(self):
+        from repro.core.config import FusionConfig
+
+        assert FusionConfig(backend="numpy").backend == "numpy"
+
+    def test_cli_flag_rejects_missing_numba(self, tmp_path):
+        if numba_available():
+            pytest.skip("numba installed in this environment")
+        from repro.cli import EXIT_BAD_INPUT, main
+
+        deck = tmp_path / "d.sp"
+        deck.write_text("* empty\n.end\n")
+        assert main(["--backend", "numba", "simulate", str(deck)]) == (
+            EXIT_BAD_INPUT
+        )

@@ -1,0 +1,285 @@
+"""Property and unit tests for the incremental ECO re-solve engine.
+
+The central invariant: any sequence of :class:`GridDelta` edits applied
+through :class:`IncrementalEngine` must produce the same IR drop as
+restamping the mutated grid from scratch and solving to convergence —
+regardless of whether the engine answered via Sherman–Morrison–Woodbury
+corrections, warm starts, or a threshold-triggered full rebuild.
+"""
+
+import numpy as np
+import pytest
+import scipy.sparse.linalg as spla
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.synthetic import DesignSpec, generate_design
+from repro.mna.stamper import build_reduced_system
+from repro.obs import deadline_scope
+from repro.solvers.incremental import (
+    AddPad,
+    IncrementalAnalyzer,
+    IncrementalEngine,
+    IncrementalOptions,
+    RemovePad,
+    ReviseLoads,
+    ScaleWire,
+    SetWireResistance,
+)
+
+
+def _small_grid():
+    spec = DesignSpec(
+        name="eco", kind="fake", pixels=12, num_layers=2,
+        supply_voltage=1.0, total_current=0.4, num_pads=4, seed=11,
+    )
+    return generate_design(spec).grid
+
+
+#: One grid for the whole module — the engine clones it, tests mutate clones.
+GRID = _small_grid()
+SUPPLY = 1.0
+
+
+def reference_drops(grid):
+    """From-scratch ground truth: restamp + sparse direct solve."""
+    system = build_reduced_system(grid)
+    x = spla.spsolve(system.matrix.tocsc(), system.rhs)
+    return SUPPLY - system.scatter(x)
+
+
+def _free_nodes(grid):
+    return [n.index for n in grid.nodes if not n.is_pad]
+
+
+def _load_nodes(grid):
+    return [n.index for n in grid.loads()]
+
+
+@st.composite
+def delta_programs(draw):
+    """A short random ECO program: list of (kind, payload) instructions.
+
+    Node/wire identities are drawn as indices into the *current* pools so
+    every program is valid by construction (no double pins, no pad loads).
+    """
+    length = draw(st.integers(min_value=1, max_value=6))
+    program = []
+    for _ in range(length):
+        kind = draw(st.sampled_from(
+            ["add_pad", "remove_added_pad", "scale_wire", "set_wire", "loads"]
+        ))
+        payload = {
+            "pick": draw(st.integers(min_value=0, max_value=10**6)),
+            "factor": draw(st.floats(min_value=0.25, max_value=4.0)),
+            "amps": draw(st.floats(min_value=-0.002, max_value=0.002)),
+        }
+        program.append((kind, payload))
+    return program
+
+
+#: Both base-solve tiers must satisfy every invariant: "direct" factors
+#: G0 once (exact columns), "iterative" is the AMG-PCG fallback used for
+#: oversized systems (forced here via a zero threshold).
+TIERS = {
+    "direct": IncrementalOptions(max_rank=16),
+    "iterative": IncrementalOptions(max_rank=16, direct_max_size=0),
+}
+
+
+class TestDeltaSequencesMatchFromScratch:
+    @pytest.mark.parametrize("tier", sorted(TIERS))
+    @given(program=delta_programs())
+    @settings(max_examples=10, deadline=None)
+    def test_incremental_matches_reference(self, tier, program):
+        engine = IncrementalEngine(GRID, SUPPLY, incremental=TIERS[tier])
+        shadow = GRID.clone()  # mutated in lockstep, solved from scratch
+        added_pads: list[int] = []
+
+        for kind, payload in program:
+            pick, factor, amps = (
+                payload["pick"], payload["factor"], payload["amps"],
+            )
+            if kind == "add_pad":
+                pool = [i for i in _free_nodes(shadow)]
+                if not pool:
+                    continue
+                node = pool[pick % len(pool)]
+                if shadow.node(node).load_current != 0.0:
+                    continue  # keep pinned nodes load-free for clarity
+                engine.apply(AddPad(node))
+                shadow.pin_pad(node, SUPPLY)
+                added_pads.append(node)
+            elif kind == "remove_added_pad":
+                if not added_pads:
+                    continue
+                node = added_pads.pop(pick % len(added_pads))
+                engine.apply(RemovePad(node))
+                shadow.unpin_pad(node)
+            elif kind == "scale_wire":
+                wire = pick % shadow.num_wires
+                engine.apply(ScaleWire(wire, factor))
+                shadow.set_wire_resistance(
+                    wire, shadow.wires[wire].resistance * factor
+                )
+            elif kind == "set_wire":
+                wire = pick % shadow.num_wires
+                resistance = shadow.wires[wire].resistance * factor + 1e-4
+                engine.apply(SetWireResistance(wire, resistance))
+                shadow.set_wire_resistance(wire, resistance)
+            else:
+                pool = [
+                    i for i in _load_nodes(shadow)
+                    if not shadow.node(i).is_pad
+                ]
+                if not pool:
+                    continue
+                node = pool[pick % len(pool)]
+                engine.apply(ReviseLoads.of({node: amps}, additive=True))
+                shadow.set_load(
+                    node, shadow.node(node).load_current + amps
+                )
+
+            step = engine.solve()
+            assert step.converged
+            np.testing.assert_allclose(
+                step.drops, reference_drops(shadow), atol=1e-6
+            )
+
+    @given(factor=st.floats(min_value=0.5, max_value=2.0))
+    @settings(max_examples=10, deadline=None)
+    def test_preview_leaves_state_untouched(self, factor):
+        engine = IncrementalEngine(GRID, SUPPLY)
+        before = engine.solve()
+        engine.preview(ScaleWire(0, factor))
+        after = engine.solve()
+        np.testing.assert_allclose(after.drops, before.drops, atol=1e-8)
+        assert engine.rank == 0
+
+
+class TestRebuildBoundary:
+    def test_rank_budget_triggers_rebuild_and_stays_correct(self):
+        engine = IncrementalEngine(
+            GRID, SUPPLY, incremental=IncrementalOptions(max_rank=2)
+        )
+        engine.solve()
+        shadow = GRID.clone()
+        free = [
+            i for i in _free_nodes(shadow)
+            if shadow.node(i).load_current == 0.0
+        ]
+        strategies = []
+        for node in free[:3]:  # rank 6 > budget 2 after the second pad
+            engine.apply(AddPad(node))
+            shadow.pin_pad(node, SUPPLY)
+            step = engine.solve()
+            strategies.append(step.strategy)
+            np.testing.assert_allclose(
+                step.drops, reference_drops(shadow), atol=1e-6
+            )
+        assert "rebuild" in strategies
+        # The rebuild absorbed the over-budget terms into a fresh base;
+        # edits committed after it accumulate rank again from zero.
+        assert engine.rank <= engine.incremental.max_rank
+
+    def test_structural_removal_forces_rebuild(self):
+        engine = IncrementalEngine(GRID, SUPPLY)
+        engine.solve()
+        shadow = GRID.clone()
+        original_pad = shadow.pads()[0].index
+        engine.apply(RemovePad(original_pad))
+        shadow.unpin_pad(original_pad)
+        step = engine.solve()
+        assert step.strategy == "rebuild"
+        np.testing.assert_allclose(
+            step.drops, reference_drops(shadow), atol=1e-6
+        )
+
+    def test_add_then_remove_is_exact_reversal(self):
+        engine = IncrementalEngine(GRID, SUPPLY)
+        baseline = engine.solve()
+        node = next(
+            i for i in _free_nodes(GRID)
+            if GRID.node(i).load_current == 0.0
+        )
+        engine.apply(AddPad(node))
+        engine.apply(RemovePad(node))
+        step = engine.solve()
+        assert engine.rank == 0
+        np.testing.assert_allclose(step.drops, baseline.drops, atol=1e-8)
+
+
+class TestEngineContracts:
+    def test_caller_grid_never_mutated(self):
+        pads_before = len(GRID.pads())
+        engine = IncrementalEngine(GRID, SUPPLY)
+        node = _free_nodes(GRID)[0]
+        engine.apply(ScaleWire(0, 2.0))
+        if GRID.node(node).load_current == 0.0:
+            engine.apply(AddPad(node))
+        assert len(GRID.pads()) == pads_before
+        assert GRID.wires[0].resistance == engine.grid.wires[0].resistance / 2.0
+
+    def test_revert_requires_lifo(self):
+        engine = IncrementalEngine(GRID, SUPPLY)
+        first = engine.apply(ScaleWire(0, 2.0))
+        engine.apply(ScaleWire(1, 2.0))
+        with pytest.raises(ValueError):
+            engine.revert(first)
+
+    def test_fingerprint_chains_and_rewinds(self):
+        engine = IncrementalEngine(GRID, SUPPLY)
+        fp0 = engine.fingerprint
+        term = engine.apply(ScaleWire(0, 2.0))
+        fp1 = engine.fingerprint
+        assert fp1 != fp0
+        engine.revert(term)
+        assert engine.fingerprint == fp0
+        engine.apply(ScaleWire(0, 2.0))
+        assert engine.fingerprint == fp1  # same edit → same chain key
+
+    def test_double_pin_rejected(self):
+        engine = IncrementalEngine(GRID, SUPPLY)
+        pad = GRID.pads()[0].index
+        with pytest.raises(ValueError):
+            engine.apply(AddPad(pad))
+
+    def test_invalid_wire_factor_rejected(self):
+        with pytest.raises(ValueError):
+            ScaleWire(0, -1.0)
+        with pytest.raises(ValueError):
+            SetWireResistance(0, 0.0)
+
+
+class TestAnalyzerSatellites:
+    """Satellite 1: options passthrough, deadlines, diagnostics."""
+
+    def test_caller_supplied_options_respected(self):
+        from repro.solvers.base import SolverOptions
+
+        options = SolverOptions(tol=1e-4, max_iterations=7)
+        analyzer = IncrementalAnalyzer(GRID, SUPPLY, options=options)
+        assert analyzer.options is options
+        step = analyzer.set_loads(
+            {n.index: n.load_current * 1.5 for n in GRID.loads()}
+        )
+        # iterations totals every inner PCG loop; each individual loop
+        # (base solve, polish) honours the caller's cap.
+        assert step.iterations - step.polish_iterations <= 7
+
+    def test_deadline_scope_aborts_cleanly(self):
+        analyzer = IncrementalAnalyzer(GRID, SUPPLY)
+        with deadline_scope(1e-9):
+            step = analyzer.set_loads(
+                {n.index: n.load_current * 2.0 for n in GRID.loads()}
+            )
+        assert step.aborted == "deadline"
+        assert not step.converged
+
+    def test_diagnostics_record_each_step(self):
+        analyzer = IncrementalAnalyzer(GRID, SUPPLY)
+        analyzer.set_loads({n.index: n.load_current for n in GRID.loads()})
+        analyzer.update_loads({GRID.loads()[0].index: 1e-4})
+        notes = analyzer.diagnostics.warnings
+        assert len(notes) == 2
+        assert "strategy=" in notes[0] and "iterations=" in notes[0]

@@ -76,3 +76,21 @@ class TestGreedyPadPlacement:
             greedy_pad_placement(
                 fake_design.netlist, budget_volts=0.1, max_new_pads=0
             )
+        with pytest.raises(ValueError):
+            greedy_pad_placement(
+                fake_design.netlist, budget_volts=0.1, method="quantum"
+            )
+
+    def test_incremental_matches_legacy(self, real_design):
+        """The engines must commit the same pads and report the same drops."""
+        kwargs = dict(budget_volts=1e-6, max_new_pads=2, max_candidates=6)
+        fast = greedy_pad_placement(
+            real_design.netlist, method="incremental", **kwargs
+        )
+        slow = greedy_pad_placement(
+            real_design.netlist, method="legacy", **kwargs
+        )
+        assert fast.added_pads == slow.added_pads
+        assert fast.worst_drop_history == pytest.approx(
+            slow.worst_drop_history, rel=1e-6
+        )
