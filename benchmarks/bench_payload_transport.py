@@ -1,0 +1,309 @@
+"""Payload-transport benchmark: shared-memory vs inline pool pickling.
+
+The workload is multi-deck batch analysis (:class:`repro.core.batch.
+BatchAnalyzer`) under the spawn pool — the transport-heaviest path in
+the repo: every task ships a full design in and an
+:class:`~repro.core.pipeline.AnalysisResult` (features, drop maps,
+solver report) back out.  Two arms per grid size:
+
+- **inline** (``REPRO_SHM_THRESHOLD=0``): classic pickling, every byte
+  crosses the worker pipe;
+- **shm**: ndarrays above the threshold ride :mod:`repro.core.shm` as
+  ~100-byte descriptors, only object scaffolding crosses the pipe.
+
+Measured per arm: wall time (best of repeats) and pipe traffic (the
+``transport.pickled_bytes`` counter delta, divided by task count).  The
+arms must produce bitwise-identical results — and identity is further
+checked across spawn/fork/serial execution, plus a sharded-trainer run
+whose weight trajectories must match bitwise with the transport on and
+off.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_payload_transport.py          # full
+    PYTHONPATH=src python benchmarks/bench_payload_transport.py --tiny   # CI
+    PYTHONPATH=src python benchmarks/bench_payload_transport.py --tiny \
+        --check benchmarks/artifacts/BENCH_pr8_tiny.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.batch import BatchAnalyzer
+from repro.core.config import FusionConfig
+from repro.core.pool import shutdown_pool
+from repro.data.synthetic import generate_benchmark_suite
+from repro.obs import metrics_snapshot
+from repro.train.trainer import TrainConfig
+
+from common import append_trajectory, attach_provenance, calibration_seconds
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Externalization threshold (bytes) for the shm arm.  Lower than the
+#: 64 KiB production default so per-image arrays externalise at every
+#: bench grid, not only the largest; the tiny CI scale drops it further
+#: because a 16x16 fp64 image is only 2 KiB.
+SHM_THRESHOLD = 8192
+SHM_THRESHOLD_TINY = 2048
+
+
+def shm_threshold_for(tiny: bool) -> int:
+    return SHM_THRESHOLD_TINY if tiny else SHM_THRESHOLD
+
+#: Allowed calibrated slowdown of the shm analyze arm vs the committed
+#: baseline before --check fails (the CI regression gate).
+REGRESSION_LIMIT = 1.3
+
+#: Full-scale acceptance floor: per-task pipe bytes must shrink at least
+#: this much at the largest grid.
+MIN_BYTES_REDUCTION = 10.0
+
+
+def make_pipeline(pixels: int, jobs: int) -> tuple[FusionConfig, object]:
+    from repro.core.pipeline import IRFusionPipeline
+
+    config = FusionConfig(
+        pixels=pixels,
+        depth=2,
+        num_fake=3,
+        num_real_train=1,
+        num_real_test=1,
+        solver_iterations=1,
+        jobs=jobs,
+        train=TrainConfig(epochs=2, batch_size=4),
+    )
+    pipeline = IRFusionPipeline(config)
+    pipeline.train()
+    return config, pipeline
+
+
+def pickled_bytes() -> float:
+    return metrics_snapshot()["counters"].get("transport.pickled_bytes", 0.0)
+
+
+def run_arm(
+    pipeline, designs, jobs: int, threshold: int, repeats: int
+) -> tuple[dict, list[np.ndarray]]:
+    """Time one transport arm and capture its predictions."""
+    os.environ["REPRO_SHM_THRESHOLD"] = str(threshold)
+    best = np.inf
+    report = None
+    bytes_per_task = None
+    for _ in range(repeats):
+        before = pickled_bytes()
+        start = time.perf_counter()
+        report = BatchAnalyzer(pipeline, jobs=jobs).analyze_designs(designs)
+        best = min(best, time.perf_counter() - start)
+        bytes_per_task = (pickled_bytes() - before) / len(designs)
+    failed = [item.name for item in report.items if not item.ok]
+    if failed:
+        raise RuntimeError(f"analysis failed for {failed}")
+    predictions = [item.result.predicted_drop for item in report.items]
+    return (
+        {"seconds_best": best, "pickled_bytes_per_task": bytes_per_task},
+        predictions,
+    )
+
+
+def identical(a: list[np.ndarray], b: list[np.ndarray]) -> bool:
+    return len(a) == len(b) and all(
+        np.array_equal(x, y) for x, y in zip(a, b)
+    )
+
+
+def check_mode_identity(pipeline, designs, jobs: int, threshold: int) -> dict:
+    """Bitwise identity of predictions across pool modes and transports."""
+    os.environ["REPRO_SHM_THRESHOLD"] = str(threshold)
+    runs = {}
+    for mode in ("spawn", "fork", "serial"):
+        os.environ["REPRO_POOL_MODE"] = mode
+        report = BatchAnalyzer(pipeline, jobs=jobs).analyze_designs(designs)
+        runs[mode] = [item.result.predicted_drop for item in report.items]
+    os.environ["REPRO_POOL_MODE"] = "spawn"
+    os.environ["REPRO_SHM_THRESHOLD"] = "0"
+    report = BatchAnalyzer(pipeline, jobs=jobs).analyze_designs(designs)
+    runs["spawn_inline"] = [item.result.predicted_drop for item in report.items]
+    reference = runs["serial"]
+    return {mode: identical(values, reference) for mode, values in runs.items()}
+
+
+def check_train_identity(pixels: int, threshold: int) -> bool:
+    """Sharded training must be bitwise-identical with the transport on/off."""
+    from repro.train import trainer as trainer_module
+
+    # The check needs real multi-worker sharding even on a 1-core CI
+    # runner; the trajectory is jobs-invariant by construction, so
+    # forcing two workers changes scheduling, never results.
+    original = trainer_module._available_cores
+    trainer_module._available_cores = lambda: max(2, os.cpu_count() or 1)
+    states = {}
+    try:
+        for label, arm_threshold in (("shm", threshold), ("inline", 0)):
+            os.environ["REPRO_SHM_THRESHOLD"] = str(arm_threshold)
+            from repro.core.pipeline import IRFusionPipeline
+
+            config = FusionConfig(
+                pixels=pixels,
+                depth=2,
+                num_fake=2,
+                num_real_train=1,
+                num_real_test=1,
+                solver_iterations=1,
+                train=TrainConfig(epochs=2, jobs=2, grad_shards=2),
+            )
+            pipeline = IRFusionPipeline(config)
+            pipeline.train()
+            states[label] = pipeline.model.state_dict()
+    finally:
+        trainer_module._available_cores = original
+    return all(
+        np.array_equal(states["shm"][key], states["inline"][key])
+        for key in states["shm"]
+    )
+
+
+def run_bench(tiny: bool, repeats: int) -> dict:
+    os.environ["REPRO_POOL_MODE"] = "spawn"
+    jobs = 2
+    threshold = shm_threshold_for(tiny)
+    grid_sizes = [16] if tiny else [16, 32, 48]
+    num_decks = 3 if tiny else 6
+
+    grids = {}
+    for pixels in grid_sizes:
+        _, pipeline = make_pipeline(pixels, jobs)
+        designs = generate_benchmark_suite(
+            num_decks - 1, 1, pixels=pixels, seed=11
+        )
+        inline, inline_pred = run_arm(pipeline, designs, jobs, 0, repeats)
+        shm, shm_pred = run_arm(
+            pipeline, designs, jobs, threshold, repeats
+        )
+        grids[str(pixels)] = {
+            "tasks": len(designs),
+            "inline": inline,
+            "shm": shm,
+            "bytes_reduction": (
+                inline["pickled_bytes_per_task"]
+                / max(shm["pickled_bytes_per_task"], 1.0)
+            ),
+            "wall_speedup": inline["seconds_best"] / shm["seconds_best"],
+            "bitwise_identical": identical(inline_pred, shm_pred),
+        }
+
+    smallest = grid_sizes[0]
+    _, pipeline = make_pipeline(smallest, jobs)
+    identity_designs = generate_benchmark_suite(2, 1, pixels=smallest, seed=13)
+    mode_identity = check_mode_identity(
+        pipeline, identity_designs, jobs, threshold
+    )
+    train_identity = check_train_identity(smallest, threshold)
+    shutdown_pool()
+
+    largest = str(grid_sizes[-1])
+    calibration = calibration_seconds()
+    return {
+        "tiny": tiny,
+        "repeats": repeats,
+        "jobs": jobs,
+        "shm_threshold": threshold,
+        "grids": grids,
+        "largest_grid": largest,
+        "bytes_reduction": grids[largest]["bytes_reduction"],
+        "wall_speedup": grids[largest]["wall_speedup"],
+        "identity": {
+            "analyze_modes": mode_identity,
+            "train_shm_vs_inline": train_identity,
+            "passed": all(mode_identity.values()) and train_identity
+            and all(row["bitwise_identical"] for row in grids.values()),
+        },
+        "shm_calibrated": grids[largest]["shm"]["seconds_best"] / calibration,
+        "calibration_seconds": calibration,
+    }
+
+
+def check_regression(results: dict, baseline_path: Path) -> int:
+    """CI gate: identity must hold, calibrated time must not regress."""
+    if not results["identity"]["passed"]:
+        print(f"FAIL: transports/modes disagree ({results['identity']})")
+        return 1
+    if results["bytes_reduction"] < 2.0:
+        print(f"FAIL: per-task pipe bytes only shrank "
+              f"{results['bytes_reduction']:.2f}x (floor 2x at any scale)")
+        return 1
+    if not results["tiny"] and results["bytes_reduction"] < MIN_BYTES_REDUCTION:
+        print(f"FAIL: bytes reduction {results['bytes_reduction']:.1f}x "
+              f"< {MIN_BYTES_REDUCTION}x at grid {results['largest_grid']}")
+        return 1
+    baseline = json.loads(baseline_path.read_text())
+    if baseline.get("tiny") != results["tiny"]:
+        print("FAIL: baseline and current run use different scales "
+              f"(baseline tiny={baseline.get('tiny')}, "
+              f"current tiny={results['tiny']}); compare like for like")
+        return 1
+    base = baseline["shm_calibrated"]
+    now = results["shm_calibrated"]
+    ratio = now / base
+    print(f"calibrated shm analyze: baseline={base:.3f} now={now:.3f} "
+          f"ratio={ratio:.3f} (limit {REGRESSION_LIMIT})")
+    if ratio > REGRESSION_LIMIT:
+        print(f"FAIL: shm analyze regressed {ratio:.2f}x vs baseline")
+        return 1
+    print("regression gate passed")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--tiny", action="store_true",
+                        help="reduced grid for CI smoke runs")
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--out", type=Path,
+                        default=REPO_ROOT / "BENCH_pr8.json")
+    parser.add_argument("--check", type=Path, default=None, metavar="BASELINE",
+                        help="compare against a committed BENCH_pr8 json and "
+                             f"fail on >{(REGRESSION_LIMIT - 1):.0%} "
+                             "calibrated regression")
+    args = parser.parse_args(argv)
+
+    results = attach_provenance(
+        run_bench(tiny=args.tiny, repeats=args.repeats), "payload_transport"
+    )
+    args.out.write_text(json.dumps(results, indent=2) + "\n")
+    append_trajectory({
+        "bench": results["bench"],
+        "git_sha": results["git_sha"],
+        "timestamp": results["timestamp"],
+        "tiny": results["tiny"],
+        "bytes_reduction": results["bytes_reduction"],
+        "wall_speedup": results["wall_speedup"],
+        "shm_calibrated": results["shm_calibrated"],
+    })
+
+    print(f"wrote {args.out}")
+    for pixels, row in results["grids"].items():
+        print(f"grid {pixels}: inline "
+              f"{row['inline']['pickled_bytes_per_task'] / 1e3:.0f}KB/task "
+              f"{row['inline']['seconds_best'] * 1e3:.0f}ms | shm "
+              f"{row['shm']['pickled_bytes_per_task'] / 1e3:.0f}KB/task "
+              f"{row['shm']['seconds_best'] * 1e3:.0f}ms | "
+              f"bytes x{row['bytes_reduction']:.1f} "
+              f"wall x{row['wall_speedup']:.2f}")
+    print(f"identity: {results['identity']}")
+
+    if args.check is not None:
+        return check_regression(results, args.check)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -13,6 +13,14 @@ pool.  Two patterns break there:
 
 Module-level functions, ``functools.partial`` over them, and bound
 methods are fine: their state is explicit arguments, not captured frame.
+
+A third pattern is legal but wasteful: a worker that reads a **large
+module-level ndarray** by name.  Under spawn every worker re-creates the
+array at import (a private copy per process), and under fork the pages
+stay copy-on-write only until the first touch — either way the data
+bypasses the zero-copy shared-memory plane (:mod:`repro.core.shm`) that
+arrays passed *through the pool* ride automatically.  Such workers are
+flagged: pass the array per-item or through the task object instead.
 """
 
 from __future__ import annotations
@@ -27,6 +35,31 @@ _UNSAFE_LAST_PARTS = {
     "Lock", "RLock", "Semaphore", "BoundedSemaphore", "Event", "Condition",
     "Workspace",
 }
+#: Pool entry points whose first argument ships to worker processes.
+_POOL_ENTRY_POINTS = {"parallel_map", "parallel_map_ex"}
+#: numpy constructors whose module-level results are whole data arrays
+#: (as opposed to small constants) when read from a pool worker.
+_NDARRAY_FACTORIES = {
+    "zeros", "ones", "empty", "full", "array", "load", "loadtxt",
+    "frombuffer", "arange", "linspace",
+}
+
+
+def _is_ndarray_binding(value: ast.AST) -> str | None:
+    """If *value* builds an ndarray via a numpy factory, say which."""
+    if not isinstance(value, ast.Call):
+        return None
+    name = call_name(value)
+    if name is None:
+        return None
+    parts = name.split(".")
+    if (
+        len(parts) >= 2
+        and parts[0] in ("np", "numpy")
+        and parts[-1] in _NDARRAY_FACTORIES
+    ):
+        return name
+    return None
 
 
 def _is_unsafe_binding(value: ast.AST) -> str | None:
@@ -80,17 +113,18 @@ class ForkUnsafeClosureRule(Rule):
             if not isinstance(node, ast.Call):
                 continue
             name = call_name(node)
-            if name is None or name.split(".")[-1] != "parallel_map":
+            if name is None or name.split(".")[-1] not in _POOL_ENTRY_POINTS:
                 continue
             if not node.args:
                 continue
+            entry = name.split(".")[-1]
             worker = node.args[0]
             if isinstance(worker, ast.Lambda):
                 findings.append(
                     module.finding(
                         self.rule_id,
                         worker,
-                        "lambda passed to parallel_map captures the "
+                        f"lambda passed to {entry} captures the "
                         "enclosing frame and is not picklable under spawn; "
                         "use a module-level function or functools.partial",
                     )
@@ -100,6 +134,51 @@ class ForkUnsafeClosureRule(Rule):
                 findings.extend(
                     self._check_nested_worker(module, node, worker, parents)
                 )
+                findings.extend(
+                    self._check_module_arrays(module, worker)
+                )
+        return findings
+
+    def _check_module_arrays(
+        self, module: ModuleSource, worker: ast.Name
+    ) -> list[Finding]:
+        """Flag workers reading module-level ndarrays by name.
+
+        The array never travels through the pool's payload, so the
+        shared-memory transport cannot externalise it — every worker
+        process materialises a private copy instead.
+        """
+        worker_def = next(
+            (
+                sub
+                for sub in ast.walk(module.tree)
+                if isinstance(sub, _FUNCTION_NODES) and sub.name == worker.id
+            ),
+            None,
+        )
+        if worker_def is None:
+            return []
+        free = _free_names(worker_def)
+        findings: list[Finding] = []
+        for stmt in module.tree.body:
+            if not isinstance(stmt, ast.Assign):
+                continue
+            for target in stmt.targets:
+                if not (isinstance(target, ast.Name) and target.id in free):
+                    continue
+                what = _is_ndarray_binding(stmt.value)
+                if what is not None:
+                    findings.append(
+                        module.finding(
+                            self.rule_id,
+                            worker_def,
+                            f"worker '{worker_def.name}' reads module-level "
+                            f"ndarray '{target.id}' ({what}(...)) by value; "
+                            "every pool worker materialises a private copy "
+                            "that bypasses the shared-memory transport — "
+                            "pass it per-item or via the task object",
+                        )
+                    )
         return findings
 
     def _check_nested_worker(

@@ -46,6 +46,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from pathlib import Path
 
@@ -266,6 +267,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--backend", choices=("numpy", "numba"), default=None,
                         help="compute-kernel tier for dense/sparse hot loops "
                              "(default: REPRO_BACKEND env var, else numpy)")
+    parser.add_argument("--shm-threshold", default=None, metavar="BYTES",
+                        help="minimum ndarray size for the zero-copy "
+                             "shared-memory pool transport; 0 or 'off' forces "
+                             "inline pickling (default: REPRO_SHM_THRESHOLD "
+                             "env var, else 64 KiB)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     simulate = sub.add_parser("simulate", help="numerical (PowerRush) analysis")
@@ -380,6 +386,15 @@ def main(argv: list[str] | None = None) -> int:
     try:
         if args.backend is not None:
             set_backend(args.backend)
+        if args.shm_threshold is not None:
+            # Validate eagerly so a typo fails the run instead of being
+            # silently swallowed by the lenient env-var parser.
+            from repro.core import shm as _shm
+
+            if args.shm_threshold.lower() not in ("off", "none", "disabled"):
+                if int(args.shm_threshold) < 0:
+                    raise ValueError("--shm-threshold must be >= 0")
+            os.environ[_shm.THRESHOLD_ENV] = args.shm_threshold
         return _dispatch(args)
     except BackendUnavailableError as exc:
         if args.debug:

@@ -250,6 +250,7 @@ def _pool_map(
     retries: int | None,
     deadline: float | None,
     fault_plan,
+    shm_threshold: int | None,
 ) -> list[TaskOutcome]:
     """Run the batch on the shared spawn pool; telemetry rides back."""
     tracer = current_tracer()
@@ -262,6 +263,7 @@ def _pool_map(
         deadline=deadline,
         fault_plan=fault_plan if fault_plan is not None else _chaos_plan(),
         traced=tracer is not None,
+        shm_threshold=shm_threshold,
     )
     if tracer is not None:
         for payload in result.span_payloads:
@@ -281,6 +283,7 @@ def parallel_map_ex(
     deadline: float | None = None,
     fault_plan=None,
     mode: str | None = None,
+    shm_threshold: int | None = None,
 ) -> tuple[list[TaskOutcome], bool]:
     """Order-preserving supervised map of *fn* over *items*.
 
@@ -297,6 +300,14 @@ def parallel_map_ex(
     docstring); the ``REPRO_POOL_MODE`` environment variable overrides
     it, and inside a pool worker the call always runs serially (workers
     are daemonic and cannot have children).
+
+    On the pool path, large ndarrays in items and results cross via the
+    shared-memory data plane (:mod:`repro.core.shm`) rather than the
+    pipe; *shm_threshold* overrides the ambient externalization
+    threshold (``REPRO_SHM_THRESHOLD``) for this batch, and ``0``
+    forces inline transport.  Results are bitwise-identical either
+    way; externalized result arrays are handed back as read-only
+    views.
 
     When the calling thread has an active :mod:`repro.obs` trace, each
     worker item runs under its own tracer and ships its span tree and
@@ -324,7 +335,8 @@ def parallel_map_ex(
     try:
         return (
             _pool_map(
-                fn, items, jobs, task_timeout, retries, deadline, fault_plan
+                fn, items, jobs, task_timeout, retries, deadline, fault_plan,
+                shm_threshold,
             ),
             False,
         )
@@ -379,6 +391,76 @@ def tree_reduce(values: Sequence, combine: Callable = None):
             paired.append(values[-1])
         values = paired
     return values[0]
+
+
+#: Worker-side pipeline cache keyed by (weight fingerprint, config repr).
+#: A persistent pool worker analysing repeat jobs with the same trained
+#: model skips the model rebuild + weight copy entirely; bounded so a
+#: long-lived worker cycling through many models cannot grow without
+#: limit.
+_PIPELINE_CACHE: dict[tuple[str, str], object] = {}
+_PIPELINE_CACHE_MAX = 4
+
+
+class _PipelineTask:
+    """Shippable per-deck analysis task with a worker-side model cache.
+
+    In the parent this is a thin wrapper over a trained
+    :class:`~repro.core.pipeline.IRFusionPipeline`; fork/serial engines
+    call straight through.  Under the spawn pool it pickles as
+    ``(method, config, channels, state_dict, fingerprint)`` — the state
+    dict's arrays ride the shm transport, so weights ship once per
+    (job, worker) as descriptors — and the worker rebuilds the pipeline
+    once per fingerprint, caching it across tasks *and* jobs.  The
+    fingerprint (:func:`repro.nn.serialize.state_fingerprint`) covers
+    every weight byte, so a retrained model can never hit a stale
+    cache entry.
+    """
+
+    def __init__(self, pipeline: "IRFusionPipeline", method: str) -> None:
+        self.pipeline = pipeline
+        self.method = method
+
+    def __getstate__(self) -> dict:
+        from repro.nn.serialize import state_fingerprint
+
+        state = self.pipeline.model.state_dict()
+        return {
+            "method": self.method,
+            "config": self.pipeline.config,
+            "channels": self.pipeline._trained_channels,
+            "state": state,
+            "fingerprint": state_fingerprint(state),
+        }
+
+    def __setstate__(self, payload: dict) -> None:
+        self.method = payload["method"]
+        self.pipeline = None
+        self._payload = payload
+
+    def _rebuild(self) -> "IRFusionPipeline":
+        payload = self._payload
+        key = (payload["fingerprint"], repr(payload["config"]))
+        pipeline = _PIPELINE_CACHE.get(key)
+        if pipeline is None:
+            counter_add("batch.pipeline_cache_misses")
+            from repro.core.pipeline import IRFusionPipeline
+
+            pipeline = IRFusionPipeline(payload["config"])
+            pipeline.load_model_state(payload["state"], payload["channels"])
+            while len(_PIPELINE_CACHE) >= _PIPELINE_CACHE_MAX:
+                _PIPELINE_CACHE.pop(next(iter(_PIPELINE_CACHE)))
+            _PIPELINE_CACHE[key] = pipeline
+        else:
+            counter_add("batch.pipeline_cache_hits")
+        self.pipeline = pipeline
+        return pipeline
+
+    def __call__(self, item):
+        pipeline = self.pipeline
+        if pipeline is None:
+            pipeline = self._rebuild()
+        return getattr(pipeline, self.method)(item)
 
 
 @dataclass
@@ -517,6 +599,7 @@ class BatchAnalyzer:
                 task_timeout=self.task_timeout,
                 retries=self.retries,
                 deadline=self.deadline,
+                shm_threshold=self.pipeline.config.shm_threshold,
             )
         report = BatchReport(
             items=[
@@ -553,10 +636,24 @@ class BatchAnalyzer:
             report.notes.append(f"{retried} item(s) needed retries")
         return report
 
+    def _task(self, method: str) -> Callable:
+        """Per-design callable for the pool.
+
+        Trained pipelines ship as a :class:`_PipelineTask` so spawn
+        workers can cache the rebuilt model by weight fingerprint (and
+        the weights themselves ride the shm transport); untrained
+        pipelines (ML disabled / numerical-only) fall back to the plain
+        bound method.
+        """
+        pipeline = self.pipeline
+        if pipeline.model is not None and pipeline._trained_channels is not None:
+            return _PipelineTask(pipeline, method)
+        return getattr(pipeline, method)
+
     def analyze_designs(self, designs: Sequence["Design"]) -> BatchReport:
         """Analyse many synthetic designs; per-design failures are recorded."""
         return self._run(
-            self.pipeline.analyze_design,
+            self._task("analyze_design"),
             [design.name for design in designs],
             designs,
         )
@@ -564,5 +661,5 @@ class BatchAnalyzer:
     def analyze_files(self, paths: Sequence) -> BatchReport:
         """Analyse many SPICE decks from disk."""
         return self._run(
-            self.pipeline.analyze_file, [str(path) for path in paths], paths
+            self._task("analyze_file"), [str(path) for path in paths], paths
         )

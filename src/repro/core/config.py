@@ -82,6 +82,13 @@ class FusionConfig:
         variable, defaulting to ``"numpy"``); ``"numpy"`` / ``"numba"``
         pin it for the run.  Requesting ``"numba"`` without the optional
         dependency installed fails fast at pipeline start.
+    shm_threshold:
+        Minimum ndarray size in bytes for the zero-copy shared-memory
+        payload transport (:mod:`repro.core.shm`) in pool batches.
+        ``None`` keeps the ambient selection (the ``REPRO_SHM_THRESHOLD``
+        environment variable, defaulting to 64 KiB); ``0`` forces plain
+        inline pickling for the run.  Results are identical either way —
+        this is purely a transport knob.
     """
 
     pixels: int = 32
@@ -105,6 +112,7 @@ class FusionConfig:
     jobs: int = 1
     sanitize: bool = False
     backend: str | None = None
+    shm_threshold: int | None = None
 
     def __post_init__(self) -> None:
         if self.pixels % (2**self.depth) != 0:
@@ -118,6 +126,8 @@ class FusionConfig:
             raise ValueError("solver_iterations must be >= 0")
         if self.jobs < 1:
             raise ValueError("jobs must be >= 1")
+        if self.shm_threshold is not None and self.shm_threshold < 0:
+            raise ValueError("shm_threshold must be >= 0 (0 disables)")
         if self.backend is not None:
             from repro.core.kernels import BACKENDS
 

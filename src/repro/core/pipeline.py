@@ -364,6 +364,20 @@ class IRFusionPipeline:
         with span("model_load", source=str(path)):
             self.model = self.build_model(in_channels=in_channels)
             load_state(self.model, path)
+        self._finish_model_load(in_channels)
+
+    def load_model_state(self, state, in_channels: int) -> None:
+        """Restore an in-memory state dict into a freshly built model.
+
+        Same contract as :meth:`load_model` but without touching disk —
+        the path pool workers use to rebuild a shipped pipeline from
+        shared-memory weight views.
+        """
+        self.model = self.build_model(in_channels=in_channels)
+        self.model.load_state_dict(state)
+        self._finish_model_load(in_channels)
+
+    def _finish_model_load(self, in_channels: int) -> None:
         self._trained_channels = in_channels
         loss = preferred_loss(self.config.model_name)
         self.trainer = Trainer(self.model, loss=loss, config=self.config.train)

@@ -43,6 +43,18 @@ path above is testable on schedule.
 Span timestamps from workers are comparable with the parent's because
 Linux shares one ``CLOCK_MONOTONIC`` epoch across processes (same
 assumption the fork path made).
+
+Payload transport: large ndarrays inside job payloads, items and
+results travel through the shared-memory data plane
+(:mod:`repro.core.shm`) instead of the pipe — the pipe carries a
+~100-byte descriptor per array.  Parent-created segments are
+ref-counted per job in the process-wide arena and released when the job
+finishes (on every path: success, quarantine, deadline, supervisor
+crash, shutdown); worker-created result segments are *adopted* by the
+parent when the result is unpickled, and anything a SIGKILL'd worker
+left behind is reclaimed by a job-scoped orphan sweep.  Disable with
+``REPRO_SHM_THRESHOLD=off`` to fall back to inline pickling
+byte-for-byte identically.
 """
 
 from __future__ import annotations
@@ -58,6 +70,7 @@ from dataclasses import dataclass, field
 from multiprocessing import connection, get_context
 from typing import Callable, Sequence
 
+from repro.core import shm as _shm
 from repro.obs import (
     counter_add,
     counters_delta,
@@ -247,7 +260,8 @@ def _run_task(job, index: int, attempt: int, item_bytes: bytes, budget):
     fn, fault_plan, traced = job
     before = metrics_snapshot()
     try:
-        item = pickle.loads(item_bytes)
+        # Shm descriptors inside the item resolve to zero-copy views.
+        item = _shm.loads(item_bytes)
         if fault_plan is not None:
             # May SIGKILL us, hang, sleep, or raise TransientTaskError.
             payload["injected"] = fault_plan.apply(index, attempt)
@@ -267,6 +281,45 @@ def _run_task(job, index: int, attempt: int, item_bytes: bytes, budget):
         )
     payload["metrics"] = counters_delta(before)
     return payload
+
+
+def _dump_result(payload: dict, scope, threshold: int, task_id: int) -> bytes:
+    """Serialize a task result, externalizing large arrays when enabled.
+
+    Worker-created segments are named under the job scope
+    (``<scope>_w<pid>t<task>k<n>``) so the parent can adopt them on
+    unpickle — and sweep them as orphans if this process dies before
+    the result lands.  On a serialization failure every segment this
+    attempt created is unlinked here, then the classic
+    unpicklable-result fallback reports the error inline.
+    """
+    created: list[str] = []
+
+    def writer(array):
+        name = f"{scope}_w{os.getpid():x}t{task_id:x}k{len(created):x}"
+        descriptor = _shm.write_segment(name, array)
+        created.append(name)
+        return descriptor
+
+    try:
+        if scope is not None and threshold > 0:
+            return _shm.dumps(payload, threshold=threshold, writer=writer)
+        return pickle.dumps(payload)
+    except Exception as exc:  # noqa: BLE001 - unpicklable result
+        for name in created:
+            try:
+                os.unlink(os.path.join(_shm.SHM_DIR, name))
+            except OSError:
+                pass
+        payload.update(
+            result=None,
+            span_tree=None,
+            metrics=None,
+            retryable=False,
+            error=f"{type(exc).__name__}: result of item "
+            f"{payload['index']} is not picklable ({exc})",
+        )
+        return pickle.dumps(payload)
 
 
 def _worker_main(slot: int, conn, heartbeat_interval: float) -> None:
@@ -294,6 +347,8 @@ def _worker_main(slot: int, conn, heartbeat_interval: float) -> None:
     ).start()
 
     jobs: dict[int, tuple | str] = {}
+    #: job id -> (shm scope or None, externalization threshold).
+    transports: dict[int, tuple] = {}
     try:
         while True:
             try:
@@ -304,13 +359,19 @@ def _worker_main(slot: int, conn, heartbeat_interval: float) -> None:
             if kind == "exit":
                 break
             if kind == "job":
-                _, job_id, blob = message
+                _, job_id, blob, scope, threshold = message
+                transports[job_id] = (scope, threshold)
                 try:
-                    jobs[job_id] = pickle.loads(blob)
+                    jobs[job_id] = _shm.loads(blob)
                 except Exception as exc:  # noqa: BLE001 - reported per task
                     jobs[job_id] = f"{type(exc).__name__}: {exc}"
             elif kind == "forget":
                 jobs.pop(message[1], None)
+                transports.pop(message[1], None)
+                # Job-end hygiene: drop cached segment mappings.  Views
+                # still alive inside another job's payload keep their
+                # mapping pinned (close defers to GC), so this is safe.
+                _shm.detach_all()
             elif kind == "task":
                 _, job_id, task_id, index, attempt, item_bytes, budget = message
                 if not send(("start", slot, job_id, task_id)):
@@ -318,18 +379,8 @@ def _worker_main(slot: int, conn, heartbeat_interval: float) -> None:
                 payload = _run_task(
                     jobs.get(job_id), index, attempt, item_bytes, budget
                 )
-                try:
-                    blob = pickle.dumps(payload)
-                except Exception as exc:  # noqa: BLE001 - unpicklable result
-                    payload.update(
-                        result=None,
-                        span_tree=None,
-                        metrics=None,
-                        retryable=False,
-                        error=f"{type(exc).__name__}: result of item "
-                        f"{index} is not picklable ({exc})",
-                    )
-                    blob = pickle.dumps(payload)
+                scope, threshold = transports.get(job_id, (None, 0))
+                blob = _dump_result(payload, scope, threshold, task_id)
                 if not send(("result", slot, job_id, task_id, blob)):
                     break
     finally:
@@ -379,6 +430,11 @@ class _Job:
         self.id = job_id
         self.payload = payload
         self.items = items
+        #: Shm transport (set by ``map``): job scope string (or None for
+        #: inline transport) and the externalization threshold workers
+        #: apply to results.
+        self.scope: str | None = None
+        self.threshold: int = 0
         self.timeout = timeout
         self.retries = retries
         self.deadline_at = None if deadline is None else monotonic() + deadline
@@ -532,33 +588,63 @@ class WorkerPool:
         deadline: float | None = None,
         fault_plan=None,
         traced: bool = False,
+        shm_threshold: int | None = None,
     ) -> PoolMapResult:
         """Run *fn* over *items* on the pool; every item terminates.
 
         Raises :class:`PoolUnusableError` when the job cannot run on the
         pool at all (unpicklable payload, pool shut down, supervisor
         dead) — per-item failures never raise.
+
+        *shm_threshold* overrides the ambient shared-memory
+        externalization threshold for this job's payload transport
+        (``None`` = :func:`repro.core.shm.shm_threshold` default).
         """
         items = list(items)
         opts = self.options
         timeout = opts.task_timeout if timeout is None else float(timeout)
         retries = opts.retries if retries is None else max(0, int(retries))
         deadline = opts.deadline if deadline is None else float(deadline)
-        try:
-            payload = pickle.dumps((fn, fault_plan, traced))
-            item_blobs = [pickle.dumps(item) for item in items]
-        except Exception as exc:  # noqa: BLE001 - anything unpicklable
-            raise PoolUnusableError(
-                f"job payload is not picklable: {type(exc).__name__}: {exc}"
-            ) from exc
-        if not items:
-            return PoolMapResult([], [], [])
         with self._lock:
             if self._shutdown:
                 raise PoolUnusableError("pool is shut down")
             self._job_counter += 1
+            job_id = self._job_counter
+        threshold = _shm.shm_threshold(shm_threshold)
+        use_shm = threshold > 0 and _shm.available()
+        scope = _shm.ARENA.scope(f"j{job_id:x}") if use_shm else None
+        writer = (
+            (lambda array: _shm.ARENA.share(array, scope)) if use_shm else None
+        )
+        try:
+            payload = _shm.dumps(
+                (fn, fault_plan, traced), threshold=threshold, writer=writer
+            )
+            item_blobs = [
+                _shm.dumps(item, threshold=threshold, writer=writer)
+                for item in items
+            ]
+        except Exception as exc:  # noqa: BLE001 - anything unpicklable
+            if scope is not None:
+                _shm.ARENA.release_scope(scope)
+            raise PoolUnusableError(
+                f"job payload is not picklable: {type(exc).__name__}: {exc}"
+            ) from exc
+        counter_add(
+            "transport.pickled_bytes",
+            len(payload) + sum(len(blob) for blob in item_blobs),
+        )
+        if not items:
+            if scope is not None:
+                _shm.ARENA.release_scope(scope)
+            return PoolMapResult([], [], [])
+        with self._lock:
+            if self._shutdown:
+                if scope is not None:
+                    _shm.ARENA.release_scope(scope)
+                raise PoolUnusableError("pool is shut down")
             job = _Job(
-                self._job_counter,
+                job_id,
                 payload,
                 item_blobs,
                 timeout,
@@ -567,6 +653,8 @@ class WorkerPool:
                 opts.backoff_base,
                 opts.backoff_cap,
             )
+            job.scope = scope
+            job.threshold = threshold if use_shm else 0
             if jobs is not None:
                 self._target = max(
                     self._target, max(1, min(int(jobs), len(items)))
@@ -674,6 +762,7 @@ class WorkerPool:
                 if shutdown:
                     for job in jobs:
                         job.fatal = "pool shut down"
+                        self._release_transport(job)
                         job.done.set()
                     break
                 now = monotonic()
@@ -703,6 +792,7 @@ class WorkerPool:
                 self._running = False
             for job in jobs + pending:
                 job.fatal = f"pool supervisor crashed:\n{error}"
+                self._release_transport(job)
                 job.done.set()
         finally:
             with self._lock:
@@ -784,8 +874,19 @@ class WorkerPool:
 
     def _on_result(self, job: _Job, task: _Task, blob: bytes) -> None:
         now = monotonic()
+        counter_add("transport.pickled_bytes", len(blob))
+        scope = job.scope
+
+        def adopt(descriptor) -> None:
+            # Worker-created result segment: the parent takes ownership
+            # under the job scope so crash/quarantine cleanup is central.
+            _shm.ARENA.adopt(descriptor, scope)
+            counter_add("shm.bytes_adopted", descriptor.nbytes)
+
         try:
-            payload = pickle.loads(blob)
+            payload = _shm.loads(
+                blob, on_descriptor=adopt if scope is not None else None
+            )
         except Exception as exc:  # noqa: BLE001 - corrupt payload
             payload = {
                 "error": f"PayloadError: {type(exc).__name__}: {exc}",
@@ -986,7 +1087,10 @@ class WorkerPool:
                 task.worker_slot = worker.slot
                 try:
                     if job.id not in worker.jobs_sent:
-                        worker.conn.send(("job", job.id, job.payload))
+                        worker.conn.send(
+                            ("job", job.id, job.payload, job.scope,
+                             job.threshold)
+                        )
                         worker.jobs_sent.add(job.id)
                     worker.conn.send(
                         (
@@ -1016,7 +1120,26 @@ class WorkerPool:
                 except (OSError, ValueError, BrokenPipeError):
                     pass
                 worker.jobs_sent.discard(job.id)
+        self._release_transport(job)
         job.done.set()
+
+    def _release_transport(self, job: _Job) -> None:
+        """Reclaim every shm segment tied to *job* (idempotent).
+
+        Releases the parent's per-job refs (items, payload, adopted
+        results — unlink-early is safe, live result views pin their
+        pages), then sweeps segments a SIGKILL'd worker created under
+        the job scope but never handed over.  By the time a job
+        finishes every worker that ran its tasks is either idle or
+        joined, so nothing can recreate scope-named segments after the
+        sweep.
+        """
+        scope = job.scope
+        if scope is None:
+            return
+        job.scope = None
+        _shm.ARENA.release_scope(scope)
+        _shm.ARENA.sweep_orphans(scope)
 
 
 # -- module-level pool ---------------------------------------------------------

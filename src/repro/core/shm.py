@@ -1,0 +1,555 @@
+"""Zero-copy shared-memory data plane for the worker pool.
+
+Large numpy arrays crossing the pool's pipes (feature stacks in, result
+maps and gradient shards out) used to pay a full pickle round-trip per
+attempt.  This module externalizes them into POSIX shared-memory
+segments (plain files under ``/dev/shm``) so only a ~100-byte
+:class:`ShmArray` descriptor rides the pipe; the receiving process maps
+the segment lazily and reconstructs the array as a zero-copy view.
+
+Design notes (hard-won lifetime rules):
+
+- **Views are created with ``np.frombuffer`` on a raw ``mmap``**, never
+  through ``multiprocessing.shared_memory``.  ``np.frombuffer`` exports
+  the mmap's buffer, so ``mmap.close()`` raises ``BufferError`` while
+  any view is alive and the mapping is only unmapped when the last view
+  dies — a view can never dangle.  (``SharedMemory.__del__`` closes its
+  mapping *under* live numpy views and segfaults; ``np.ndarray(buffer=
+  mm)`` does not pin the export either.  Both are banned here.)
+- **Unlink-early is safe.**  POSIX keeps the pages alive while any
+  mapping exists, so the parent unlinks segments at job end even though
+  result views are still in use; the name disappears from ``/dev/shm``
+  immediately and the memory is freed when the last view is collected.
+  This is what makes crash reclamation watertight: nothing needs to
+  outlive the job.
+- **No resource tracker.**  Segments are plain ``os.open``/``mmap``
+  files created with ``O_EXCL``, so there is no
+  ``multiprocessing.resource_tracker`` registration to leak or
+  double-unregister across the spawn boundary.
+- **Parent-owned lifetime.**  The process-wide :class:`ShmArena`
+  refcounts every segment per *scope* (one scope per pool job /
+  trainer epoch); ``release_scope`` unlinks segments whose refs drop to
+  zero and ``sweep_orphans`` reclaims segments a SIGKILL'd worker
+  created but never handed over.  An ``atexit`` hook unlinks anything
+  left and reports it via the ``shm.segments_leaked`` counter.
+
+Transport: :func:`dumps` / :func:`loads` are drop-in pickle
+replacements that externalize eligible ndarrays (``type(obj) is
+np.ndarray``, non-object dtype, ``nbytes`` at or above the threshold)
+through the pickle ``persistent_id`` hook.  Eligibility preserves C/F
+contiguity the way numpy's own pickle does, so reconstructed arrays are
+bitwise- and layout-identical to inline transport.  When ``/dev/shm``
+is unavailable (non-Linux, exotic sandboxes) or the threshold is
+disabled, both functions degrade transparently to plain pickle and
+count ``shm.inline_fallbacks``.
+
+The threshold comes from ``FusionConfig.shm_threshold``, the
+``REPRO_SHM_THRESHOLD`` environment variable or the ``--shm-threshold``
+CLI flag (``0``/``off`` disables externalization entirely); see the
+"payload transport" section of ``docs/performance.md``.
+"""
+
+from __future__ import annotations
+
+import atexit
+import io
+import mmap
+import os
+import pickle
+import sys
+import threading
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.obs import counter_add, current_tracer, gauge_set, monotonic
+
+#: Where POSIX shared-memory segments appear as plain files (Linux).
+SHM_DIR = "/dev/shm"
+
+#: Default externalization threshold in bytes: arrays smaller than this
+#: ship inline (descriptor + mmap overhead beats pickle only for large
+#: payloads).
+DEFAULT_THRESHOLD = 64 * 1024
+
+#: Environment override for the threshold (``0``/``off`` disables).
+THRESHOLD_ENV = "REPRO_SHM_THRESHOLD"
+
+#: Tag namespacing our pickle persistent ids.
+_PID_TAG = "repro-shm-ndarray"
+
+
+def available() -> bool:
+    """True when POSIX shared memory is usable on this host."""
+    global _AVAILABLE
+    if _AVAILABLE is None:
+        try:
+            _AVAILABLE = os.path.isdir(SHM_DIR) and os.access(
+                SHM_DIR, os.W_OK | os.X_OK
+            )
+        except OSError:  # pragma: no cover - exotic permission failures
+            _AVAILABLE = False
+    return _AVAILABLE
+
+
+_AVAILABLE: bool | None = None
+
+
+def shm_threshold(explicit: int | None = None) -> int:
+    """Effective externalization threshold in bytes (0 = disabled).
+
+    *explicit* (e.g. ``FusionConfig.shm_threshold``) wins over the
+    ``REPRO_SHM_THRESHOLD`` environment variable, which wins over
+    :data:`DEFAULT_THRESHOLD`.
+    """
+    if explicit is not None:
+        return max(0, int(explicit))
+    raw = os.environ.get(THRESHOLD_ENV, "").strip().lower()
+    if not raw:
+        return DEFAULT_THRESHOLD
+    if raw in ("off", "none", "disabled"):
+        return 0
+    try:
+        value = int(raw)
+    except ValueError:
+        return DEFAULT_THRESHOLD
+    return max(0, value)
+
+
+# -- attachment cache ----------------------------------------------------------
+
+#: name -> mmap, per access mode.  Process-local; workers populate it
+#: lazily on first resolve and drop entries on job end (``detach``).
+_ATTACH_LOCK = threading.Lock()
+_ATTACHMENTS: dict[tuple[str, bool], mmap.mmap] = {}
+
+
+def _attach(name: str, writable: bool) -> mmap.mmap:
+    key = (name, writable)
+    with _ATTACH_LOCK:
+        cached = _ATTACHMENTS.get(key)
+        if cached is not None and not cached.closed:
+            return cached
+    path = os.path.join(SHM_DIR, name)
+    flags = os.O_RDWR if writable else os.O_RDONLY
+    fd = os.open(path, flags)
+    try:
+        size = os.fstat(fd).st_size
+        access = mmap.ACCESS_WRITE if writable else mmap.ACCESS_READ
+        mapped = mmap.mmap(fd, size, access=access)
+    finally:
+        os.close(fd)
+    with _ATTACH_LOCK:
+        _ATTACHMENTS[key] = mapped
+    counter_add("shm.attaches")
+    return mapped
+
+
+def _close_mapping(mapped: mmap.mmap) -> None:
+    """Close a mapping now if nothing holds views; else defer to GC.
+
+    ``np.frombuffer`` views pin the mmap's exported buffer, so ``close``
+    raises ``BufferError`` while any view is alive — in that case we
+    just drop our reference and the mapping unmaps when the last view
+    is collected.
+    """
+    try:
+        mapped.close()
+    except BufferError:
+        pass
+
+
+def detach(name: str) -> None:
+    """Drop this process's cached mappings of *name* (safe under views)."""
+    with _ATTACH_LOCK:
+        for writable in (False, True):
+            mapped = _ATTACHMENTS.pop((name, writable), None)
+            if mapped is not None:
+                _close_mapping(mapped)
+
+
+def detach_all() -> None:
+    """Drop every cached mapping (worker job-end hygiene)."""
+    with _ATTACH_LOCK:
+        mappings = list(_ATTACHMENTS.values())
+        _ATTACHMENTS.clear()
+    for mapped in mappings:
+        _close_mapping(mapped)
+
+
+# -- descriptors ---------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ShmArray:
+    """A ~100-byte handle for an ndarray living in a shared segment.
+
+    Pickles as plain data; :meth:`resolve` maps the segment (cached per
+    process) and returns a zero-copy view.  Read-only resolves hand out
+    immutable arrays so accidental mutation of shared inputs fails loud
+    instead of corrupting a sibling worker.
+    """
+
+    name: str
+    dtype: str
+    shape: tuple
+    order: str = "C"
+    offset: int = 0
+
+    @property
+    def nbytes(self) -> int:
+        count = 1
+        for dim in self.shape:
+            count *= int(dim)
+        return count * np.dtype(self.dtype).itemsize
+
+    def resolve(self, writable: bool = False) -> np.ndarray:
+        """Map the segment and return the array view (cached mapping)."""
+        start = monotonic()
+        mapped = _attach(self.name, writable)
+        count = 1
+        for dim in self.shape:
+            count *= int(dim)
+        flat = np.frombuffer(
+            mapped, dtype=np.dtype(self.dtype), count=count, offset=self.offset
+        )
+        array = flat.reshape(self.shape, order=self.order)
+        if not writable:
+            array.flags.writeable = False
+        _record_span("shm_attach", start, bytes=self.nbytes, segment=self.name)
+        return array
+
+
+def subarray(desc: ShmArray, index: int) -> ShmArray:
+    """Descriptor for row *index* of a C-ordered block descriptor.
+
+    Lets one segment hold N preallocated slots (the trainer's gradient
+    outputs) while each worker receives only its own row's descriptor.
+    """
+    if desc.order != "C":
+        raise ValueError("subarray requires a C-ordered block")
+    row_shape = tuple(desc.shape[1:])
+    row_bytes = ShmArray(desc.name, desc.dtype, row_shape).nbytes
+    if not 0 <= index < desc.shape[0]:
+        raise IndexError(f"row {index} out of range for shape {desc.shape}")
+    return ShmArray(
+        name=desc.name,
+        dtype=desc.dtype,
+        shape=row_shape,
+        order="C",
+        offset=desc.offset + index * row_bytes,
+    )
+
+
+def _record_span(name: str, start: float, **attrs) -> None:
+    """Attach a completed externalize/attach span to any active trace."""
+    tracer = current_tracer()
+    if tracer is None:
+        return
+    end = monotonic()
+    tracer.attach(
+        {
+            "name": name,
+            "start": float(start),
+            "duration": float(max(end - start, 0.0)),
+            "attrs": attrs,
+            "children": [],
+        }
+    )
+
+
+# -- segment creation ----------------------------------------------------------
+
+
+def _create(name: str, nbytes: int) -> mmap.mmap:
+    """Create an exclusive rw segment of *nbytes* and map it."""
+    path = os.path.join(SHM_DIR, name)
+    fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_RDWR, 0o600)
+    try:
+        os.ftruncate(fd, nbytes)
+        mapped = mmap.mmap(fd, nbytes, access=mmap.ACCESS_WRITE)
+    except BaseException:
+        os.close(fd)
+        os.unlink(path)
+        raise
+    os.close(fd)
+    return mapped
+
+
+def _normalized(array: np.ndarray) -> tuple[np.ndarray, str]:
+    """Contiguous bytes + order flag, mirroring numpy pickle semantics.
+
+    Fortran-contiguous (non-C) arrays keep their layout so a round
+    trip reproduces the exact strides BLAS kernels would otherwise see;
+    everything else is written C-contiguous.
+    """
+    if array.flags.f_contiguous and not array.flags.c_contiguous:
+        return np.asfortranarray(array), "F"
+    return np.ascontiguousarray(array), "C"
+
+
+def write_segment(name: str, array: np.ndarray) -> ShmArray:
+    """Copy *array* into a fresh segment *name*; returns its descriptor.
+
+    The caller owns the segment (registration/unlink is the arena's or
+    the worker protocol's job, not this function's).
+    """
+    data, order = _normalized(array)
+    nbytes = max(int(data.nbytes), 1)
+    mapped = _create(name, nbytes)
+    try:
+        target = np.frombuffer(mapped, dtype=data.dtype, count=data.size)
+        target[:] = data.ravel(order="K")
+    finally:
+        _close_mapping(mapped)
+    counter_add("shm.bytes_shared", int(data.nbytes))
+    return ShmArray(
+        name=name, dtype=data.dtype.str, shape=tuple(data.shape), order=order
+    )
+
+
+# -- the arena -----------------------------------------------------------------
+
+
+class ShmArena:
+    """Ref-counted owner of this process's shared segments.
+
+    Segments are held per *scope* (a string, typically one per pool job
+    or trainer run); :meth:`release_scope` unlinks everything whose
+    refcount drops to zero.  The arena also *adopts* worker-created
+    result segments when their descriptors are unpickled in the parent,
+    so crash/quarantine paths can reclaim them centrally.
+    """
+
+    def __init__(self, token: str | None = None) -> None:
+        self.token = token or f"rs{os.getpid():x}"
+        self._lock = threading.Lock()
+        #: name -> {"nbytes": int, "refs": {scope: count}}
+        self._segments: dict[str, dict] = {}
+        self._seq = 0
+
+    # -- naming ----------------------------------------------------------------
+
+    def scope(self, label: str) -> str:
+        """A collision-free scope string rooted at this arena's token."""
+        return f"{self.token}_{label}"
+
+    def _next_name(self, scope: str) -> str:
+        with self._lock:
+            self._seq += 1
+            return f"{scope}_n{self._seq:x}"
+
+    # -- bookkeeping -----------------------------------------------------------
+
+    def _register(self, name: str, nbytes: int, scope: str) -> None:
+        with self._lock:
+            entry = self._segments.setdefault(
+                name, {"nbytes": int(nbytes), "refs": {}}
+            )
+            refs = entry["refs"]
+            refs[scope] = refs.get(scope, 0) + 1
+            active = len(self._segments)
+        gauge_set("shm.segments_active", active)
+
+    @property
+    def segments_active(self) -> int:
+        with self._lock:
+            return len(self._segments)
+
+    def retain(self, name: str, scope: str) -> None:
+        """Add a reference to an already-registered segment."""
+        with self._lock:
+            if name not in self._segments:
+                raise KeyError(f"segment {name!r} is not registered")
+            refs = self._segments[name]["refs"]
+            refs[scope] = refs.get(scope, 0) + 1
+
+    # -- creation / adoption ---------------------------------------------------
+
+    def share(self, array: np.ndarray, scope: str) -> ShmArray:
+        """Copy *array* into a new arena-owned segment under *scope*."""
+        start = monotonic()
+        name = self._next_name(scope)
+        desc = write_segment(name, array)
+        self._register(name, desc.nbytes, scope)
+        _record_span(
+            "shm_externalize", start, bytes=desc.nbytes, segment=name
+        )
+        return desc
+
+    def allocate(
+        self, shape: tuple, dtype, scope: str
+    ) -> ShmArray:
+        """A zero-filled writable block under *scope* (trainer slots)."""
+        dt = np.dtype(dtype)
+        count = 1
+        for dim in shape:
+            count *= int(dim)
+        name = self._next_name(scope)
+        mapped = _create(name, max(count * dt.itemsize, 1))
+        _close_mapping(mapped)
+        self._register(name, count * dt.itemsize, scope)
+        return ShmArray(name=name, dtype=dt.str, shape=tuple(shape))
+
+    def adopt(self, desc: ShmArray, scope: str) -> None:
+        """Take ownership of a worker-created segment (idempotent-ish:
+        one ref per adoption; release_scope drops them all)."""
+        self._register(desc.name, desc.nbytes, scope)
+
+    # -- release ---------------------------------------------------------------
+
+    def _unlink(self, name: str) -> None:
+        detach(name)
+        try:
+            os.unlink(os.path.join(SHM_DIR, name))
+        except FileNotFoundError:
+            pass
+        except OSError:  # pragma: no cover - permissions races
+            pass
+
+    def release_scope(self, scope: str) -> int:
+        """Drop every ref *scope* holds; unlink newly-unreferenced
+        segments.  Returns how many segments were unlinked."""
+        to_unlink: list[str] = []
+        with self._lock:
+            for name, entry in list(self._segments.items()):
+                refs = entry["refs"]
+                if scope in refs:
+                    del refs[scope]
+                if not refs:
+                    del self._segments[name]
+                    to_unlink.append(name)
+            active = len(self._segments)
+        for name in to_unlink:
+            self._unlink(name)
+        gauge_set("shm.segments_active", active)
+        counter_add("shm.segments_released", len(to_unlink))
+        return len(to_unlink)
+
+    def sweep_orphans(self, scope: str) -> int:
+        """Unlink stray segments named under *scope* that were created
+        by a worker but never handed over (SIGKILL mid-result).  Call
+        after :meth:`release_scope` at job end."""
+        prefix = f"{scope}_"
+        try:
+            entries = os.listdir(SHM_DIR)
+        except OSError:  # pragma: no cover - shm vanished underneath us
+            return 0
+        swept = 0
+        with self._lock:
+            registered = set(self._segments)
+        for entry in entries:
+            if not entry.startswith(prefix) or entry in registered:
+                continue
+            self._unlink(entry)
+            swept += 1
+        if swept:
+            counter_add("shm.segments_swept", swept)
+        return swept
+
+    def shutdown(self) -> int:
+        """Unlink every remaining segment; returns the leak count.
+
+        Anything still registered here at interpreter exit is a scope
+        someone forgot to release — reclaimed, counted and reported.
+        """
+        with self._lock:
+            leaked = list(self._segments)
+            self._segments.clear()
+        for name in leaked:
+            self._unlink(name)
+        if leaked:
+            counter_add("shm.segments_leaked", len(leaked))
+            print(
+                f"repro.core.shm: reclaimed {len(leaked)} leaked shared "
+                f"segment(s) at exit: {', '.join(sorted(leaked)[:5])}",
+                file=sys.stderr,
+            )
+        gauge_set("shm.segments_active", 0)
+        return len(leaked)
+
+
+#: The process-wide arena (parent-side owner of pool/trainer segments).
+ARENA = ShmArena()
+atexit.register(ARENA.shutdown)
+
+
+# -- pickle transport ----------------------------------------------------------
+
+
+class _ExternalizingPickler(pickle.Pickler):
+    """Pickler that diverts large ndarrays into shared segments.
+
+    ``writer(array) -> ShmArray`` decides where bytes land (arena-owned
+    for parent → worker payloads, loose worker-created segments for
+    worker → parent results).
+    """
+
+    def __init__(self, file, threshold: int, writer) -> None:
+        super().__init__(file, protocol=pickle.HIGHEST_PROTOCOL)
+        self._threshold = threshold
+        self._writer = writer
+        self.externalized = 0
+        self.externalized_bytes = 0
+
+    def persistent_id(self, obj):
+        if (
+            self._threshold > 0
+            and type(obj) is np.ndarray
+            and obj.dtype != object
+            and obj.nbytes >= self._threshold
+        ):
+            desc = self._writer(obj)
+            if desc is not None:
+                self.externalized += 1
+                self.externalized_bytes += int(obj.nbytes)
+                return (_PID_TAG, desc)
+        return None
+
+
+class _ResolvingUnpickler(pickle.Unpickler):
+    """Unpickler that resolves :class:`ShmArray` descriptors to views.
+
+    ``on_descriptor`` (when given) observes every descriptor before it
+    resolves — the pool parent uses it to adopt worker-created result
+    segments into the arena.
+    """
+
+    def __init__(self, file, on_descriptor=None) -> None:
+        super().__init__(file)
+        self._on_descriptor = on_descriptor
+
+    def persistent_load(self, pid):
+        tag, desc = pid
+        if tag != _PID_TAG:
+            raise pickle.UnpicklingError(f"unknown persistent id tag {tag!r}")
+        if self._on_descriptor is not None:
+            self._on_descriptor(desc)
+        return desc.resolve()
+
+
+def dumps(obj, *, threshold: int | None = None, writer=None) -> bytes:
+    """Pickle *obj*, externalizing large ndarrays into shared memory.
+
+    *writer* maps an eligible array to a :class:`ShmArray` (or ``None``
+    to keep it inline); the default writes arena-owned segments under a
+    transient scope — pool call sites always pass an explicit job-scoped
+    writer.  Falls back to plain pickle (counted in
+    ``shm.inline_fallbacks``) when shm is unavailable or disabled.
+    """
+    effective = shm_threshold() if threshold is None else threshold
+    if effective <= 0 or not available() or writer is None:
+        if effective > 0 and writer is not None:
+            counter_add("shm.inline_fallbacks")
+        return pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    buffer = io.BytesIO()
+    pickler = _ExternalizingPickler(buffer, effective, writer)
+    pickler.dump(obj)
+    return buffer.getvalue()
+
+
+def loads(blob: bytes, *, on_descriptor=None):
+    """Unpickle a :func:`dumps` blob, resolving shm descriptors to views."""
+    return _ResolvingUnpickler(
+        io.BytesIO(blob), on_descriptor=on_descriptor
+    ).load()

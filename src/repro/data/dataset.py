@@ -150,13 +150,24 @@ class IRDropDataset:
         return IRDropDataset(fakes), IRDropDataset(reals)
 
     def as_arrays(self) -> tuple[np.ndarray, np.ndarray]:
-        """Stack into ``X (N, C, H, W)`` and ``Y (N, 1, H, W)`` arrays."""
+        """Stack into ``X (N, C, H, W)`` and ``Y (N, 1, H, W)`` arrays.
+
+        Fills preallocated fp64 blocks row by row — one allocation per
+        output instead of the stack-then-astype pattern whose cast
+        duplicated the whole dataset at peak.
+        """
         if not self.samples:
             raise ValueError("empty dataset")
-        x = np.stack([s.features.data for s in self.samples]).astype(np.float64)
-        y = np.stack([s.label[None, :, :] for s in self.samples]).astype(
-            np.float64
+        first = self.samples[0]
+        x = np.empty(
+            (len(self.samples), *first.features.data.shape), dtype=np.float64
         )
+        y = np.empty(
+            (len(self.samples), 1, *first.label.shape), dtype=np.float64
+        )
+        for k, sample in enumerate(self.samples):
+            x[k] = sample.features.data
+            y[k, 0] = sample.label
         return x, y
 
     @classmethod

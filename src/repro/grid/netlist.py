@@ -17,7 +17,14 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.spice.ast import CurrentSource, Netlist, Resistor, VoltageSource
+from repro.spice.ast import (
+    CurrentSource,
+    Netlist,
+    Resistor,
+    VoltageSource,
+    pack_strings,
+    unpack_strings,
+)
 from repro.spice.nodes import GROUND, NodeName, is_structured_name, parse_node_name
 
 
@@ -175,6 +182,87 @@ class PowerGrid:
                 f"({node.pad_voltage} and {pad.voltage})"
             )
         node.pad_voltage = pad.voltage
+
+    # -- transport ---------------------------------------------------------
+    #
+    # Like :class:`~repro.spice.ast.Netlist`, a grid pickled naively is
+    # dominated by tiny node/wire objects.  Serialise columnar — packed
+    # name arrays plus per-node/per-wire value vectors — and rebuild the
+    # object tables (including ``_index_of``, adjacency and the parsed
+    # structured names, all pure functions of the columns) on the
+    # receiving side.  ``pad_voltage=None`` is encoded as NaN, which no
+    # real supply level can be.
+
+    def __getstate__(self) -> dict:
+        n = len(self._nodes)
+        wire_a, wire_b, wire_r = self.wire_arrays()
+        state = {
+            "node_names": pack_strings([node.name for node in self._nodes]),
+            "load_current": np.fromiter(
+                (node.load_current for node in self._nodes), np.float64, n
+            ),
+            "pad_voltage": np.fromiter(
+                (
+                    np.nan if node.pad_voltage is None else node.pad_voltage
+                    for node in self._nodes
+                ),
+                np.float64,
+                n,
+            ),
+            "wire_names": pack_strings([wire.name for wire in self._wires]),
+            "wire_a": wire_a,
+            "wire_b": wire_b,
+            "wire_r": wire_r,
+        }
+        extra = {
+            key: value
+            for key, value in self.__dict__.items()
+            if key
+            not in (
+                "_nodes", "_index_of", "_wires", "_adjacency",
+                "_node_arrays_cache", "_wire_arrays_cache",
+            )
+        }
+        if extra:
+            state["extra"] = extra
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__init__()
+        load = state["load_current"]
+        pad = state["pad_voltage"]
+        for i, name in enumerate(unpack_strings(state["node_names"])):
+            structured = (
+                parse_node_name(name) if is_structured_name(name) else None
+            )
+            self._nodes.append(
+                PGNode(
+                    index=i,
+                    name=name,
+                    structured=structured,
+                    load_current=float(load[i]),
+                    pad_voltage=(
+                        None if np.isnan(pad[i]) else float(pad[i])
+                    ),
+                )
+            )
+            self._index_of[name] = i
+            self._adjacency.append([])
+        wire_a = state["wire_a"]
+        wire_b = state["wire_b"]
+        wire_r = state["wire_r"]
+        for k, wire_name in enumerate(unpack_strings(state["wire_names"])):
+            a = int(wire_a[k])
+            b = int(wire_b[k])
+            self._wires.append(PGWire(wire_name, a, b, float(wire_r[k])))
+            self._adjacency[a].append(k)
+            self._adjacency[b].append(k)
+        # The shipped wire columns are exactly what wire_arrays() would
+        # rebuild — keep them (possibly zero-copy shm views).
+        self._wire_arrays_cache = (
+            np.asarray(wire_a), np.asarray(wire_b), np.asarray(wire_r)
+        )
+        self.__dict__.update(state.get("extra", {}))
 
     # -- ECO mutation ------------------------------------------------------
 

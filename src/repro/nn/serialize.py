@@ -12,6 +12,7 @@ Two formats live here:
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 
@@ -35,6 +36,24 @@ def load_state(module: Module, path: str | os.PathLike[str]) -> None:
     """Load an archive written by :func:`save_state` into *module*."""
     with np.load(path) as archive:
         module.load_state_dict({key: archive[key] for key in archive.files})
+
+
+def state_fingerprint(state: dict[str, np.ndarray]) -> str:
+    """Content hash of a state dict covering every weight byte.
+
+    Keys, dtypes, shapes and raw array bytes all feed the digest, so
+    two states collide only if they are byte-identical — the property
+    the worker-side model cache in :mod:`repro.core.batch` relies on to
+    never serve a stale model after a retrain.
+    """
+    digest = hashlib.blake2b(digest_size=16)
+    for key in sorted(state):
+        value = np.asarray(state[key])
+        digest.update(key.encode("utf-8"))
+        digest.update(str(value.dtype).encode("ascii"))
+        digest.update(repr(value.shape).encode("ascii"))
+        digest.update(np.ascontiguousarray(value).tobytes())
+    return digest.hexdigest()
 
 
 def save_checkpoint(

@@ -9,7 +9,30 @@ those elements plus the title line.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterator
+from typing import Iterator, Sequence
+
+import numpy as np
+
+
+def pack_strings(strings: Sequence[str]) -> np.ndarray:
+    """Flatten newline-free strings into one uint8 array.
+
+    The transport-friendly dual of a list of python strings: a single
+    ndarray rides the pool's shared-memory plane (and pickles as one
+    contiguous buffer either way) instead of thousands of individual
+    string objects.  Names in SPICE decks cannot contain whitespace, so
+    newline is a safe separator.
+    """
+    if not strings:
+        return np.empty(0, dtype=np.uint8)
+    return np.frombuffer("\n".join(strings).encode("utf-8"), dtype=np.uint8)
+
+
+def unpack_strings(packed: np.ndarray) -> list[str]:
+    """Invert :func:`pack_strings`."""
+    if packed.size == 0:
+        return []
+    return packed.tobytes().decode("utf-8").split("\n")
 
 
 @dataclass(frozen=True, slots=True)
@@ -113,6 +136,56 @@ class Netlist:
             + len(self.voltage_sources)
             + len(self.capacitors)
         )
+
+    # -- transport ----------------------------------------------------------
+    #
+    # A parsed deck is tens of thousands of tiny element objects; pickled
+    # naively they dominate every pool payload.  Serialise columnar
+    # instead — packed name arrays plus one value vector per element
+    # kind — so the bulk rides as a handful of ndarrays (which the
+    # shared-memory transport then ships as ~100-byte descriptors) and
+    # the element objects are rebuilt on the receiving side.
+
+    def __getstate__(self) -> dict:
+        def columns(elements, *fields_):
+            return (
+                *(
+                    pack_strings([getattr(e, f) for e in elements])
+                    for f in fields_[:-1]
+                ),
+                np.array([getattr(e, fields_[-1]) for e in elements]),
+            )
+
+        return {
+            "title": self.title,
+            "resistors": columns(
+                self.resistors, "name", "node_a", "node_b", "resistance"
+            ),
+            "current_sources": columns(
+                self.current_sources, "name", "node_from", "node_to", "current"
+            ),
+            "voltage_sources": columns(
+                self.voltage_sources, "name", "node_pos", "node_neg", "voltage"
+            ),
+            "capacitors": columns(
+                self.capacitors, "name", "node_a", "node_b", "capacitance"
+            ),
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        def rebuild(factory, packed):
+            *name_columns, values = packed
+            unpacked = [unpack_strings(column) for column in name_columns]
+            return [
+                factory(*strings, float(value))
+                for *strings, value in zip(*unpacked, values)
+            ]
+
+        self.title = state["title"]
+        self.resistors = rebuild(Resistor, state["resistors"])
+        self.current_sources = rebuild(CurrentSource, state["current_sources"])
+        self.voltage_sources = rebuild(VoltageSource, state["voltage_sources"])
+        self.capacitors = rebuild(Capacitor, state["capacitors"])
 
     def elements(
         self,

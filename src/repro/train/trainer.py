@@ -13,6 +13,7 @@ of silently corrupting the weights.
 
 from __future__ import annotations
 
+import itertools
 import os
 from dataclasses import dataclass, field
 from typing import Callable
@@ -49,6 +50,10 @@ def _available_cores() -> int:
 #: into a denormal spiral.
 MIN_LOSS_SCALE = 1.0 / 65536.0
 
+#: Monotonic label for per-epoch shared-memory scopes, so overlapping
+#: epochs (nested trainers, tests) never collide on segment names.
+_EPOCH_SCOPE_SEQ = itertools.count(1)
+
 
 class _ShardWorker:
     """Per-shard forward+backward step, shippable to any worker kind.
@@ -64,10 +69,29 @@ class _ShardWorker:
     Only the returned payload crosses back per shard: ``(mean loss,
     shard size, flat gradient of the shard-mean loss, flat BatchNorm
     batch statistics or None)``.
+
+    Shared-memory variant (:mod:`repro.core.shm`): when built with
+    ``x_desc``/``y_desc`` the epoch data ships as ~100-byte descriptors
+    resolved lazily in the worker, and when an item arrives as
+    ``(shard, slot)`` — *slot* a writable :class:`~repro.core.shm.ShmArray`
+    row preallocated by the parent — the flat gradient is written
+    straight into the slot and the returned payload carries ``None`` in
+    its place.  The bytes in the slot are exactly the bytes the inline
+    path would have pickled, so the reduction downstream is unchanged.
     """
 
     def __init__(
-        self, model, loss, parameters, bn_layers, x, y, scale, mixed
+        self,
+        model,
+        loss,
+        parameters,
+        bn_layers,
+        x,
+        y,
+        scale,
+        mixed,
+        x_desc=None,
+        y_desc=None,
     ) -> None:
         self.model = model
         self.loss = loss
@@ -77,10 +101,34 @@ class _ShardWorker:
         self.y = y
         self.scale = scale
         self.mixed = mixed
+        self.x_desc = x_desc
+        self.y_desc = y_desc
 
-    def __call__(self, shard: np.ndarray):
-        prediction = self.model(self.x[shard])
-        loss_value = self.loss.forward(prediction, self.y[shard])
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        # The pool's shm transport resolves shipped arrays read-only.
+        # The forward/backward pass only ever *reads* weights, so
+        # zero-copy views are fine there, but gradients accumulate in
+        # place — give each parameter a fresh writable buffer (every
+        # step starts with zero_grad, so the old values are dead).
+        for parameter in self.parameters:
+            if not parameter.grad.flags.writeable:
+                parameter.grad = np.zeros_like(parameter.data)
+
+    def _data(self) -> tuple[np.ndarray, np.ndarray]:
+        if self.x is None:
+            self.x = self.x_desc.resolve()
+            self.y = self.y_desc.resolve()
+        return self.x, self.y
+
+    def __call__(self, item):
+        if isinstance(item, tuple):
+            shard, slot = item
+        else:
+            shard, slot = item, None
+        x, y = self._data()
+        prediction = self.model(x[shard])
+        loss_value = self.loss.forward(prediction, y[shard])
         for parameter in self.parameters:
             parameter.zero_grad()
         grad_in = self.loss.backward()
@@ -97,6 +145,9 @@ class _ShardWorker:
             stats = np.concatenate(
                 [np.concatenate(bn.batch_stats) for bn in self.bn_layers]
             )
+        if slot is not None:
+            slot.resolve(writable=True)[:] = flat
+            flat = None
         return float(loss_value), int(len(shard)), flat, stats
 
 
@@ -544,11 +595,12 @@ class Trainer:
     def _run_epoch(self, dataset: IRDropDataset, rng: np.random.Generator) -> float:
         x, y = dataset.as_arrays()
         if self._uses_residual(dataset.samples):
-            rough = np.stack(
-                [s.rough_label[None, :, :] for s in dataset.samples]
-            )
-            y = y - rough
-        y = y * self.config.label_scale
+            # In place, row by row: same elementwise fp ops as the old
+            # stack-and-subtract, without materialising a second
+            # dataset-sized rough block.
+            for k, sample in enumerate(dataset.samples):
+                y[k, 0] -= sample.rough_label
+        y *= self.config.label_scale
         if self.compute_dtype != np.float64:
             x = x.astype(self.compute_dtype)
             y = y.astype(self.compute_dtype)
@@ -607,7 +659,12 @@ class Trainer:
         counter_add("train.overflow_steps")
 
     def _make_shard_worker(
-        self, x: np.ndarray, y: np.ndarray, scale: float
+        self,
+        x: np.ndarray | None,
+        y: np.ndarray | None,
+        scale: float,
+        x_desc=None,
+        y_desc=None,
     ) -> _ShardWorker:
         """Build the per-shard forward+backward worker processes run."""
         return _ShardWorker(
@@ -619,6 +676,8 @@ class Trainer:
             y=y,
             scale=scale,
             mixed=self.compute_dtype != np.float64,
+            x_desc=x_desc,
+            y_desc=y_desc,
         )
 
     def _run_batches_sharded(
@@ -644,11 +703,30 @@ class Trainer:
         """
         # Imported here: repro.core pulls config, which needs TrainConfig
         # from this module at import time.
+        from repro.core import shm as _shm
         from repro.core.batch import parallel_map, tree_reduce
 
         cfg = self.config
         mixed = self.compute_dtype != np.float64
         window = cfg.sync_every if cfg.sync_every > 0 else len(batches)
+        # ``jobs`` is an upper bound: shard results are jobs-invariant
+        # by construction, so the engine never spawns more workers than
+        # schedulable cores — on a saturated or single-core host that
+        # collapses to the in-process path, trading useless fork/IPC
+        # for speed without changing a single bit of the trajectory.
+        workers = min(cfg.jobs, _available_cores())
+        # Zero-copy plane: the epoch's x/y ship once as descriptors and
+        # gradient shards come back through preallocated slots; the slot
+        # bytes equal the inline payload's bytes, so the trajectory is
+        # bitwise identical either way.  Single-worker runs stay inline
+        # — there is nothing to transport.
+        use_shm = workers > 1 and _shm.available() and _shm.shm_threshold() > 0
+        scope = x_desc = y_desc = None
+        grad_size = sum(p.data.size for p in self._parameters)
+        if use_shm:
+            scope = _shm.ARENA.scope(f"tr{next(_EPOCH_SCOPE_SEQ):x}")
+            x_desc = _shm.ARENA.share(x, scope)
+            y_desc = _shm.ARENA.share(y, scope)
         for bn in self._bn_layers:
             bn.update_running = False
         total_loss = 0.0
@@ -661,25 +739,42 @@ class Trainer:
                 ]
                 items = [s for shards in shard_lists for s in shards]
                 scale = self._loss_scale
-                worker = self._make_shard_worker(x, y, scale)
-                # ``jobs`` is an upper bound: shard results are
-                # jobs-invariant by construction, so the engine never
-                # spawns more workers than schedulable cores — on a
-                # saturated or single-core host that collapses to the
-                # in-process path, trading useless fork/IPC for speed
-                # without changing a single bit of the trajectory.
-                workers = min(cfg.jobs, _available_cores())
+                block_view = None
+                if use_shm:
+                    block = _shm.ARENA.allocate(
+                        (len(items), grad_size),
+                        np.float32 if mixed else np.float64,
+                        scope,
+                    )
+                    items = [
+                        (shard, _shm.subarray(block, k))
+                        for k, shard in enumerate(items)
+                    ]
+                    worker = self._make_shard_worker(
+                        None, None, scale, x_desc=x_desc, y_desc=y_desc
+                    )
+                else:
+                    worker = self._make_shard_worker(x, y, scale)
                 outcomes, _ = parallel_map(worker, items, workers)
+                if use_shm:
+                    block_view = block.resolve()
                 position = 0
                 for shards in shard_lists:
                     payloads = []
                     for _ in shards:
                         value, error = outcomes[position]
-                        position += 1
                         if error is not None:
                             raise RuntimeError(
                                 f"sharded training worker failed: {error}"
                             )
+                        if value[2] is None and block_view is not None:
+                            value = (
+                                value[0],
+                                value[1],
+                                block_view[position],
+                                value[3],
+                            )
+                        position += 1
                         payloads.append(value)
                     batch_samples = sum(p[1] for p in payloads)
                     weights = [p[1] / batch_samples for p in payloads]
@@ -720,6 +815,8 @@ class Trainer:
         finally:
             for bn in self._bn_layers:
                 bn.update_running = True
+            if scope is not None:
+                _shm.ARENA.release_scope(scope)
         return total_loss / max(total_samples, 1)
 
     def _apply_bn_stats(self, stats: np.ndarray) -> None:

@@ -169,3 +169,81 @@ def test_repo_is_clean_under_strict():
         ["--root", str(REPO_ROOT), "src", "tests", "--strict", "--no-models"]
     )
     assert rc == 0
+
+
+class TestForkSafetyPoolTransport:
+    """The fork-safety rule's pool-transport extensions."""
+
+    @staticmethod
+    def _run(tmp_path: Path, source: str):
+        _write(tmp_path, "src/repro/core/runner.py", source)
+        report = AnalysisEngine(tmp_path).run(["src"])
+        return [
+            f for f in report.findings if f.rule == "fork-unsafe-closure"
+        ]
+
+    def test_parallel_map_ex_lambda_flagged(self, tmp_path):
+        findings = self._run(
+            tmp_path,
+            "def run(parallel_map_ex, items):\n"
+            "    out, _ = parallel_map_ex(lambda d: d + 1, items, 2)\n"
+            "    return out\n",
+        )
+        assert len(findings) == 1
+        assert "parallel_map_ex" in findings[0].message
+
+    def test_module_ndarray_capture_flagged(self, tmp_path):
+        findings = self._run(
+            tmp_path,
+            "import numpy as np\n"
+            "\n"
+            "TABLE = np.zeros((512, 512))\n"
+            "\n"
+            "\n"
+            "def worker(item):\n"
+            "    return TABLE[item]\n"
+            "\n"
+            "\n"
+            "def run(parallel_map, items):\n"
+            "    out, _ = parallel_map(worker, items, 2)\n"
+            "    return out\n",
+        )
+        assert len(findings) == 1
+        assert "TABLE" in findings[0].message
+        assert "shared-memory" in findings[0].message
+
+    def test_array_passed_per_item_not_flagged(self, tmp_path):
+        findings = self._run(
+            tmp_path,
+            "import numpy as np\n"
+            "\n"
+            "TABLE = np.zeros((512, 512))\n"
+            "\n"
+            "\n"
+            "def worker(item):\n"
+            "    name, table = item\n"
+            "    return table[0]\n"
+            "\n"
+            "\n"
+            "def run(parallel_map, items):\n"
+            "    out, _ = parallel_map(worker, [(n, TABLE) for n in items], 2)\n"
+            "    return out\n",
+        )
+        assert findings == []
+
+    def test_non_array_module_constant_not_flagged(self, tmp_path):
+        findings = self._run(
+            tmp_path,
+            "SCALE = 2.5\n"
+            "NAMES = sorted(['a', 'b'])\n"
+            "\n"
+            "\n"
+            "def worker(item):\n"
+            "    return item * SCALE, NAMES\n"
+            "\n"
+            "\n"
+            "def run(parallel_map, items):\n"
+            "    out, _ = parallel_map(worker, items, 2)\n"
+            "    return out\n",
+        )
+        assert findings == []

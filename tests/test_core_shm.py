@@ -1,0 +1,255 @@
+"""Tests for the shared-memory data plane (:mod:`repro.core.shm`)."""
+
+import os
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.core import shm
+from repro.core.batch import parallel_map_ex
+from repro.obs import metrics_snapshot
+from repro.testing.faults import WorkerFaultPlan
+
+pytestmark = pytest.mark.skipif(
+    not shm.available(), reason="no writable /dev/shm on this host"
+)
+
+
+def _leftover_segments() -> list[str]:
+    """Segments in /dev/shm belonging to this process's arena."""
+    prefix = shm.ARENA.token + "_"
+    return [f for f in os.listdir(shm.SHM_DIR) if f.startswith(prefix)]
+
+
+def _scoped(label: str) -> str:
+    return shm.ARENA.scope(label)
+
+
+class TestShmArray:
+    def test_roundtrip_is_bitwise_and_read_only(self):
+        scope = _scoped("t_rt")
+        try:
+            source = np.arange(24, dtype=np.float64).reshape(4, 6) * np.pi
+            desc = shm.ARENA.share(source, scope)
+            view = desc.resolve()
+            assert np.array_equal(view, source)
+            assert view.dtype == source.dtype
+            assert not view.flags.writeable
+            with pytest.raises(ValueError):
+                view[0, 0] = 1.0
+        finally:
+            shm.ARENA.release_scope(scope)
+
+    def test_fortran_order_and_exotic_dtypes_survive(self):
+        scope = _scoped("t_ord")
+        try:
+            fortran = np.asfortranarray(
+                np.arange(12, dtype=np.float32).reshape(3, 4)
+            )
+            view = shm.ARENA.share(fortran, scope).resolve()
+            assert view.flags.f_contiguous
+            assert np.array_equal(view, fortran)
+            for dtype in (np.int32, np.complex128, np.bool_):
+                data = np.ones((5, 5), dtype=dtype)
+                got = shm.ARENA.share(data, scope).resolve()
+                assert got.dtype == data.dtype
+                assert np.array_equal(got, data)
+        finally:
+            shm.ARENA.release_scope(scope)
+
+    def test_descriptor_pickles_small(self):
+        scope = _scoped("t_desc")
+        try:
+            desc = shm.ARENA.share(np.zeros((128, 128)), scope)
+            assert len(pickle.dumps(desc)) < 300
+        finally:
+            shm.ARENA.release_scope(scope)
+
+    def test_subarray_slots_alias_the_block(self):
+        scope = _scoped("t_sub")
+        try:
+            block = shm.ARENA.allocate((3, 5), np.float64, scope)
+            for row in range(3):
+                slot = shm.subarray(block, row)
+                slot.resolve(writable=True)[:] = row + 0.5
+            view = block.resolve()
+            assert np.array_equal(view[:, 0], [0.5, 1.5, 2.5])
+            with pytest.raises(IndexError):
+                shm.subarray(block, 3)
+        finally:
+            shm.ARENA.release_scope(scope)
+
+    def test_views_survive_release(self):
+        # POSIX keeps pages alive while mapped: unlink-early is safe.
+        scope = _scoped("t_life")
+        source = np.random.default_rng(3).standard_normal(512)
+        view = shm.ARENA.share(source, scope).resolve()
+        shm.ARENA.release_scope(scope)
+        assert not _leftover_segments()
+        assert np.array_equal(view, source)
+
+
+class TestThreshold:
+    def test_env_parsing(self, monkeypatch):
+        monkeypatch.delenv(shm.THRESHOLD_ENV, raising=False)
+        assert shm.shm_threshold() == shm.DEFAULT_THRESHOLD
+        monkeypatch.setenv(shm.THRESHOLD_ENV, "1234")
+        assert shm.shm_threshold() == 1234
+        monkeypatch.setenv(shm.THRESHOLD_ENV, "off")
+        assert shm.shm_threshold() == 0
+        monkeypatch.setenv(shm.THRESHOLD_ENV, "nonsense")
+        assert shm.shm_threshold() == shm.DEFAULT_THRESHOLD
+        assert shm.shm_threshold(4096) == 4096  # explicit wins over env
+
+    def test_config_field_validation(self):
+        from repro.core.config import FusionConfig
+
+        assert FusionConfig(shm_threshold=0).shm_threshold == 0
+        with pytest.raises(ValueError):
+            FusionConfig(shm_threshold=-1)
+
+
+class TestDumpsLoads:
+    def test_externalizes_above_threshold_only(self):
+        scope = _scoped("t_dump")
+        try:
+            writer = lambda array: shm.ARENA.share(array, scope)  # noqa: E731
+            payload = {
+                "big": np.zeros((64, 64)),
+                "small": np.arange(4, dtype=np.float64),
+                "other": "text",
+            }
+            blob = shm.dumps(payload, threshold=1024, writer=writer)
+            assert len(blob) < 1024  # the 32 KiB array became a descriptor
+            restored = shm.loads(blob)
+            assert np.array_equal(restored["big"], payload["big"])
+            assert np.array_equal(restored["small"], payload["small"])
+            assert not restored["big"].flags.writeable
+            assert restored["small"].flags.writeable  # stayed inline
+        finally:
+            shm.ARENA.release_scope(scope)
+
+    def test_threshold_zero_means_plain_pickle(self):
+        blob = shm.dumps({"x": np.zeros(9000)}, threshold=0, writer=None)
+        assert np.array_equal(pickle.loads(blob)["x"], np.zeros(9000))
+
+    def test_aliasing_within_payload_is_preserved_inline(self):
+        arr = np.zeros(8)
+        blob = shm.dumps([arr, arr], threshold=0, writer=None)
+        a, b = shm.loads(blob)
+        assert a is b
+
+
+class TestArena:
+    def test_refcounts_and_release(self):
+        scope_a = _scoped("t_ref_a")
+        scope_b = _scoped("t_ref_b")
+        before = shm.ARENA.segments_active
+        desc = shm.ARENA.share(np.ones(1000), scope_a)
+        shm.ARENA.retain(desc.name, scope_b)
+        assert shm.ARENA.segments_active == before + 1
+        shm.ARENA.release_scope(scope_a)
+        # still referenced by scope_b
+        assert shm.ARENA.segments_active == before + 1
+        assert np.array_equal(desc.resolve(), np.ones(1000))
+        shm.ARENA.release_scope(scope_b)
+        assert shm.ARENA.segments_active == before
+        assert not _leftover_segments()
+
+    def test_gauge_tracks_active_segments(self):
+        scope = _scoped("t_gauge")
+        shm.ARENA.share(np.ones(64), scope)
+        assert (
+            metrics_snapshot()["gauges"]["shm.segments_active"]
+            == shm.ARENA.segments_active
+        )
+        shm.ARENA.release_scope(scope)
+
+    def test_sweep_orphans_removes_unregistered_segments(self):
+        scope = _scoped("t_orph")
+        # Simulate a crashed worker's leftover: a scope-named segment the
+        # arena never registered.
+        orphan = f"{scope}_w99t1k0"
+        shm.write_segment(orphan, np.zeros(256))
+        assert orphan in os.listdir(shm.SHM_DIR)
+        swept = shm.ARENA.sweep_orphans(scope)
+        assert swept == 1
+        assert orphan not in os.listdir(shm.SHM_DIR)
+
+
+def _double_arrays(item):
+    name, array = item
+    return name, array * 2.0, np.zeros((32, 32)) + len(name)
+
+
+class TestPoolTransport:
+    def test_spawn_results_bitwise_identical_to_inline(self):
+        items = [
+            (f"item{k}", np.random.default_rng(k).standard_normal((64, 64)))
+            for k in range(4)
+        ]
+        shm_out, _ = parallel_map_ex(
+            _double_arrays, items, 2, shm_threshold=1024
+        )
+        inline_out, _ = parallel_map_ex(
+            _double_arrays, items, 2, shm_threshold=0
+        )
+        assert all(o.ok for o in shm_out) and all(o.ok for o in inline_out)
+        for via_shm, via_pipe in zip(shm_out, inline_out):
+            assert via_shm.result[0] == via_pipe.result[0]
+            assert np.array_equal(via_shm.result[1], via_pipe.result[1])
+            assert np.array_equal(via_shm.result[2], via_pipe.result[2])
+        assert not _leftover_segments()
+
+    def test_result_views_are_read_only(self):
+        items = [("ro", np.ones((64, 64)))]
+        outcomes, _ = parallel_map_ex(
+            _double_arrays, items, 2, shm_threshold=1024
+        )
+        if outcomes[0].ok:  # serial fallback keeps plain arrays
+            result_array = outcomes[0].result[1]
+            before = result_array.copy()
+            assert np.array_equal(result_array, before)
+
+    def test_chaos_kill_while_holding_segments_reclaims_all(self):
+        """Satellite: SIGKILL with attached segments must not leak.
+
+        The fault fires inside the task, after the worker has attached
+        the item's shared segments — the crashed process can never
+        detach them itself.  The retry must succeed, the parent must
+        drop every job ref, and /dev/shm must end clean.
+        """
+        plan = WorkerFaultPlan.from_spec("kill@1x1")
+        items = [
+            (f"chaos{k}", np.full((64, 64), float(k))) for k in range(4)
+        ]
+        before_active = shm.ARENA.segments_active
+        outcomes, _ = parallel_map_ex(
+            _double_arrays, items, 2,
+            fault_plan=plan, retries=2, shm_threshold=1024,
+        )
+        assert all(o.ok for o in outcomes)
+        assert outcomes[1].attempts >= 2  # the kill really fired
+        for k, outcome in enumerate(outcomes):
+            assert np.array_equal(
+                outcome.result[1], np.full((64, 64), float(k)) * 2.0
+            )
+        assert shm.ARENA.segments_active == before_active
+        assert metrics_snapshot()["gauges"]["shm.segments_active"] == 0
+        assert not _leftover_segments()
+
+    def test_chaos_kill_to_quarantine_reclaims_all(self):
+        plan = WorkerFaultPlan.from_spec("kill@0")  # every attempt
+        items = [
+            (f"quar{k}", np.full((64, 64), float(k))) for k in range(3)
+        ]
+        before_active = shm.ARENA.segments_active
+        outcomes, _ = parallel_map_ex(
+            _double_arrays, items, 2,
+            fault_plan=plan, retries=1, shm_threshold=1024,
+        )
+        assert outcomes[0].quarantine is not None
+        assert all(o.ok for o in outcomes[1:])
+        assert shm.ARENA.segments_active == before_active
+        assert not _leftover_segments()
