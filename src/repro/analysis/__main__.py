@@ -1,14 +1,48 @@
 """Command-line entry: ``python -m repro.analysis``.
 
-Runs the project lint rules over ``src/`` and ``tests/`` and — unless
-``--no-models`` — statically verifies every registered model
-architecture and the feature-stack channel contract with the symbolic
-shape checker (no kernels execute).
+Runs the project static checks over ``src/`` and ``tests/``:
+
+- the fast local lint rules (``--rules local``);
+- the whole-program callgraph passes — worker-context reachability,
+  metrics/span contract, shm scope lifecycle (``--rules callgraph``);
+- both tiers by default (``--rules all``);
+- and — unless ``--no-models`` — the symbolic shape verification of
+  every registered model architecture and the feature-stack channel
+  contract (no kernels execute).
 
 ``--strict`` makes new findings (anything not grandfathered by the
-baseline or pragma-suppressed) exit non-zero; it is what the CI ``lint``
-job runs.  ``--write-baseline`` regenerates the committed baseline from
-the current findings.
+baseline or pragma-suppressed) exit non-zero; the CI lint jobs run it.
+``--write-baseline`` regenerates the committed baseline from the
+current findings and is mutually exclusive with ``--strict`` — a CI
+run must never be able to silently re-grandfather its own findings.
+
+The run is timed through a ``repro.obs`` span (``analysis``, or
+``analysis.callgraph`` when only the callgraph tier runs);
+``--budget-seconds`` turns that measurement into a hard failure so the
+CI job notices when the passes outgrow their time box.
+
+``--json`` emits a machine-readable report; schema (documented in
+``docs/static_analysis.md``)::
+
+    {
+      "version": 1,
+      "rules": "local" | "callgraph" | "all",
+      "findings": [
+        {
+          "rule": str,          # rule/pass id, e.g. "worker-context"
+          "path": str,          # repo-relative posix path
+          "line": int, "col": int,
+          "message": str,
+          "fingerprint": str,   # baseline key (rule:path:hash)
+          "callpath": [str, ...]  # entry -> ... -> enclosing function;
+                                  # [] for local rules
+        }, ...
+      ],
+      "model_errors": [str, ...],
+      "grandfathered": int, "suppressed": int,
+      "files_checked": int,
+      "duration_seconds": float
+    }
 """
 
 from __future__ import annotations
@@ -47,10 +81,24 @@ def _verify_models(verbose: bool = True) -> list[str]:
     return errors
 
 
+def _select_rules(tier: str):
+    from repro.analysis.passes import default_passes
+    from repro.analysis.rules import default_rules, local_rules
+
+    if tier == "local":
+        return local_rules()
+    if tier == "callgraph":
+        return default_passes()
+    return default_rules()
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis",
-        description="Project static checker: lint rules + model graph verifier.",
+        description=(
+            "Project static checker: lint rules, callgraph passes, "
+            "model graph verifier."
+        ),
     )
     parser.add_argument(
         "paths",
@@ -78,7 +126,29 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--write-baseline",
         action="store_true",
-        help="grandfather all current findings into the baseline file",
+        help=(
+            "grandfather all current findings into the baseline file "
+            "(mutually exclusive with --strict)"
+        ),
+    )
+    parser.add_argument(
+        "--rules",
+        choices=["local", "callgraph", "all"],
+        default="all",
+        help=(
+            "rule tier: fast single-file rules, whole-program callgraph "
+            "passes, or both (default: all)"
+        ),
+    )
+    parser.add_argument(
+        "--budget-seconds",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "fail when the analysis span exceeds this wall-time budget "
+            "(CI time-box for the callgraph tier)"
+        ),
     )
     parser.add_argument(
         "--no-models",
@@ -89,13 +159,21 @@ def main(argv: list[str] | None = None) -> int:
         "--json",
         action="store_true",
         dest="as_json",
-        help="emit findings as JSON instead of text",
+        help="emit findings as JSON instead of text (schema in docstring)",
     )
     args = parser.parse_args(argv)
 
+    if args.write_baseline and args.strict:
+        parser.error(
+            "--write-baseline and --strict are mutually exclusive: "
+            "a strict run enforces the committed baseline, it must not "
+            "rewrite it (run --write-baseline separately, then commit "
+            "the result)"
+        )
+
     root = args.root.resolve()
     baseline = args.baseline or root / ".analysis-baseline"
-    engine = AnalysisEngine(root)
+    engine = AnalysisEngine(root, rules=_select_rules(args.rules))
 
     if args.write_baseline:
         report = engine.run(args.paths, baseline_path=None)
@@ -106,16 +184,27 @@ def main(argv: list[str] | None = None) -> int:
         )
         return 0
 
-    report = engine.run(args.paths, baseline_path=baseline)
+    from repro.obs import span
+
+    span_name = "analysis.callgraph" if args.rules == "callgraph" else "analysis"
+    with span(span_name, rules=args.rules) as timing:
+        report = engine.run(args.paths, baseline_path=baseline)
+    duration = timing.duration
 
     model_errors: list[str] = []
     if not args.no_models:
         model_errors = _verify_models(verbose=not args.as_json)
 
+    over_budget = (
+        args.budget_seconds is not None and duration > args.budget_seconds
+    )
+
     if args.as_json:
         print(
             json.dumps(
                 {
+                    "version": 1,
+                    "rules": args.rules,
                     "findings": [
                         {
                             "rule": f.rule,
@@ -124,6 +213,7 @@ def main(argv: list[str] | None = None) -> int:
                             "col": f.col,
                             "message": f.message,
                             "fingerprint": f.fingerprint,
+                            "callpath": list(f.callpath),
                         }
                         for f in report.findings
                     ],
@@ -131,6 +221,7 @@ def main(argv: list[str] | None = None) -> int:
                     "grandfathered": len(report.grandfathered),
                     "suppressed": len(report.suppressed),
                     "files_checked": report.files_checked,
+                    "duration_seconds": duration,
                 }
             )
         )
@@ -139,6 +230,21 @@ def main(argv: list[str] | None = None) -> int:
             print(line)
         for error in model_errors:
             print(f"analysis: {error}")
+        print(
+            f"analysis: {span_name} span {duration:.2f}s"
+            + (
+                f" (budget {args.budget_seconds:.2f}s)"
+                if args.budget_seconds is not None
+                else ""
+            )
+        )
+    if over_budget:
+        print(
+            f"analysis: FAILED time budget: {duration:.2f}s > "
+            f"{args.budget_seconds:.2f}s",
+            file=sys.stderr,
+        )
+        return 1
 
     failed = bool(model_errors) or not report.ok
     if args.strict and failed:

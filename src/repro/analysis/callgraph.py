@@ -1,0 +1,406 @@
+"""Project call graph for whole-program analysis passes.
+
+The PR-4 lint rules are purely intra-function: they can flag a lambda
+handed to ``parallel_map`` at the call site, but not a module-global
+mutation three calls *below* a worker entry point.  This module gives
+the engine the missing whole-program view: a best-effort static call
+graph over every ``repro.*`` module, computed **once per engine run**
+and shared by all callgraph passes (worker-context reachability, shm
+scope escape checks, ...).
+
+Resolution is deliberately conservative-but-useful, in layers:
+
+- **module-level names** — ``from repro.core.batch import parallel_map``
+  and ``import repro.core.shm as _shm`` are tracked per module, so
+  ``parallel_map(...)`` and ``_shm.dumps(...)`` resolve exactly;
+- **intra-module calls** — a bare ``helper(...)`` resolves to the
+  module's own ``helper`` when one exists;
+- **self/cls attribute calls** — ``self.method(...)`` inside a class
+  resolves to that class's own method (or, best-effort, a single
+  same-named method on a base class defined in the project);
+- **best-effort attribute calls** — ``obj.method(...)`` where the
+  receiver is unknown resolves to *every* project function called
+  ``method`` defined as a class method, when the name is defined in at
+  most :data:`MAX_ATTR_CANDIDATES` classes (beyond that the name is too
+  generic to be a useful edge and is dropped);
+- **callable references** — a function *name* passed as an argument
+  (``parallel_map(worker, items)``) or stored (``target=fn``) adds a
+  reference edge, so reachability follows callables shipped to the
+  worker pool even though they are never syntactically called here.
+
+Nodes are fully-qualified names: ``repro.core.batch.parallel_map`` for
+module functions, ``repro.core.pool.WorkerPool.map`` for methods.
+:meth:`CallGraph.reachable_from` returns the transitive closure plus a
+shortest call path back to an entry for every reached node — the
+``reachable from worker via A→B`` breadcrumb the CI annotations print.
+
+This is a *static over-approximation with holes* by construction:
+dynamic dispatch through ``getattr`` strings or containers of callables
+is invisible, and over-generic method names fan out to unrelated
+classes.  Passes built on it therefore treat reachability as "likely
+runs in this context" and keep their per-node rules conservative.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.analysis.engine import ModuleSource
+
+#: An attribute call whose method name is defined on more than this many
+#: project classes is considered too generic to resolve (``to_dict``,
+#: ``summary`` ...) and contributes no edges.
+MAX_ATTR_CANDIDATES = 3
+
+_FUNCTION_NODES = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+
+def module_name(path: str) -> str | None:
+    """Dotted module name for a repo-relative ``src/`` path, else None."""
+    if not path.startswith("src/") or not path.endswith(".py"):
+        return None
+    parts = path[len("src/") : -len(".py")].split("/")
+    if parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method in the project."""
+
+    qualname: str  # repro.core.pool.WorkerPool.map
+    module: str  # repro.core.pool
+    path: str  # src/repro/core/pool.py
+    node: ast.AST  # the FunctionDef
+    cls: str | None = None  # enclosing class name, if a method
+
+    @property
+    def name(self) -> str:
+        return self.node.name
+
+    @property
+    def lineno(self) -> int:
+        return self.node.lineno
+
+
+@dataclass
+class _ModuleScope:
+    """Name-resolution context for one module."""
+
+    name: str
+    #: local name -> fully qualified target ("np", "repro.core.shm", ...)
+    imports: dict[str, str] = field(default_factory=dict)
+    #: top-level function name -> qualname
+    functions: dict[str, str] = field(default_factory=dict)
+    #: class name -> {method name -> qualname}
+    classes: dict[str, dict[str, str]] = field(default_factory=dict)
+    #: class name -> base-class expressions (dotted names, best effort)
+    bases: dict[str, list[str]] = field(default_factory=dict)
+
+
+def _dotted(node: ast.AST) -> str | None:
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+class CallGraph:
+    """Static call/reference graph over the project's functions."""
+
+    def __init__(self) -> None:
+        #: qualname -> FunctionInfo
+        self.functions: dict[str, FunctionInfo] = {}
+        #: caller qualname -> set of callee qualnames
+        self.edges: dict[str, set[str]] = {}
+        #: method simple name -> [qualnames] (attribute-call fan-out)
+        self._methods_by_name: dict[str, list[str]] = {}
+        self._scopes: dict[str, _ModuleScope] = {}
+
+    # -- construction ----------------------------------------------------------
+
+    @classmethod
+    def build(cls, modules: list[ModuleSource]) -> "CallGraph":
+        graph = cls()
+        indexed = [
+            (module, module_name(module.path))
+            for module in modules
+            if module_name(module.path) is not None
+        ]
+        for module, name in indexed:
+            graph._index_module(module, name)
+        for module, name in indexed:
+            graph._link_module(module, name)
+        return graph
+
+    def _index_module(self, module: ModuleSource, name: str) -> None:
+        scope = _ModuleScope(name=name)
+        self._scopes[name] = scope
+        for stmt in module.tree.body:
+            if isinstance(stmt, ast.Import):
+                for alias in stmt.names:
+                    scope.imports[alias.asname or alias.name.split(".")[0]] = (
+                        alias.name if alias.asname else alias.name.split(".")[0]
+                    )
+            elif isinstance(stmt, ast.ImportFrom):
+                if stmt.level:  # relative import: resolve against package
+                    base = name.split(".")
+                    # a plain module's package drops the module itself; a
+                    # package __init__ (already stripped by module_name)
+                    # *is* the package
+                    if not module.path.endswith("__init__.py"):
+                        base = base[:-1]
+                    base = base[: len(base) - stmt.level + 1]
+                    prefix = ".".join(base + ([stmt.module] if stmt.module else []))
+                else:
+                    prefix = stmt.module or ""
+                for alias in stmt.names:
+                    if alias.name == "*":
+                        continue
+                    scope.imports[alias.asname or alias.name] = (
+                        f"{prefix}.{alias.name}" if prefix else alias.name
+                    )
+            elif isinstance(stmt, _FUNCTION_NODES):
+                qualname = f"{name}.{stmt.name}"
+                scope.functions[stmt.name] = qualname
+                self._add_function(qualname, name, module.path, stmt, None)
+            elif isinstance(stmt, ast.ClassDef):
+                methods: dict[str, str] = {}
+                for sub in stmt.body:
+                    if isinstance(sub, _FUNCTION_NODES):
+                        qualname = f"{name}.{stmt.name}.{sub.name}"
+                        methods[sub.name] = qualname
+                        self._add_function(
+                            qualname, name, module.path, sub, stmt.name
+                        )
+                        self._methods_by_name.setdefault(sub.name, []).append(
+                            qualname
+                        )
+                scope.classes[stmt.name] = methods
+                scope.bases[stmt.name] = [
+                    base
+                    for base in (_dotted(b) for b in stmt.bases)
+                    if base is not None
+                ]
+
+    def _add_function(
+        self, qualname: str, module: str, path: str, node: ast.AST, cls_name
+    ) -> None:
+        self.functions[qualname] = FunctionInfo(
+            qualname=qualname, module=module, path=path, node=node, cls=cls_name
+        )
+        self.edges.setdefault(qualname, set())
+
+    # -- linking ---------------------------------------------------------------
+
+    def _resolve_name(self, scope: _ModuleScope, dotted: str) -> str | None:
+        """Resolve a dotted use-site name to a project qualname."""
+        head, _, rest = dotted.partition(".")
+        target = scope.imports.get(head)
+        if target is not None:
+            dotted = f"{target}.{rest}" if rest else target
+        elif not rest and head in scope.functions:
+            return scope.functions[head]
+        elif head in scope.classes:
+            # Class reference: Klass() "calls" __init__; Klass.method too.
+            methods = scope.classes[head]
+            if not rest:
+                return methods.get("__init__") or f"{scope.name}.{head}"
+            return methods.get(rest.split(".")[-1])
+        if not dotted.startswith("repro."):
+            return None
+        # Fully-qualified: repro.core.shm.dumps or repro.core.shm.ShmArena.share
+        if dotted in self.functions:
+            return dotted
+        parts = dotted.split(".")
+        # module.Class -> __init__
+        init = f"{dotted}.__init__"
+        if init in self.functions:
+            return init
+        # An imported module attribute: repro.core.shm + name
+        for cut in range(len(parts) - 1, 0, -1):
+            candidate_mod = ".".join(parts[:cut])
+            other = self._scopes.get(candidate_mod)
+            if other is None:
+                continue
+            tail = parts[cut:]
+            if len(tail) == 1:
+                if tail[0] in other.functions:
+                    return other.functions[tail[0]]
+                if tail[0] in other.classes:
+                    return other.classes[tail[0]].get(
+                        "__init__"
+                    ) or f"{candidate_mod}.{tail[0]}"
+            elif len(tail) >= 2:
+                methods = other.classes.get(tail[0])
+                if methods is not None:
+                    return methods.get(tail[1])
+        return None
+
+    def _resolve_self_call(
+        self, scope: _ModuleScope, cls_name: str, method: str
+    ) -> str | None:
+        """``self.method()`` → this class's method, else a project base's."""
+        seen: set[str] = set()
+        queue = deque([(scope, cls_name)])
+        while queue:
+            cur_scope, cur_cls = queue.popleft()
+            if (cur_scope.name, cur_cls) in seen:
+                continue
+            seen.add((cur_scope.name, cur_cls))
+            methods = cur_scope.classes.get(cur_cls)
+            if methods and method in methods:
+                return methods[method]
+            for base in cur_scope.bases.get(cur_cls, []):
+                resolved = self._resolve_class(cur_scope, base)
+                if resolved is not None:
+                    queue.append(resolved)
+        return None
+
+    def _resolve_class(
+        self, scope: _ModuleScope, dotted: str
+    ) -> tuple[_ModuleScope, str] | None:
+        """Resolve a base-class expression to (scope, class name)."""
+        head, _, rest = dotted.partition(".")
+        target = scope.imports.get(head)
+        if target is None:
+            if not rest and head in scope.classes:
+                return scope, head
+            return None
+        full = f"{target}.{rest}" if rest else target
+        parts = full.split(".")
+        for cut in range(len(parts) - 1, 0, -1):
+            other = self._scopes.get(".".join(parts[:cut]))
+            if other is not None and len(parts) - cut == 1:
+                if parts[-1] in other.classes:
+                    return other, parts[-1]
+        return None
+
+    def _link_module(self, module: ModuleSource, name: str) -> None:
+        scope = self._scopes[name]
+        for info in list(self.functions.values()):
+            if info.module != name:
+                continue
+            self._link_function(scope, info)
+
+    def _link_function(self, scope: _ModuleScope, info: FunctionInfo) -> None:
+        edges = self.edges[info.qualname]
+
+        def resolve_use(node: ast.AST) -> str | None:
+            dotted = _dotted(node)
+            if dotted is None:
+                return None
+            head = dotted.split(".")[0]
+            if head in ("self", "cls") and info.cls is not None:
+                rest = dotted.split(".")[1:]
+                if len(rest) == 1:
+                    return self._resolve_self_call(scope, info.cls, rest[0])
+                return None
+            resolved = self._resolve_name(scope, dotted)
+            if resolved is not None:
+                return resolved
+            # Best-effort attribute call: obj.method(...) by method name.
+            if "." in dotted:
+                method = dotted.split(".")[-1]
+                candidates = self._methods_by_name.get(method, [])
+                if 0 < len(candidates) <= MAX_ATTR_CANDIDATES:
+                    edges.update(candidates)
+            return None
+
+        for sub in ast.walk(info.node):
+            if isinstance(sub, ast.Call):
+                target = resolve_use(sub.func)
+                if target is not None:
+                    edges.add(target)
+                # Callable references passed as arguments.
+                for arg in [*sub.args, *(kw.value for kw in sub.keywords)]:
+                    if isinstance(arg, (ast.Name, ast.Attribute)):
+                        ref = resolve_use(arg)
+                        if ref is not None:
+                            edges.add(ref)
+            elif isinstance(sub, (ast.Assign, ast.Return)):
+                value = sub.value
+                if isinstance(value, (ast.Name, ast.Attribute)):
+                    ref = resolve_use(value)
+                    if ref is not None:
+                        edges.add(ref)
+        # A method's class being instantiated makes its __call__ relevant;
+        # conservatively link __init__ -> __call__ so callable objects
+        # shipped to the pool stay reachable through construction sites.
+        if info.name == "__init__" and info.cls is not None:
+            call = f"{info.module}.{info.cls}.__call__"
+            if call in self.functions:
+                edges.add(call)
+
+    # -- queries ---------------------------------------------------------------
+
+    def reachable_from(
+        self, entries: dict[str, str]
+    ) -> dict[str, list[str]]:
+        """Transitive closure from *entries* (qualname -> entry label).
+
+        Returns ``{qualname: [entry label, hop, hop, ..., qualname]}`` —
+        a shortest call path back to the entry that reached it first
+        (BFS order), for every reachable function including the entries
+        themselves.
+        """
+        paths: dict[str, list[str]] = {}
+        queue: deque[str] = deque()
+        for qualname, label in entries.items():
+            if qualname in self.functions and qualname not in paths:
+                paths[qualname] = [label, qualname]
+                queue.append(qualname)
+        while queue:
+            current = queue.popleft()
+            for callee in sorted(self.edges.get(current, ())):
+                if callee in paths or callee not in self.functions:
+                    continue
+                paths[callee] = paths[current] + [callee]
+                queue.append(callee)
+        return paths
+
+    def resolve_use_site(
+        self, module: str, dotted: str, cls: str | None = None
+    ) -> str | None:
+        """Resolve a use-site name as seen from *module* (public helper).
+
+        Mirrors the resolution the linker applies to call expressions:
+        ``self.x``/``cls.x`` resolve against *cls* when given, everything
+        else through the module's import/definition scope.  Returns the
+        project qualname, or None when the name points outside the
+        project (or cannot be resolved statically).
+        """
+        scope = self._scopes.get(module)
+        if scope is None:
+            return None
+        head = dotted.split(".")[0]
+        if head in ("self", "cls") and cls is not None:
+            rest = dotted.split(".")[1:]
+            if len(rest) == 1:
+                return self._resolve_self_call(scope, cls, rest[0])
+            return None
+        return self._resolve_name(scope, dotted)
+
+    def callers_of(self, qualname: str) -> set[str]:
+        """Direct callers of *qualname* (reverse-edge lookup)."""
+        return {
+            caller
+            for caller, callees in self.edges.items()
+            if qualname in callees
+        }
+
+    def function_at(
+        self, path: str, node: ast.AST
+    ) -> FunctionInfo | None:
+        """The FunctionInfo whose def *node* this is, if indexed."""
+        for info in self.functions.values():
+            if info.path == path and info.node is node:
+                return info
+        return None

@@ -34,7 +34,13 @@ _PRAGMA = re.compile(r"#\s*repro:\s*allow\(\s*([A-Za-z0-9_,\s*-]+?)\s*\)")
 
 @dataclass(frozen=True)
 class Finding:
-    """One rule violation at one source location."""
+    """One rule violation at one source location.
+
+    ``callpath`` is the call chain that makes a context-sensitive
+    finding reachable ("worker entry → A → B"); it is presentation
+    metadata and deliberately excluded from the fingerprint, so a
+    refactor that reroutes the path does not churn the baseline.
+    """
 
     rule: str
     path: str  # repo-relative, posix separators
@@ -42,6 +48,7 @@ class Finding:
     col: int
     message: str
     snippet: str  # stripped source line, used for the fingerprint
+    callpath: tuple[str, ...] = ()
 
     @property
     def fingerprint(self) -> str:
@@ -51,7 +58,10 @@ class Finding:
         return f"{self.rule}:{self.path}:{digest}"
 
     def format(self) -> str:
-        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+        text = f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+        if self.callpath:
+            text += f" [reachable via {' -> '.join(self.callpath)}]"
+        return text
 
 
 @dataclass
@@ -73,7 +83,13 @@ class ModuleSource:
             return self.lines[lineno - 1].strip()
         return ""
 
-    def finding(self, rule: str, node: ast.AST, message: str) -> Finding:
+    def finding(
+        self,
+        rule: str,
+        node: ast.AST,
+        message: str,
+        callpath: tuple[str, ...] = (),
+    ) -> Finding:
         lineno = getattr(node, "lineno", 1)
         col = getattr(node, "col_offset", 0)
         return Finding(
@@ -83,6 +99,7 @@ class ModuleSource:
             col=col,
             message=message,
             snippet=self.line_text(lineno),
+            callpath=callpath,
         )
 
     def allowed_rules(self, lineno: int) -> set[str]:
@@ -111,6 +128,24 @@ class Rule:
         return []
 
     def check_project(self, modules: list[ModuleSource]) -> list[Finding]:
+        return []
+
+
+class CallGraphPass(Rule):
+    """Base class for whole-program passes that need the call graph.
+
+    The engine builds one :class:`repro.analysis.callgraph.CallGraph`
+    per run (over every collected ``src/`` module) and hands the same
+    instance to each registered pass via :meth:`check_graph` — the graph
+    is never rebuilt per pass.  Passes are ordinary rules otherwise:
+    findings flow through the same pragma/baseline filters, and the
+    per-file ``check``/``check_project`` hooks stay available for any
+    local component of the pass.
+    """
+
+    def check_graph(
+        self, modules: list[ModuleSource], graph
+    ) -> list[Finding]:
         return []
 
 
@@ -205,11 +240,20 @@ class AnalysisEngine:
         modules = self.collect(paths)
         report = AnalysisReport(files_checked=len(modules))
         raw: list[Finding] = []
+        graph = None
+        if any(isinstance(rule, CallGraphPass) for rule in self.rules):
+            from repro.analysis.callgraph import CallGraph
+
+            graph = CallGraph.build(
+                [m for m in modules if m.path.startswith("src/")]
+            )
         for rule in self.rules:
             scoped = [m for m in modules if rule.applies_to(m.path)]
             for module in scoped:
                 raw.extend(rule.check(module))
             raw.extend(rule.check_project(scoped))
+            if isinstance(rule, CallGraphPass) and graph is not None:
+                raw.extend(rule.check_graph(scoped, graph))
 
         baseline = self.load_baseline(baseline_path)
         seen_fingerprints: set[str] = set()

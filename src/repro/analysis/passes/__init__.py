@@ -1,0 +1,48 @@
+"""Whole-program analysis passes built on the project call graph.
+
+Unlike the local rules in :mod:`repro.analysis.rules` (one function,
+one file at a time), each pass here consumes the
+:class:`repro.analysis.callgraph.CallGraph` the engine builds once per
+run and reasons *across* modules:
+
+========================  =================================================
+pass id                   invariant
+========================  =================================================
+``worker-context``        functions transitively reachable from pool /
+                          spawn entry points obey worker-only rules: no
+                          unlocked mutation of module globals, no raw
+                          ``os.fork``/``threading.Thread``, no
+                          fork-hostile resource construction
+``metrics-contract``      every ``counter_add``/``gauge_set``/``span``
+                          string literal resolves against the declared
+                          registry in :mod:`repro.obs.registry`
+``shm-scope``             every ``ShmArena`` scope opened in a function
+                          is released (or ownership-transferred) on all
+                          exits including exception edges; resolved shm
+                          views are never written without
+                          ``writable=True``
+========================  =================================================
+
+The lock-order/race sanitizer is the fourth member of the suite but is
+a *runtime* mode (:mod:`repro.analysis.racecheck`), not a static pass —
+acquisition order is a dynamic property.
+
+All passes share the lint engine's suppression workflow: inline
+``# repro: allow(<pass-id>)`` pragmas and the committed baseline.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.engine import CallGraphPass
+from repro.analysis.passes.metrics_contract import MetricsContractPass
+from repro.analysis.passes.shm_scope import ShmScopePass
+from repro.analysis.passes.worker_context import WorkerContextPass
+
+
+def default_passes() -> list[CallGraphPass]:
+    """The full callgraph-pass set, in reporting order."""
+    return [
+        WorkerContextPass(),
+        MetricsContractPass(),
+        ShmScopePass(),
+    ]

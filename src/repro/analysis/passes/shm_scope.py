@@ -1,0 +1,511 @@
+"""``shm-scope``: arena scope lifecycle checked on every exit path.
+
+:class:`repro.core.shm.ShmArena` scopes are manual resources: a
+``ARENA.scope(label)`` open must reach ``ARENA.release_scope(scope)``
+on *every* way out of the owning function — normal return, early
+return, and the exception edges every intervening call introduces — or
+the segments stay pinned in ``/dev/shm`` until the orphan sweeper
+happens to run.  Both shm leaks this repo has shipped were exactly this
+shape: a release on the success path only.
+
+Per function, the pass finds every scope-open bound to a local name and
+walks the statements that execute after it:
+
+- a ``try`` whose ``finally`` (or every handler) releases the scope
+  makes the open safe — including conditional releases
+  (``if not handed_off: release_scope(scope)``) anywhere inside the
+  ``finally``;
+- an ownership transfer ends local responsibility: storing the handle
+  on an object (``job.scope = scope``), returning it, or passing it to
+  a project callee other than the arena's own non-owning operations
+  (``share``/``allocate``/``adopt``/``retain``/``subarray``/
+  ``sweep_orphans``);
+- any statement that can raise (a call, a subscript) before the
+  release/transfer is an exception edge on which the scope leaks — the
+  finding points at that statement;
+- falling off the end of the function (or returning something else)
+  without a release is a leak on the normal path.
+
+Two sibling checks ride the same walk:
+
+- **read-only views** — a name bound from ``desc.resolve()`` without
+  ``writable=True`` is a read-only mapping; writing through it
+  (``view[i] = ...``) dies with ``ACCESS_READ`` at runtime on some
+  platforms and silently patches a shared segment on others;
+- **descriptor escape** — returning a descriptor created under a
+  locally-released scope hands the caller a dangling reference: the
+  segment is unlinked the moment the scope closes.
+
+The walk is statement-level and deliberately branch-conservative: an
+``if`` guarded by the handle itself (``if scope is not None:``) adopts
+its body's verdict, other branches must agree or the scan continues on
+the fall-through path.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.engine import CallGraphPass, Finding, ModuleSource
+from repro.analysis.rules._util import call_name
+
+_FUNCTION_NODES = (ast.FunctionDef, ast.AsyncFunctionDef)
+#: Arena operations that *use* a scope without taking ownership of it.
+_NON_OWNING_OPS = {
+    "share", "allocate", "adopt", "retain", "subarray", "sweep_orphans",
+    "scope", "_next_name", "_register",
+}
+
+_SAFE, _UNSAFE, _CONTINUE = "safe", "unsafe", "continue"
+
+
+def _is_arena_scope_call(node: ast.AST) -> bool:
+    """True for ``<...ARENA...>.scope(...)`` / ``<...arena>.scope(...)``."""
+    if not isinstance(node, ast.Call):
+        return False
+    name = call_name(node)
+    if name is None or name.split(".")[-1] != "scope":
+        return False
+    receiver = name.rsplit(".", 1)[0]
+    return "arena" in receiver.lower()
+
+
+def _scope_acquire(value: ast.AST) -> ast.AST | None:
+    """The ``.scope(...)`` call in an assign value, if any (incl. IfExp)."""
+    if _is_arena_scope_call(value):
+        return value
+    if isinstance(value, ast.IfExp):
+        for branch in (value.body, value.orelse):
+            if _is_arena_scope_call(branch):
+                return branch
+    return None
+
+
+def _names_in(node: ast.AST) -> set[str]:
+    return {
+        sub.id for sub in ast.walk(node) if isinstance(sub, ast.Name)
+    }
+
+
+def _can_raise(stmt: ast.stmt) -> ast.AST | None:
+    """The first raise-capable expression in *stmt*, skipping nested defs."""
+
+    def walk(node: ast.AST) -> ast.AST | None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, _FUNCTION_NODES + (ast.Lambda, ast.ClassDef)):
+                continue  # deferred bodies do not execute here
+            if isinstance(child, (ast.Call, ast.Subscript, ast.Raise)):
+                return child
+            found = walk(child)
+            if found is not None:
+                return found
+        return None
+
+    if isinstance(stmt, (ast.Call, ast.Subscript, ast.Raise)):
+        return stmt
+    return walk(stmt)
+
+
+class _ScopeWalk:
+    """Forward walk for one acquired handle inside one function."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.leak_site: ast.AST | None = None
+
+    # -- predicates ------------------------------------------------------------
+
+    def _releases(self, node: ast.AST) -> bool:
+        """Any ``release_scope(<name>)`` call in the subtree."""
+        for sub in ast.walk(node):
+            if not isinstance(sub, ast.Call):
+                continue
+            callee = call_name(sub)
+            if callee is None or callee.split(".")[-1] != "release_scope":
+                continue
+            for arg in sub.args:
+                if isinstance(arg, ast.Name) and arg.id == self.name:
+                    return True
+        return False
+
+    def _escapes(self, stmt: ast.stmt) -> bool:
+        """Ownership transfer: attr-store, return, or hand-off call."""
+        if isinstance(stmt, ast.Assign):
+            value_names = _names_in(stmt.value)
+            if self.name in value_names:
+                for target in stmt.targets:
+                    if isinstance(target, (ast.Attribute, ast.Subscript)):
+                        return True
+        if isinstance(stmt, ast.Return) and stmt.value is not None:
+            if self.name in _names_in(stmt.value):
+                return True
+        for sub in ast.walk(stmt):
+            if not isinstance(sub, ast.Call):
+                continue
+            callee = call_name(sub)
+            if callee is None:
+                continue
+            last = callee.split(".")[-1]
+            if last in _NON_OWNING_OPS or last == "release_scope":
+                continue
+            in_args = any(
+                isinstance(a, ast.Name) and a.id == self.name
+                for a in sub.args
+            ) or any(
+                isinstance(kw.value, ast.Name) and kw.value.id == self.name
+                for kw in sub.keywords
+            )
+            if in_args:
+                return True
+        return False
+
+    def _guards_handle(self, test: ast.expr) -> bool:
+        """``if scope is not None:``-style guard on the handle itself."""
+        return self.name in _names_in(test)
+
+    # -- statement walk --------------------------------------------------------
+
+    def scan_block(self, stmts: list[ast.stmt], covered: bool = False) -> str:
+        for stmt in stmts:
+            verdict = self.scan_stmt(stmt, covered)
+            if verdict in (_SAFE, _UNSAFE):
+                return verdict
+        return _CONTINUE
+
+    def scan_stmt(self, stmt: ast.stmt, covered: bool = False) -> str:
+        """*covered* = exception edges here land in a releasing handler."""
+        if isinstance(stmt, ast.Expr) and self._releases(stmt):
+            return _SAFE
+        if self._escapes(stmt):
+            return _SAFE
+        if isinstance(stmt, ast.Try):
+            if self._releases_block(stmt.finalbody):
+                return _SAFE
+            if stmt.handlers and all(
+                self._releases_block(h.body) for h in stmt.handlers
+            ):
+                # exception edges inside the body are covered by the
+                # handlers; the normal path continues after the try,
+                # still holding the handle
+                return self.scan_block(stmt.body, covered=True)
+            return self.scan_block(stmt.body + stmt.finalbody, covered)
+        if isinstance(stmt, ast.If):
+            return self._scan_if(stmt, covered)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            if not covered:
+                for item in stmt.items:
+                    site = _can_raise(ast.Expr(value=item.context_expr))
+                    if site is not None:
+                        self.leak_site = site
+                        return _UNSAFE
+            return self.scan_block(stmt.body, covered)
+        if isinstance(stmt, (ast.For, ast.AsyncFor, ast.While)):
+            verdict = self.scan_block(stmt.body, covered)
+            if verdict == _UNSAFE:
+                return _UNSAFE
+            # a release inside a loop body is per-iteration, not an exit
+            return _CONTINUE
+        if isinstance(stmt, ast.Return):
+            # returning without the handle leaks it on this exit
+            self.leak_site = stmt
+            return _UNSAFE
+        if isinstance(stmt, ast.Raise):
+            if covered:
+                return _CONTINUE
+            self.leak_site = stmt
+            return _UNSAFE
+        if not covered:
+            site = _can_raise(stmt)
+            if site is not None:
+                self.leak_site = site
+                return _UNSAFE
+        return _CONTINUE
+
+    def _releases_block(self, stmts: list[ast.stmt]) -> bool:
+        return any(self._releases(stmt) for stmt in stmts)
+
+    def _scan_if(self, stmt: ast.If, covered: bool = False) -> str:
+        body = self.scan_block(stmt.body, covered)
+        orelse = (
+            self.scan_block(stmt.orelse, covered) if stmt.orelse else _CONTINUE
+        )
+        if _UNSAFE in (body, orelse):
+            return _UNSAFE
+        if body == _SAFE and orelse == _SAFE:
+            return _SAFE
+        if self._guards_handle(stmt.test) and body == _SAFE:
+            # `if scope is not None: release_scope(scope)` — the
+            # fall-through branch has no live handle by construction
+            return _SAFE
+        if not covered:
+            site = _can_raise(ast.Expr(value=stmt.test))
+            if site is not None:
+                self.leak_site = site
+                return _UNSAFE
+        return _CONTINUE
+
+
+class ShmScopePass(CallGraphPass):
+    rule_id = "shm-scope"
+    title = "arena scope not released on every exit path"
+
+    def check(self, module: ModuleSource) -> list[Finding]:
+        findings: list[Finding] = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, _FUNCTION_NODES):
+                continue
+            findings.extend(self._check_function(module, node))
+        return findings
+
+    # -- scope lifecycle -------------------------------------------------------
+
+    def _check_function(
+        self, module: ModuleSource, fn: ast.AST
+    ) -> list[Finding]:
+        findings: list[Finding] = []
+        acquires = self._find_acquires(fn)
+        for name, stmt in acquires:
+            findings.extend(self._check_acquire(module, fn, name, stmt))
+        findings.extend(self._check_views(module, fn))
+        findings.extend(
+            self._check_descriptor_escape(module, fn, [n for n, _ in acquires])
+        )
+        return findings
+
+    def _find_acquires(self, fn: ast.AST) -> list[tuple[str, ast.stmt]]:
+        acquires: list[tuple[str, ast.stmt]] = []
+        for sub in ast.walk(fn):
+            if isinstance(sub, _FUNCTION_NODES) and sub is not fn:
+                continue
+            if not isinstance(sub, ast.Assign):
+                continue
+            if _scope_acquire(sub.value) is None:
+                continue
+            for target in sub.targets:
+                if isinstance(target, ast.Name):
+                    acquires.append((target.id, sub))
+        return acquires
+
+    def _check_acquire(
+        self, module: ModuleSource, fn: ast.AST, name: str, acquire: ast.stmt
+    ) -> list[Finding]:
+        walk = _ScopeWalk(name)
+        pairs = _block_suffixes(fn, acquire)
+        if pairs is None:
+            return []
+        # an enclosing try whose finally releases covers everything in it
+        for _, container in pairs:
+            if isinstance(container, ast.Try) and walk._releases_block(
+                container.finalbody
+            ):
+                return []
+        # an enclosing try whose handlers all release covers the
+        # exception edges of every level nested inside it
+        covering = [
+            isinstance(container, ast.Try)
+            and bool(container.handlers)
+            and all(
+                walk._releases_block(h.body) for h in container.handlers
+            )
+            for _, container in pairs
+        ]
+        verdict = _CONTINUE
+        for level, (suffix, _) in enumerate(pairs):
+            covered = any(covering[level + 1 :])
+            verdict = walk.scan_block(suffix, covered)
+            if verdict in (_SAFE, _UNSAFE):
+                break
+        if verdict == _SAFE:
+            return []
+        if verdict == _UNSAFE and walk.leak_site is not None:
+            site = walk.leak_site
+            detail = (
+                "an exception here leaks it"
+                if not isinstance(site, (ast.Return, ast.Raise))
+                else "this exit leaks it"
+            )
+            return [
+                module.finding(
+                    self.rule_id,
+                    site,
+                    f"scope '{name}' (opened at line {acquire.lineno}) is "
+                    f"not protected by a release on this path — {detail}; "
+                    "wrap the open in try/finally with "
+                    f"release_scope({name})",
+                )
+            ]
+        return [
+            module.finding(
+                self.rule_id,
+                acquire,
+                f"scope '{name}' is opened but never released or handed "
+                "off on the fall-through path",
+            )
+        ]
+
+    # -- read-only views -------------------------------------------------------
+
+    def _check_views(
+        self, module: ModuleSource, fn: ast.AST
+    ) -> list[Finding]:
+        views: dict[str, int] = {}
+        for sub in ast.walk(fn):
+            if isinstance(sub, _FUNCTION_NODES) and sub is not fn:
+                continue
+            if not isinstance(sub, ast.Assign):
+                continue
+            value = sub.value
+            if not isinstance(value, ast.Call):
+                continue
+            callee = call_name(value)
+            if callee is None or callee.split(".")[-1] != "resolve":
+                continue
+            receiver = callee.rsplit(".", 1)[0]
+            looks_like_shm = any(
+                hint in receiver.lower()
+                for hint in ("desc", "slot", "block", "view", "shm", "seg")
+            )
+            writable = any(
+                kw.arg == "writable"
+                and isinstance(kw.value, ast.Constant)
+                and kw.value.value is True
+                for kw in value.keywords
+            )
+            if writable or not looks_like_shm:
+                continue
+            for target in sub.targets:
+                if isinstance(target, ast.Name):
+                    views[target.id] = sub.lineno
+        if not views:
+            return []
+        findings: list[Finding] = []
+        for sub in ast.walk(fn):
+            target = None
+            if isinstance(sub, ast.Assign):
+                for tgt in sub.targets:
+                    if isinstance(tgt, ast.Subscript):
+                        target = tgt
+            elif isinstance(sub, ast.AugAssign) and isinstance(
+                sub.target, ast.Subscript
+            ):
+                target = sub.target
+            if (
+                target is not None
+                and isinstance(target.value, ast.Name)
+                and target.value.id in views
+            ):
+                findings.append(
+                    module.finding(
+                        self.rule_id,
+                        sub,
+                        f"'{target.value.id}' is a read-only shm view "
+                        f"(resolve() without writable=True at line "
+                        f"{views[target.value.id]}); writing through it is "
+                        "undefined — resolve with writable=True",
+                    )
+                )
+        return findings
+
+    # -- descriptor escape -----------------------------------------------------
+
+    def _check_descriptor_escape(
+        self, module: ModuleSource, fn: ast.AST, scope_names: list[str]
+    ) -> list[Finding]:
+        if not scope_names:
+            return []
+        released = set()
+        descs: dict[str, str] = {}  # desc name -> scope name
+        for sub in ast.walk(fn):
+            if isinstance(sub, _FUNCTION_NODES) and sub is not fn:
+                continue
+            if isinstance(sub, ast.Call):
+                callee = call_name(sub)
+                last = callee.split(".")[-1] if callee else ""
+                if last == "release_scope":
+                    for arg in sub.args:
+                        if (
+                            isinstance(arg, ast.Name)
+                            and arg.id in scope_names
+                        ):
+                            released.add(arg.id)
+            if isinstance(sub, ast.Assign) and isinstance(
+                sub.value, ast.Call
+            ):
+                callee = call_name(sub.value)
+                last = callee.split(".")[-1] if callee else ""
+                if last in ("share", "allocate", "subarray"):
+                    used = [
+                        a.id
+                        for a in [*sub.value.args, *(
+                            kw.value for kw in sub.value.keywords
+                        )]
+                        if isinstance(a, ast.Name) and a.id in scope_names
+                    ]
+                    if used:
+                        for target in sub.targets:
+                            if isinstance(target, ast.Name):
+                                descs[target.id] = used[0]
+        if not descs or not released:
+            return []
+        findings: list[Finding] = []
+        for sub in ast.walk(fn):
+            if isinstance(sub, _FUNCTION_NODES) and sub is not fn:
+                continue
+            if not isinstance(sub, ast.Return) or sub.value is None:
+                continue
+            for name in _names_in(sub.value):
+                if name in descs and descs[name] in released:
+                    findings.append(
+                        module.finding(
+                            self.rule_id,
+                            sub,
+                            f"descriptor '{name}' is created under scope "
+                            f"'{descs[name]}' which this function releases; "
+                            "returning it hands the caller a dangling "
+                            "segment reference",
+                        )
+                    )
+        return findings
+
+
+def _block_suffixes(
+    fn: ast.AST, target: ast.stmt
+) -> list[tuple[list[ast.stmt], ast.stmt | None]] | None:
+    """Statement suffixes executing after *target*, innermost-out.
+
+    Walks the body-block chain from the function body down to the block
+    containing *target*; returns, innermost first, ``(suffix,
+    container)`` pairs — the statements that follow on each level, and
+    the compound statement stepped out of to reach that level (None for
+    the innermost pair).  None when *target* is not found.
+    """
+
+    def search(
+        stmts: list[ast.stmt],
+    ) -> list[tuple[list[ast.stmt], ast.stmt | None]] | None:
+        for index, stmt in enumerate(stmts):
+            if stmt is target:
+                return [(stmts[index + 1 :], None)]
+            if isinstance(stmt, _FUNCTION_NODES + (ast.ClassDef,)):
+                continue
+            for block in _child_blocks(stmt):
+                found = search(block)
+                if found is not None:
+                    found.append((stmts[index + 1 :], stmt))
+                    return found
+        return None
+
+    return search(fn.body)
+
+
+def _child_blocks(stmt: ast.stmt) -> list[list[ast.stmt]]:
+    blocks: list[list[ast.stmt]] = []
+    for attr in ("body", "orelse", "finalbody"):
+        block = getattr(stmt, attr, None)
+        if isinstance(block, list) and block and isinstance(
+            block[0], ast.stmt
+        ):
+            blocks.append(block)
+    for handler in getattr(stmt, "handlers", []) or []:
+        blocks.append(handler.body)
+    return blocks

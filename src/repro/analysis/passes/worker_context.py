@@ -1,0 +1,370 @@
+"""``worker-context``: worker-only rules applied transitively.
+
+The PR-4 ``fork-unsafe-closure`` rule inspects the literal callable
+handed to ``parallel_map`` — it cannot see that the worker calls a
+helper two modules away that rebinds a module global.  This pass closes
+that gap: it computes the set of functions *reachable* from every
+pool/spawn entry point through the project call graph and applies the
+worker-only rules to each of them, attaching the call path
+("worker of parallel_map → A → B") to every finding.
+
+Entry points:
+
+- the first argument of every ``parallel_map``/``parallel_map_ex``/
+  ``<pool>.map`` call site in ``src/``, resolved through the call graph;
+- the known callable task objects the pool ships by construction:
+  ``_PipelineTask.__call__``, ``_ShardWorker.__call__`` and the chaos
+  plan's worker-side ``WorkerFaultPlan.apply``.
+
+Worker-only rules (each reported under this pass's single rule id so
+one pragma suffices per site):
+
+- **unlocked global mutation** — rebinding a module global
+  (``global X; X = ...``) or mutating a module-level container
+  (``X[k] = v``, ``X.update(...)``) outside a ``with <lock>:`` block.
+  Worker processes run the pool's heartbeat thread next to the task, so
+  unlocked module state is racy even before the serving daemon lands;
+  under spawn the mutation is also silently lost to the parent.
+- **process/thread creation** — ``os.fork``/``os.forkpty`` or
+  ``threading.Thread(...)`` reachable from a worker: nested forks break
+  the pool's supervision tree and inherit locked locks.
+- **fork-hostile task state** — the ``__init__`` of a shipped callable
+  task object storing an open file handle, lock, or thread on ``self``:
+  the pickle that carries the task to the worker cannot serialise it.
+
+Lock detection is lexical: a mutation inside a ``with`` statement whose
+context expression mentions a name containing ``lock`` (any case) is
+considered guarded.  That is deliberately generous — the pass exists to
+catch *missing* locking, not to audit lock correctness (the runtime
+race sanitizer, :mod:`repro.analysis.racecheck`, covers that half).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.engine import CallGraphPass, Finding, ModuleSource
+from repro.analysis.rules._util import build_parent_map, call_name
+
+_FUNCTION_NODES = (ast.FunctionDef, ast.AsyncFunctionDef)
+_POOL_ENTRY_POINTS = {"parallel_map", "parallel_map_ex", "map"}
+#: Callable task objects shipped to workers by construction, not by a
+#: syntactic ``parallel_map(fn, ...)`` call the scanner could see.
+_KNOWN_ENTRIES = {
+    "repro.core.batch._PipelineTask.__call__": "pipeline task",
+    "repro.train.trainer._ShardWorker.__call__": "shard worker",
+    "repro.testing.faults.WorkerFaultPlan.apply": "chaos plan",
+}
+_FORK_CALLS = {"os.fork", "os.forkpty"}
+#: Container constructors whose module-level instances count as shared
+#: mutable state.
+_CONTAINER_CALLS = {
+    "dict", "list", "set", "OrderedDict", "defaultdict", "deque",
+    "collections.OrderedDict", "collections.defaultdict",
+    "collections.deque",
+}
+#: Method names that mutate a container in place.
+_MUTATING_METHODS = {
+    "append", "extend", "insert", "add", "update", "setdefault", "pop",
+    "popitem", "remove", "discard", "clear", "appendleft", "extendleft",
+    "move_to_end",
+}
+#: Constructors whose results must not ride a task pickle to a worker.
+_UNPICKLABLE_CTOR_PARTS = {
+    "Lock", "RLock", "Semaphore", "BoundedSemaphore", "Event",
+    "Condition", "Thread",
+}
+
+
+def _module_container_globals(module: ModuleSource) -> set[str]:
+    """Module-level names bound to mutable containers."""
+    names: set[str] = set()
+    for stmt in module.tree.body:
+        targets: list[ast.expr] = []
+        value: ast.expr | None = None
+        if isinstance(stmt, ast.Assign):
+            targets, value = stmt.targets, stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            targets, value = [stmt.target], stmt.value
+        if value is None:
+            continue
+        is_container = isinstance(value, (ast.Dict, ast.List, ast.Set))
+        if not is_container and isinstance(value, ast.Call):
+            is_container = (call_name(value) or "") in _CONTAINER_CALLS
+        if not is_container:
+            continue
+        for target in targets:
+            if isinstance(target, ast.Name):
+                names.add(target.id)
+    return names
+
+
+def _under_lock(node: ast.AST, parents: dict[ast.AST, ast.AST]) -> bool:
+    """True when *node* sits inside a ``with <...lock...>:`` block."""
+    current = parents.get(node)
+    while current is not None:
+        if isinstance(current, (ast.With, ast.AsyncWith)):
+            for item in current.items:
+                text = ast.dump(item.context_expr)
+                if "lock" in text.lower():
+                    return True
+        if isinstance(current, _FUNCTION_NODES):
+            break
+        current = parents.get(current)
+    return False
+
+
+class WorkerContextPass(CallGraphPass):
+    rule_id = "worker-context"
+    title = "worker-unsafe operation reachable from a pool entry point"
+
+    # -- entry discovery -------------------------------------------------------
+
+    def _entries(self, modules, graph) -> dict[str, str]:
+        from repro.analysis.callgraph import module_name
+
+        entries: dict[str, str] = {}
+        for qualname, label in _KNOWN_ENTRIES.items():
+            if qualname in graph.functions:
+                entries[qualname] = label
+        for module in modules:
+            mod_name = module_name(module.path)
+            if mod_name is None:
+                continue
+            for info in graph.functions.values():
+                if info.module != mod_name:
+                    continue
+                for sub in ast.walk(info.node):
+                    if not isinstance(sub, ast.Call) or not sub.args:
+                        continue
+                    name = call_name(sub)
+                    if (
+                        name is None
+                        or name.split(".")[-1] not in _POOL_ENTRY_POINTS
+                    ):
+                        continue
+                    worker = sub.args[0]
+                    dotted = _dotted_or_none(worker)
+                    if dotted is None:
+                        continue
+                    resolved = graph.resolve_use_site(
+                        mod_name, dotted, cls=info.cls
+                    )
+                    if resolved is not None:
+                        entries.setdefault(
+                            resolved,
+                            f"worker of {name.split('.')[-1]} "
+                            f"({module.path}:{sub.lineno})",
+                        )
+        return entries
+
+    # -- per-function rules ----------------------------------------------------
+
+    def check_graph(self, modules, graph) -> list[Finding]:
+        entries = self._entries(modules, graph)
+        if not entries:
+            return []
+        paths = graph.reachable_from(entries)
+        by_path = {m.path: m for m in modules}
+        container_cache: dict[str, set[str]] = {}
+        findings: list[Finding] = []
+        entry_classes = self._entry_task_classes(entries, graph)
+
+        for qualname, callpath in sorted(paths.items()):
+            info = graph.functions[qualname]
+            module = by_path.get(info.path)
+            if module is None:
+                continue
+            if info.path not in container_cache:
+                container_cache[info.path] = _module_container_globals(module)
+            containers = container_cache[info.path]
+            trail = tuple(callpath[:-1]) if len(callpath) > 2 else (callpath[0],)
+            findings.extend(
+                self._check_function(module, info, containers, trail)
+            )
+            if qualname in entry_classes:
+                findings.extend(
+                    self._check_task_init(module, graph, info, trail)
+                )
+        return findings
+
+    def _entry_task_classes(self, entries, graph) -> set[str]:
+        """Entry qualnames that are methods of shipped task objects."""
+        return {
+            qualname
+            for qualname in entries
+            if qualname.endswith((".__call__", ".apply"))
+            and graph.functions[qualname].cls is not None
+        }
+
+    def _check_function(
+        self,
+        module: ModuleSource,
+        info,
+        containers: set[str],
+        trail: tuple[str, ...],
+    ) -> list[Finding]:
+        findings: list[Finding] = []
+        parents = build_parent_map(info.node)
+        declared_global: set[str] = set()
+        for sub in ast.walk(info.node):
+            if isinstance(sub, ast.Global):
+                declared_global.update(sub.names)
+
+        for sub in ast.walk(info.node):
+            # global rebinding: `global X` + assignment to X
+            if isinstance(sub, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                targets = (
+                    sub.targets
+                    if isinstance(sub, ast.Assign)
+                    else [sub.target]
+                )
+                for target in targets:
+                    if (
+                        isinstance(target, ast.Name)
+                        and target.id in declared_global
+                        and not _under_lock(sub, parents)
+                    ):
+                        findings.append(
+                            module.finding(
+                                self.rule_id,
+                                sub,
+                                f"'{info.qualname}' rebinds module global "
+                                f"'{target.id}' without holding a lock; "
+                                "worker processes run the heartbeat thread "
+                                "concurrently and spawn discards the write",
+                                callpath=trail,
+                            )
+                        )
+                    # container mutation via subscript store: X[k] = v
+                    if (
+                        isinstance(target, ast.Subscript)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id in containers
+                        and not _under_lock(sub, parents)
+                    ):
+                        findings.append(
+                            module.finding(
+                                self.rule_id,
+                                sub,
+                                f"'{info.qualname}' writes module-level "
+                                f"container '{target.value.id}' without "
+                                "holding a lock",
+                                callpath=trail,
+                            )
+                        )
+            elif isinstance(sub, ast.Delete):
+                for target in sub.targets:
+                    if (
+                        isinstance(target, ast.Subscript)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id in containers
+                        and not _under_lock(sub, parents)
+                    ):
+                        findings.append(
+                            module.finding(
+                                self.rule_id,
+                                sub,
+                                f"'{info.qualname}' deletes from module-level "
+                                f"container '{target.value.id}' without "
+                                "holding a lock",
+                                callpath=trail,
+                            )
+                        )
+            elif isinstance(sub, ast.Call):
+                name = call_name(sub)
+                if name is None:
+                    continue
+                if name in _FORK_CALLS:
+                    findings.append(
+                        module.finding(
+                            self.rule_id,
+                            sub,
+                            f"'{info.qualname}' calls {name}() inside a pool "
+                            "worker; nested forks break the supervision tree "
+                            "and inherit locked locks",
+                            callpath=trail,
+                        )
+                    )
+                elif name in ("threading.Thread", "Thread"):
+                    findings.append(
+                        module.finding(
+                            self.rule_id,
+                            sub,
+                            f"'{info.qualname}' starts a thread inside a pool "
+                            "worker; the pool owns worker-side threading "
+                            "(heartbeat) — do the work inline or split items",
+                            callpath=trail,
+                        )
+                    )
+                elif (
+                    isinstance(sub.func, ast.Attribute)
+                    and sub.func.attr in _MUTATING_METHODS
+                    and isinstance(sub.func.value, ast.Name)
+                    and sub.func.value.id in containers
+                    and not _under_lock(sub, parents)
+                ):
+                    findings.append(
+                        module.finding(
+                            self.rule_id,
+                            sub,
+                            f"'{info.qualname}' mutates module-level "
+                            f"container '{sub.func.value.id}' via "
+                            f".{sub.func.attr}() without holding a lock",
+                            callpath=trail,
+                        )
+                    )
+        return findings
+
+    def _check_task_init(
+        self, module: ModuleSource, graph, info, trail: tuple[str, ...]
+    ) -> list[Finding]:
+        """Shipped task objects must not carry unpicklable state."""
+        init = graph.functions.get(f"{info.module}.{info.cls}.__init__")
+        if init is None:
+            return []
+        init_module = module if init.path == module.path else None
+        if init_module is None:
+            return []
+        findings: list[Finding] = []
+        for sub in ast.walk(init.node):
+            if not isinstance(sub, ast.Assign):
+                continue
+            value = sub.value
+            if not isinstance(value, ast.Call):
+                continue
+            name = call_name(value) or ""
+            hostile = (
+                name == "open"
+                or name.split(".")[-1] in _UNPICKLABLE_CTOR_PARTS
+            )
+            if not hostile:
+                continue
+            for target in sub.targets:
+                if (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                ):
+                    findings.append(
+                        init_module.finding(
+                            self.rule_id,
+                            sub,
+                            f"task object '{info.module}.{info.cls}' stores "
+                            f"'{name}(...)' on self.{target.attr}; the task "
+                            "pickle shipped to workers cannot serialise it",
+                            callpath=trail,
+                        )
+                    )
+        return findings
+
+
+def _dotted_or_none(node: ast.AST) -> str | None:
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None

@@ -1,6 +1,7 @@
-"""Project-specific lint rules.
+"""Project-specific lint rules (the fast, local tier).
 
-Each rule encodes one invariant the runtime introduced in earlier PRs:
+Each rule encodes one invariant the runtime introduced in earlier PRs,
+checkable one file at a time:
 
 ========================  =================================================
 rule id                   invariant
@@ -24,6 +25,12 @@ rule id                   invariant
 ``dead-import``           no module-level import that is never used
 ``import-cycle``          no module-level import cycles inside ``repro``
 ========================  =================================================
+
+The whole-program tier — ``worker-context``, ``metrics-contract`` and
+``shm-scope``, built on the shared project call graph — lives in
+:mod:`repro.analysis.passes`; :func:`default_rules` returns both tiers
+so ``python -m repro.analysis`` runs everything by default
+(``--rules local``/``--rules callgraph`` selects one tier).
 """
 
 from __future__ import annotations
@@ -38,8 +45,8 @@ from repro.analysis.rules.randomness import UnseededRngRule
 from repro.analysis.rules.wallclock import WallClockRule
 
 
-def default_rules() -> list[Rule]:
-    """The full rule set, in reporting order."""
+def local_rules() -> list[Rule]:
+    """The fast single-file rules, in reporting order."""
     return [
         RuntimeAssertRule(),
         UnseededRngRule(),
@@ -50,3 +57,10 @@ def default_rules() -> list[Rule]:
         DeadImportRule(),
         ImportCycleRule(),
     ]
+
+
+def default_rules() -> list[Rule]:
+    """Both tiers — local rules plus the callgraph passes."""
+    from repro.analysis.passes import default_passes
+
+    return [*local_rules(), *default_passes()]

@@ -378,11 +378,13 @@ def _dispatch(args: argparse.Namespace) -> int:
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     # Imported here so `repro --help` stays instant.
+    from repro.analysis.racecheck import install_from_env as _install_racecheck
     from repro.core.kernels import BackendUnavailableError, set_backend
     from repro.solvers.guard import SolverFailure
     from repro.spice.parser import SpiceParseError
     from repro.spice.validate import NetlistValidationError
 
+    _install_racecheck()
     try:
         if args.backend is not None:
             set_backend(args.backend)

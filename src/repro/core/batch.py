@@ -400,6 +400,9 @@ def tree_reduce(values: Sequence, combine: Callable = None):
 #: limit.
 _PIPELINE_CACHE: dict[tuple[str, str], object] = {}
 _PIPELINE_CACHE_MAX = 4
+#: Guards _PIPELINE_CACHE: the worker's heartbeat thread runs next to
+#: task execution, and the serving daemon will run tasks concurrently.
+_PIPELINE_CACHE_LOCK = threading.Lock()
 
 
 class _PipelineTask:
@@ -441,16 +444,25 @@ class _PipelineTask:
     def _rebuild(self) -> "IRFusionPipeline":
         payload = self._payload
         key = (payload["fingerprint"], repr(payload["config"]))
-        pipeline = _PIPELINE_CACHE.get(key)
+        with _PIPELINE_CACHE_LOCK:
+            pipeline = _PIPELINE_CACHE.get(key)
         if pipeline is None:
             counter_add("batch.pipeline_cache_misses")
             from repro.core.pipeline import IRFusionPipeline
 
             pipeline = IRFusionPipeline(payload["config"])
             pipeline.load_model_state(payload["state"], payload["channels"])
-            while len(_PIPELINE_CACHE) >= _PIPELINE_CACHE_MAX:
-                _PIPELINE_CACHE.pop(next(iter(_PIPELINE_CACHE)))
-            _PIPELINE_CACHE[key] = pipeline
+            # The rebuild itself runs outside the lock (it is the slow
+            # part); a racing duplicate build is resolved first-writer
+            # -wins, same policy as the AMG setup cache.
+            with _PIPELINE_CACHE_LOCK:
+                winner = _PIPELINE_CACHE.get(key)
+                if winner is not None:
+                    pipeline = winner
+                else:
+                    while len(_PIPELINE_CACHE) >= _PIPELINE_CACHE_MAX:
+                        _PIPELINE_CACHE.pop(next(iter(_PIPELINE_CACHE)))
+                    _PIPELINE_CACHE[key] = pipeline
         else:
             counter_add("batch.pipeline_cache_hits")
         self.pipeline = pipeline

@@ -325,6 +325,11 @@ def _dump_result(payload: dict, scope, threshold: int, task_id: int) -> bytes:
 def _worker_main(slot: int, conn, heartbeat_interval: float) -> None:
     """Worker loop: receive job payloads and tasks, send acks and results."""
     os.environ[WORKER_ENV] = "1"
+    # Race sanitizer coverage extends into workers: spawn children do
+    # not run the CLI entry point, so re-arm from the env var here.
+    from repro.analysis.racecheck import install_from_env
+
+    install_from_env()
     send_lock = threading.Lock()
 
     def send(message) -> bool:
@@ -616,51 +621,56 @@ class WorkerPool:
         writer = (
             (lambda array: _shm.ARENA.share(array, scope)) if use_shm else None
         )
+        # The scope is owned here until the job is handed to the
+        # supervisor (which releases it at job completion); every other
+        # exit — unpicklable payload, empty items, shutdown race, or an
+        # unexpected exception anywhere in between — must release it.
+        handed_off = False
         try:
-            payload = _shm.dumps(
-                (fn, fault_plan, traced), threshold=threshold, writer=writer
-            )
-            item_blobs = [
-                _shm.dumps(item, threshold=threshold, writer=writer)
-                for item in items
-            ]
-        except Exception as exc:  # noqa: BLE001 - anything unpicklable
-            if scope is not None:
-                _shm.ARENA.release_scope(scope)
-            raise PoolUnusableError(
-                f"job payload is not picklable: {type(exc).__name__}: {exc}"
-            ) from exc
-        counter_add(
-            "transport.pickled_bytes",
-            len(payload) + sum(len(blob) for blob in item_blobs),
-        )
-        if not items:
-            if scope is not None:
-                _shm.ARENA.release_scope(scope)
-            return PoolMapResult([], [], [])
-        with self._lock:
-            if self._shutdown:
-                if scope is not None:
-                    _shm.ARENA.release_scope(scope)
-                raise PoolUnusableError("pool is shut down")
-            job = _Job(
-                job_id,
-                payload,
-                item_blobs,
-                timeout,
-                retries,
-                deadline,
-                opts.backoff_base,
-                opts.backoff_cap,
-            )
-            job.scope = scope
-            job.threshold = threshold if use_shm else 0
-            if jobs is not None:
-                self._target = max(
-                    self._target, max(1, min(int(jobs), len(items)))
+            try:
+                payload = _shm.dumps(
+                    (fn, fault_plan, traced), threshold=threshold, writer=writer
                 )
-            self._ensure_running_locked()
-            self._intake.append(job)
+                item_blobs = [
+                    _shm.dumps(item, threshold=threshold, writer=writer)
+                    for item in items
+                ]
+            except Exception as exc:  # noqa: BLE001 - anything unpicklable
+                raise PoolUnusableError(
+                    f"job payload is not picklable: "
+                    f"{type(exc).__name__}: {exc}"
+                ) from exc
+            counter_add(
+                "transport.pickled_bytes",
+                len(payload) + sum(len(blob) for blob in item_blobs),
+            )
+            if not items:
+                return PoolMapResult([], [], [])
+            with self._lock:
+                if self._shutdown:
+                    raise PoolUnusableError("pool is shut down")
+                job = _Job(
+                    job_id,
+                    payload,
+                    item_blobs,
+                    timeout,
+                    retries,
+                    deadline,
+                    opts.backoff_base,
+                    opts.backoff_cap,
+                )
+                job.scope = scope
+                job.threshold = threshold if use_shm else 0
+                if jobs is not None:
+                    self._target = max(
+                        self._target, max(1, min(int(jobs), len(items)))
+                    )
+                self._ensure_running_locked()
+                self._intake.append(job)
+                handed_off = True
+        finally:
+            if scope is not None and not handed_off:
+                _shm.ARENA.release_scope(scope)
         self._wake()
         while not job.done.wait(0.2):
             supervisor = self._supervisor

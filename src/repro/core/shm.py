@@ -83,16 +83,24 @@ def available() -> bool:
     """True when POSIX shared memory is usable on this host."""
     global _AVAILABLE
     if _AVAILABLE is None:
-        try:
-            _AVAILABLE = os.path.isdir(SHM_DIR) and os.access(
-                SHM_DIR, os.W_OK | os.X_OK
-            )
-        except OSError:  # pragma: no cover - exotic permission failures
-            _AVAILABLE = False
+        # The probe is idempotent, but the write must still be locked:
+        # pool supervisor and caller threads race through here on first
+        # use, and torn init under an unlocked check-then-set is exactly
+        # the bug class the worker-context pass exists to keep out.
+        with _AVAILABLE_LOCK:
+            if _AVAILABLE is None:
+                try:
+                    probed = os.path.isdir(SHM_DIR) and os.access(
+                        SHM_DIR, os.W_OK | os.X_OK
+                    )
+                except OSError:  # pragma: no cover - exotic failures
+                    probed = False
+                _AVAILABLE = probed
     return _AVAILABLE
 
 
 _AVAILABLE: bool | None = None
+_AVAILABLE_LOCK = threading.Lock()
 
 
 def shm_threshold(explicit: int | None = None) -> int:

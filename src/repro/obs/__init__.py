@@ -25,6 +25,9 @@ Three pieces:
   same monotonic clock: the worker pool scopes each task attempt, the
   solver cascade reads the remaining budget to short-circuit stages it
   cannot finish in time.
+- :mod:`repro.obs.registry` — the declared contract of every
+  counter/gauge/span name; the ``metrics-contract`` lint pass and the
+  ``--validate`` trace check both resolve names against it.
 """
 
 from repro.obs.deadline import (
@@ -33,6 +36,7 @@ from repro.obs.deadline import (
     deadline_scope,
 )
 from repro.obs.export import (
+    registry_errors,
     summary_lines,
     validate_trace_file,
     validate_trace_lines,
@@ -61,6 +65,7 @@ __all__ = [
     "merge_metrics",
     "metrics_snapshot",
     "monotonic",
+    "registry_errors",
     "reset_metrics",
     "span",
     "summary_lines",

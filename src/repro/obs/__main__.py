@@ -1,8 +1,13 @@
-"""Trace-file schema validation: ``python -m repro.obs --validate PATH``.
+"""Trace-file validation: ``python -m repro.obs --validate PATH``.
 
 Exit status 0 when every given file conforms to the JSONL trace schema
-(see :mod:`repro.obs.export`), 1 otherwise — the CI bench-smoke job runs
-this on the trace emitted by a traced ``analyze``.
+(see :mod:`repro.obs.export`) **and** every span/counter/gauge name it
+contains is declared in the contract registry
+(:mod:`repro.obs.registry`), 1 otherwise — the CI bench-smoke and
+chaos-smoke jobs run this on traced batch runs, so a metric name that
+only materialises dynamically at runtime still fails CI rather than
+feeding a dead dashboard series.  ``--no-registry`` restores the
+schema-only check for ad-hoc traces with experimental names.
 """
 
 from __future__ import annotations
@@ -12,13 +17,16 @@ import json
 import sys
 from pathlib import Path
 
-from repro.obs.export import validate_trace_file
+from repro.obs.export import registry_errors, validate_trace_file
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.obs",
-        description="validate JSONL trace files against the schema",
+        description=(
+            "validate JSONL trace files against the schema and the "
+            "metric/span name registry"
+        ),
     )
     parser.add_argument(
         "--validate",
@@ -26,6 +34,11 @@ def main(argv: list[str] | None = None) -> int:
         required=True,
         metavar="PATH",
         help="trace file(s) to check",
+    )
+    parser.add_argument(
+        "--no-registry",
+        action="store_true",
+        help="skip the span/counter name registry cross-check",
     )
     args = parser.parse_args(argv)
 
@@ -37,6 +50,8 @@ def main(argv: list[str] | None = None) -> int:
             status = 1
             continue
         errors = validate_trace_file(target)
+        if not args.no_registry:
+            errors.extend(registry_errors(target.read_text().splitlines()))
         if errors:
             for error in errors:
                 print(f"{path}: {error}", file=sys.stderr)

@@ -162,6 +162,56 @@ def validate_trace_file(path) -> list[str]:
     return validate_trace_lines(Path(path).read_text().splitlines())
 
 
+def registry_errors(lines: list[str]) -> list[str]:
+    """Names in the trace that the contract registry does not declare.
+
+    Complements the structural check in :func:`validate_trace_lines`:
+    the schema says a span has *a* name, the registry
+    (:mod:`repro.obs.registry`) says which names exist.  This catches
+    dynamically-built names the static ``metrics-contract`` lint pass
+    cannot see.  Kept separate from the schema check because ad-hoc
+    traces (tests, exploratory scripts) legitimately use unregistered
+    names — ``python -m repro.obs --validate`` applies both, with
+    ``--no-registry`` to opt out.
+    """
+    from repro.obs import registry
+
+    errors: list[str] = []
+    for lineno, line in enumerate(lines, start=1):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            continue  # the schema check reports these
+        kind = record.get("kind")
+        if kind == "span":
+            name = record.get("name")
+            if isinstance(name, str) and not registry.is_registered(
+                "span", name
+            ):
+                hint = registry.suggest("span", name)
+                suffix = f" (did you mean {hint!r}?)" if hint else ""
+                errors.append(
+                    f"line {lineno}: span name {name!r} is not in the "
+                    f"repro.obs registry{suffix}"
+                )
+        elif kind == "metrics":
+            for metric_kind, key in (("counter", "counters"), ("gauge", "gauges")):
+                values = record.get(key)
+                if not isinstance(values, dict):
+                    continue
+                for name in sorted(values):
+                    if not registry.is_registered(metric_kind, name):
+                        hint = registry.suggest(metric_kind, name)
+                        suffix = f" (did you mean {hint!r}?)" if hint else ""
+                        errors.append(
+                            f"line {lineno}: {metric_kind} name {name!r} is "
+                            f"not in the repro.obs registry{suffix}"
+                        )
+    return errors
+
+
 # -- human summary ------------------------------------------------------------
 
 

@@ -725,13 +725,16 @@ class Trainer:
         grad_size = sum(p.data.size for p in self._parameters)
         if use_shm:
             scope = _shm.ARENA.scope(f"tr{next(_EPOCH_SCOPE_SEQ):x}")
-            x_desc = _shm.ARENA.share(x, scope)
-            y_desc = _shm.ARENA.share(y, scope)
         for bn in self._bn_layers:
             bn.update_running = False
         total_loss = 0.0
         total_samples = 0
         try:
+            # Shares happen inside the try: if sharing y raises, the
+            # finally still releases the scope holding x's segment.
+            if use_shm:
+                x_desc = _shm.ARENA.share(x, scope)
+                y_desc = _shm.ARENA.share(y, scope)
             for window_start in range(0, len(batches), window):
                 window_batches = batches[window_start : window_start + window]
                 shard_lists = [

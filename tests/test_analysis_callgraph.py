@@ -1,0 +1,250 @@
+"""Unit tests for the project call graph on a synthetic package."""
+
+import ast
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.callgraph import (
+    MAX_ATTR_CANDIDATES,
+    CallGraph,
+    module_name,
+)
+from repro.analysis.engine import ModuleSource
+
+
+def _mod(path: str, source: str) -> ModuleSource:
+    return ModuleSource(
+        path=path,
+        abspath=Path("/synthetic") / path,
+        source=source,
+        tree=ast.parse(source),
+    )
+
+
+@pytest.fixture()
+def graph() -> CallGraph:
+    """A small synthetic ``repro.zsynth`` package exercising every
+    resolution layer: from-imports, module aliases, fully-qualified
+    names, relative imports, classes, inheritance, and references."""
+    modules = [
+        _mod("src/repro/zsynth/__init__.py", ""),
+        _mod(
+            "src/repro/zsynth/beta.py",
+            "def helper(x):\n"
+            "    return x + 1\n"
+            "\n"
+            "\n"
+            "class Widget:\n"
+            "    def __init__(self, x):\n"
+            "        self.x = x\n"
+            "\n"
+            "    def __call__(self):\n"
+            "        return helper(self.x)\n"
+            "\n"
+            "\n"
+            "class Base:\n"
+            "    def ping(self):\n"
+            "        return 0\n",
+        ),
+        _mod(
+            "src/repro/zsynth/alpha.py",
+            "import repro.zsynth.beta\n"
+            "from repro.zsynth import beta as b\n"
+            "from repro.zsynth.beta import Base, Widget, helper\n"
+            "\n"
+            "\n"
+            "def top(x):\n"
+            "    return helper(x)\n"
+            "\n"
+            "\n"
+            "def via_alias(x):\n"
+            "    return b.helper(x)\n"
+            "\n"
+            "\n"
+            "def via_full(x):\n"
+            "    return repro.zsynth.beta.helper(x)\n"
+            "\n"
+            "\n"
+            "def builds(x):\n"
+            "    return Widget(x)\n"
+            "\n"
+            "\n"
+            "def ships(run, items):\n"
+            "    return run(helper, items)\n"
+            "\n"
+            "\n"
+            "class Child(Base):\n"
+            "    def go(self):\n"
+            "        return self.ping()\n",
+        ),
+        _mod(
+            "src/repro/zsynth/gamma.py",
+            "from .beta import helper\n"
+            "\n"
+            "\n"
+            "def rel(x):\n"
+            "    return helper(x)\n",
+        ),
+        _mod(
+            "src/repro/zsynth/fanout.py",
+            "class P:\n"
+            "    def mystery(self):\n"
+            "        return 1\n"
+            "\n"
+            "\n"
+            "class Q:\n"
+            "    def mystery(self):\n"
+            "        return 2\n"
+            "\n"
+            "\n"
+            "def dispatch(obj):\n"
+            "    return obj.mystery()\n"
+            "\n"
+            "\n"
+            "def generic(obj):\n"
+            "    return obj.common()\n",
+        ),
+        # MAX_ATTR_CANDIDATES + 2 classes defining "common": too generic.
+        _mod(
+            "src/repro/zsynth/noise.py",
+            "\n\n".join(
+                f"class N{i}:\n    def common(self):\n        return {i}"
+                for i in range(MAX_ATTR_CANDIDATES + 2)
+            ),
+        ),
+    ]
+    return CallGraph.build(modules)
+
+
+class TestModuleName:
+    def test_plain_module(self):
+        assert module_name("src/repro/core/pool.py") == "repro.core.pool"
+
+    def test_package_init_is_the_package(self):
+        assert module_name("src/repro/core/__init__.py") == "repro.core"
+
+    def test_non_src_paths_excluded(self):
+        assert module_name("tests/test_x.py") is None
+        assert module_name("src/repro/data.json") is None
+
+
+class TestResolution:
+    def test_from_import_call(self, graph):
+        assert (
+            "repro.zsynth.beta.helper"
+            in graph.edges["repro.zsynth.alpha.top"]
+        )
+
+    def test_module_alias_attribute_call(self, graph):
+        assert (
+            "repro.zsynth.beta.helper"
+            in graph.edges["repro.zsynth.alpha.via_alias"]
+        )
+
+    def test_fully_qualified_call(self, graph):
+        assert (
+            "repro.zsynth.beta.helper"
+            in graph.edges["repro.zsynth.alpha.via_full"]
+        )
+
+    def test_relative_import_resolves_against_package(self, graph):
+        assert (
+            "repro.zsynth.beta.helper"
+            in graph.edges["repro.zsynth.gamma.rel"]
+        )
+
+    def test_class_call_resolves_to_init(self, graph):
+        assert (
+            "repro.zsynth.beta.Widget.__init__"
+            in graph.edges["repro.zsynth.alpha.builds"]
+        )
+
+    def test_init_links_to_call_dunder(self, graph):
+        # callable objects stay reachable through construction sites
+        assert (
+            "repro.zsynth.beta.Widget.__call__"
+            in graph.edges["repro.zsynth.beta.Widget.__init__"]
+        )
+
+    def test_callable_reference_argument_adds_edge(self, graph):
+        # `run(helper, items)` never calls helper syntactically, but the
+        # reference must still be an edge (pool hand-off pattern)
+        assert (
+            "repro.zsynth.beta.helper"
+            in graph.edges["repro.zsynth.alpha.ships"]
+        )
+
+    def test_self_call_resolves_through_base_class(self, graph):
+        assert (
+            "repro.zsynth.beta.Base.ping"
+            in graph.edges["repro.zsynth.alpha.Child.go"]
+        )
+
+    def test_attribute_fanout_bounded(self, graph):
+        # "mystery" lives on 2 classes: both become candidate edges
+        edges = graph.edges["repro.zsynth.fanout.dispatch"]
+        assert "repro.zsynth.fanout.P.mystery" in edges
+        assert "repro.zsynth.fanout.Q.mystery" in edges
+
+    def test_over_generic_attribute_drops_edges(self, graph):
+        # "common" lives on MAX_ATTR_CANDIDATES + 2 classes: no edges
+        assert graph.edges["repro.zsynth.fanout.generic"] == set()
+
+
+class TestQueries:
+    def test_reachable_from_returns_shortest_paths(self, graph):
+        paths = graph.reachable_from(
+            {"repro.zsynth.alpha.top": "test entry"}
+        )
+        assert paths["repro.zsynth.alpha.top"] == [
+            "test entry",
+            "repro.zsynth.alpha.top",
+        ]
+        assert paths["repro.zsynth.beta.helper"] == [
+            "test entry",
+            "repro.zsynth.alpha.top",
+            "repro.zsynth.beta.helper",
+        ]
+
+    def test_reachability_crosses_construction(self, graph):
+        paths = graph.reachable_from(
+            {"repro.zsynth.alpha.builds": "entry"}
+        )
+        # builds -> Widget.__init__ -> Widget.__call__ -> helper
+        assert "repro.zsynth.beta.Widget.__call__" in paths
+        assert "repro.zsynth.beta.helper" in paths
+
+    def test_unknown_entry_is_ignored(self, graph):
+        assert graph.reachable_from({"repro.nope.fn": "x"}) == {}
+
+    def test_callers_of(self, graph):
+        callers = graph.callers_of("repro.zsynth.beta.helper")
+        assert "repro.zsynth.alpha.top" in callers
+        assert "repro.zsynth.gamma.rel" in callers
+
+    def test_resolve_use_site_import_and_self(self, graph):
+        assert (
+            graph.resolve_use_site("repro.zsynth.alpha", "helper")
+            == "repro.zsynth.beta.helper"
+        )
+        assert (
+            graph.resolve_use_site(
+                "repro.zsynth.alpha", "self.ping", cls="Child"
+            )
+            == "repro.zsynth.beta.Base.ping"
+        )
+        assert (
+            graph.resolve_use_site("repro.zsynth.alpha", "json.loads")
+            is None
+        )
+
+    def test_function_at_maps_node_back_to_info(self, graph):
+        info = graph.functions["repro.zsynth.alpha.top"]
+        assert (
+            graph.function_at("src/repro/zsynth/alpha.py", info.node)
+            is info
+        )
+        assert info.name == "top"
+        assert info.cls is None
+        assert graph.functions["repro.zsynth.alpha.Child.go"].cls == "Child"

@@ -230,7 +230,12 @@ class TestExport:
 
         path = tmp_path / "ok.trace.jsonl"
         write_trace(path, self._sample_root())
-        assert main(["--validate", str(path)]) == 0
+        # schema-valid, but "stage"/"substage" are ad-hoc names: the
+        # registry cross-check rejects them unless opted out
+        assert main(["--validate", str(path), "--no-registry"]) == 0
+        assert main(["--validate", str(path)]) == 1
+        err = capsys.readouterr().err
+        assert "not in the repro.obs registry" in err
         bad = tmp_path / "bad.trace.jsonl"
         bad.write_text('{"kind": "span"}\n')
         assert main(["--validate", str(bad)]) == 1
