@@ -19,6 +19,11 @@ Subcommands
     worker pool, and ``--task-timeout``/``--retries``/``--deadline``
     bound each deck and the whole run (hung or crashing decks are
     retried, then quarantined — see ``docs/robustness.md``).
+``serve``
+    Start the persistent analysis-as-a-service daemon (warm model
+    registry, cross-request AMG cache, bounded queue, graceful SIGTERM
+    drain — see ``docs/serving.md``).  All arguments are forwarded to
+    ``python -m repro.serve``; run ``repro serve --help`` for the list.
 
 Every command prints plain text and returns a conventional exit status,
 so the tool scripts cleanly:
@@ -176,22 +181,12 @@ def _batch_error_code(error: str) -> int:
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
     with _span("imports"):
-        from repro.core.config import FusionConfig
         from repro.core.pipeline import IRFusionPipeline
-        from repro.train.trainer import TrainConfig
 
-    meta = json.loads(Path(str(args.model) + ".json").read_text())
-    config = FusionConfig(
-        pixels=meta["config"]["pixels"],
-        base_channels=meta["config"]["base_channels"],
-        depth=meta["config"]["depth"],
-        solver_iterations=meta["config"]["solver_iterations"],
-        train=TrainConfig(),
-        jobs=max(1, args.jobs),
-        sanitize=args.sanitize,
+    pipeline = IRFusionPipeline.from_model_file(
+        args.model, jobs=max(1, args.jobs), sanitize=args.sanitize
     )
-    pipeline = IRFusionPipeline(config)
-    pipeline.load_model(args.model, in_channels=meta["in_channels"])
+    config = pipeline.config
 
     if len(args.deck) == 1:
         if args.deadline is not None:
@@ -255,6 +250,14 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     for line in report.summary_lines():
         print(line)
     return status
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    # Imported lazily: the serve stack pulls the whole pipeline chain,
+    # which `repro --help` and the other subcommands must not pay for.
+    from repro.serve.__main__ import main as serve_main
+
+    return serve_main(args.serve_args)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -345,6 +348,15 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("--trace", default=None, metavar="PATH",
                          help="write a JSONL span trace of the run")
     analyze.set_defaults(func=_cmd_analyze)
+
+    serve = sub.add_parser(
+        "serve",
+        help="start the analysis daemon (run `repro serve --help` for flags)",
+        add_help=False,
+    )
+    serve.add_argument("serve_args", nargs=argparse.REMAINDER,
+                       help="arguments forwarded to python -m repro.serve")
+    serve.set_defaults(func=_cmd_serve)
     return parser
 
 
@@ -375,8 +387,38 @@ def _dispatch(args: argparse.Namespace) -> int:
     return status
 
 
+def _serve_split(argv: list[str]) -> int | None:
+    """Index just past the ``serve`` subcommand token, or ``None``.
+
+    Scans over the global flags only, so a deck that happens to be
+    named ``serve`` in another subcommand's positionals never matches.
+    """
+    value_flags = {"--backend", "--shm-threshold"}
+    i = 0
+    while i < len(argv):
+        token = argv[i]
+        if token == "serve":
+            return i + 1
+        if token in value_flags:
+            i += 2
+        elif token.startswith("-"):
+            i += 1
+        else:
+            return None  # first positional is a different subcommand
+    return None
+
+
 def main(argv: list[str] | None = None) -> int:
-    args = build_parser().parse_args(argv)
+    argv = list(sys.argv[1:] if argv is None else argv)
+    # argparse.REMAINDER refuses a first token that looks like an option
+    # (bpo-17050), which is exactly what `repro serve --model-dir ...`
+    # sends — split the forwarded flags off before the parser sees them.
+    split = _serve_split(argv)
+    if split is not None:
+        args = build_parser().parse_args(argv[:split])
+        args.serve_args = argv[split:]
+    else:
+        args = build_parser().parse_args(argv)
     # Imported here so `repro --help` stays instant.
     from repro.analysis.racecheck import install_from_env as _install_racecheck
     from repro.core.kernels import BackendUnavailableError, set_backend

@@ -140,3 +140,31 @@ class FusionConfig:
     def with_(self, **overrides) -> "FusionConfig":
         """A copy with the given fields replaced (ablation helper)."""
         return replace(self, **overrides)
+
+    @classmethod
+    def from_model_meta(cls, meta: dict, **overrides) -> "FusionConfig":
+        """The analysis config recorded in a checkpoint's meta sidecar.
+
+        ``train`` writes ``<model>.npz.json`` next to every checkpoint
+        with the knobs inference must reproduce (pixels, channel widths,
+        depth, solver budget).  Both the CLI ``analyze`` path and the
+        serving daemon's model registry rebuild their pipeline config
+        from it through this one constructor, so the two can never
+        drift.  *overrides* replace any field after the meta is applied
+        (e.g. ``jobs=4``, ``sanitize=True``).
+        """
+        try:
+            recorded = meta["config"]
+            fields = {
+                "pixels": recorded["pixels"],
+                "base_channels": recorded["base_channels"],
+                "depth": recorded["depth"],
+                "solver_iterations": recorded["solver_iterations"],
+            }
+        except (KeyError, TypeError) as exc:
+            raise ValueError(
+                f"model meta is missing the recorded config field {exc}; "
+                "was the sidecar written by `repro train`?"
+            ) from exc
+        fields.update(overrides)
+        return cls(**fields)

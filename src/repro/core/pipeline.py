@@ -353,6 +353,34 @@ class IRFusionPipeline:
 
     # -- persistence ----------------------------------------------------------------
 
+    @classmethod
+    def from_model_file(cls, path, **config_overrides) -> "IRFusionPipeline":
+        """A ready-to-analyze pipeline from a ``train`` checkpoint pair.
+
+        *path* is the ``.npz`` weights archive; its ``<path>.json`` meta
+        sidecar (written by ``repro train``) supplies the architecture
+        and solver config via :meth:`FusionConfig.from_model_meta`.
+        *config_overrides* adjust execution knobs (``jobs``,
+        ``sanitize``, ``backend``, ...) without touching the recorded
+        architecture.  This is the single load path shared by the CLI
+        ``analyze`` command and the serving daemon's model registry.
+        """
+        import json
+
+        with open(str(path) + ".json", "r", encoding="utf-8") as handle:
+            meta = json.load(handle)
+        config = FusionConfig.from_model_meta(meta, **config_overrides)
+        pipeline = cls(config)
+        try:
+            in_channels = int(meta["in_channels"])
+        except (KeyError, TypeError) as exc:
+            raise ValueError(
+                f"model meta {str(path) + '.json'!r} is missing "
+                "'in_channels'; was it written by `repro train`?"
+            ) from exc
+        pipeline.load_model(path, in_channels=in_channels)
+        return pipeline
+
     def save_model(self, path) -> None:
         """Checkpoint the trained model's weights."""
         if self.model is None:

@@ -11,7 +11,10 @@ degrade to serial:
   chaos plan) are pickled once per worker per job; items once per job.
 - **persistent** — workers are long-lived and lazily started; the module
   pool survives across ``map`` calls, amortising interpreter start-up,
-  and shuts itself down after ``idle_timeout`` seconds without work.
+  and shuts itself down after ``idle_timeout`` seconds without work.  A
+  long-lived owner (the serving daemon) pins the runtime across request
+  gaps with :meth:`WorkerPool.keep_alive`, so warm workers never respawn
+  cold mid-service.
 - **supervised** — the parent watches per-worker heartbeats, process
   liveness and per-task budgets.  A crashed worker is respawned and its
   in-flight item retried with exponential backoff plus deterministic
@@ -203,6 +206,34 @@ class PoolMapResult:
     outcomes: list[TaskOutcome]
     span_payloads: list[dict]
     attempt_spans: list[dict]
+
+
+class PoolKeepAlive:
+    """Ownership handle pinning a pool's runtime while held.
+
+    While at least one handle is outstanding the supervisor never
+    idle-retires its workers, so a long-lived owner (the serving daemon)
+    keeps warm workers — and their per-process caches — across arbitrary
+    request gaps instead of paying a cold respawn after ``idle_timeout``.
+    Release with :meth:`release` or use the handle as a context manager;
+    releasing twice is a no-op.  An explicit :meth:`WorkerPool.shutdown`
+    still wins over any keep-alive.
+    """
+
+    def __init__(self, pool: "WorkerPool") -> None:
+        self._pool = pool
+        self._released = False
+
+    def release(self) -> None:
+        if not self._released:
+            self._released = True
+            self._pool._release_keepalive()
+
+    def __enter__(self) -> "PoolKeepAlive":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.release()
 
 
 def _jitter(index: int, attempt: int) -> float:
@@ -575,6 +606,7 @@ class WorkerPool:
         self._wake_w: int | None = None
         self._job_counter = 0
         self._slot_counter = 0
+        self._keepalive = 0
 
     # -- public API ------------------------------------------------------------
 
@@ -682,8 +714,30 @@ class WorkerPool:
             list(job.outcomes), job.span_payloads, job.attempt_spans
         )
 
+    def keep_alive(self) -> PoolKeepAlive:
+        """Pin the pool's runtime: no idle retirement while held.
+
+        Returns a :class:`PoolKeepAlive` handle (also a context manager).
+        Stacks: the supervisor idles out only once every outstanding
+        handle is released *and* ``idle_timeout`` then elapses without
+        work.  Raises :class:`PoolUnusableError` on a shut-down pool.
+        """
+        with self._lock:
+            if self._shutdown:
+                raise PoolUnusableError("pool is shut down")
+            self._keepalive += 1
+        return PoolKeepAlive(self)
+
+    def _release_keepalive(self) -> None:
+        with self._lock:
+            self._keepalive = max(0, self._keepalive - 1)
+
     def shutdown(self) -> None:
-        """Stop the supervisor and every worker (idempotent)."""
+        """Stop the supervisor and every worker (idempotent).
+
+        Overrides any outstanding :meth:`keep_alive` handle — explicit
+        shutdown always wins.
+        """
         with self._lock:
             self._shutdown = True
             running = self._running
@@ -745,16 +799,35 @@ class WorkerPool:
         except OSError:
             pass
 
-    def _stop_workers(self) -> None:
-        for worker in self._workers:
+    def _stop_workers(self, workers: list[_WorkerHandle]) -> None:
+        for worker in workers:
             try:
                 worker.conn.send(("exit",))
             except (OSError, ValueError, BrokenPipeError):
                 pass
-        for worker in self._workers:
+        for worker in workers:
             worker.process.join(timeout=1.0)
             self._discard_worker(worker, kill=True)
+
+    def _retire_locked(self) -> tuple[tuple, list[_WorkerHandle]]:
+        """Atomically claim this supervisor's runtime for teardown.
+
+        Must run under ``self._lock``.  Marks the pool not-running and
+        *moves* the wake pipe and worker list into the caller: a
+        ``map`` arriving after this point starts a fresh supervisor with
+        fresh resources, and the retiring thread can only ever tear down
+        what it claimed here.  (The old code reset ``_running`` and
+        closed ``self._wake_*`` unconditionally in the supervisor's
+        ``finally`` — a successor supervisor started in the gap had its
+        wake pipe closed and its workers stopped out from under it,
+        stranding freshly queued work.)
+        """
+        self._running = False
+        wake = (self._wake_r, self._wake_w)
+        self._wake_r = self._wake_w = None
+        workers = self._workers
         self._workers = []
+        return wake, workers
 
     # -- supervision -----------------------------------------------------------
 
@@ -762,6 +835,7 @@ class WorkerPool:
         jobs: list[_Job] = []
         opts = self.options
         last_activity = monotonic()
+        retired: tuple[tuple, list[_WorkerHandle]] | None = None
         try:
             while True:
                 with self._lock:
@@ -769,6 +843,7 @@ class WorkerPool:
                         jobs.append(self._intake.popleft())
                     shutdown = self._shutdown
                     target = self._target
+                    keepalive = self._keepalive
                 if shutdown:
                     for job in jobs:
                         job.fatal = "pool shut down"
@@ -776,7 +851,10 @@ class WorkerPool:
                         job.done.set()
                     break
                 now = monotonic()
-                if jobs:
+                if jobs or keepalive:
+                    # Outstanding keep-alive handles count as activity:
+                    # the idle countdown starts only once the last owner
+                    # releases (see :meth:`keep_alive`).
                     last_activity = now
                 self._reap_and_respawn(jobs, target if jobs else 0, now)
                 self._check_deadlines(jobs, now)
@@ -790,8 +868,12 @@ class WorkerPool:
                 jobs = [job for job in jobs if job.remaining > 0]
                 if not jobs and monotonic() - last_activity > opts.idle_timeout:
                     with self._lock:
-                        if not self._intake and not self._shutdown:
-                            self._running = False
+                        if (
+                            not self._intake
+                            and not self._shutdown
+                            and self._keepalive == 0
+                        ):
+                            retired = self._retire_locked()
                             break
                 self._poll(jobs, now)
         except Exception:  # noqa: BLE001 - a sick supervisor must not hang callers
@@ -799,23 +881,28 @@ class WorkerPool:
             with self._lock:
                 pending = list(self._intake)
                 self._intake.clear()
-                self._running = False
+                retired = self._retire_locked()
             for job in jobs + pending:
                 job.fatal = f"pool supervisor crashed:\n{error}"
                 self._release_transport(job)
                 job.done.set()
         finally:
-            with self._lock:
-                self._running = False
-                wake = (self._wake_r, self._wake_w)
-                self._wake_r = self._wake_w = None
-            self._stop_workers()
-            for fd in wake:
-                if fd is not None:
-                    try:
-                        os.close(fd)
-                    except OSError:
-                        pass
+            if retired is None:
+                # Shutdown path (or an exit without an explicit retire):
+                # claim whatever still belongs to this supervisor run,
+                # unless a successor already took over the runtime.
+                with self._lock:
+                    if self._supervisor is threading.current_thread():
+                        retired = self._retire_locked()
+            if retired is not None:
+                wake, workers = retired
+                self._stop_workers(workers)
+                for fd in wake:
+                    if fd is not None:
+                        try:
+                            os.close(fd)
+                        except OSError:
+                            pass
 
     def _poll(self, jobs: list[_Job], now: float) -> None:
         """Wait for worker messages / wake-ups, bounded by the next event."""

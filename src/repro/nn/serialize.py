@@ -32,10 +32,58 @@ def save_state(module: Module, path: str | os.PathLike[str]) -> None:
     np.savez_compressed(path, **state)
 
 
+def _name_list(names: set[str], limit: int = 8) -> str:
+    """Render a key set for error messages: every name, bounded."""
+    ordered = sorted(names)
+    shown = ", ".join(ordered[:limit])
+    extra = len(ordered) - limit
+    return shown + (f", ... (+{extra} more)" if extra > 0 else "")
+
+
 def load_state(module: Module, path: str | os.PathLike[str]) -> None:
-    """Load an archive written by :func:`save_state` into *module*."""
+    """Load an archive written by :func:`save_state` into *module*.
+
+    Failure modes are diagnosed before any weight is touched, so the
+    error names the actual problem instead of surfacing as a raw
+    ``load_state_dict`` KeyError three layers down:
+
+    - a *training checkpoint* archive (one written by
+      :func:`save_checkpoint`) raises a :class:`ValueError` pointing at
+      :func:`load_checkpoint`;
+    - an archive whose keys do not match the module raises a
+      :class:`ValueError` naming the missing and unexpected keys.
+    """
+    path = os.fspath(path)
     with np.load(path) as archive:
-        module.load_state_dict({key: archive[key] for key in archive.files})
+        if _META_KEY in archive.files:
+            raise ValueError(
+                f"{path!r} is a training checkpoint (it contains the "
+                f"{_META_KEY!r} metadata entry), not a weights-only "
+                "archive; restore it with load_checkpoint(), or re-export "
+                "the model with save_state()"
+            )
+        state = {key: archive[key] for key in archive.files}
+    expected = {name for name, _ in module.named_parameters()}
+    expected.update(name for name, _, _ in module.named_buffers())
+    missing = expected - set(state)
+    unexpected = set(state) - expected
+    if missing or unexpected:
+        parts = [f"{path!r} does not match the target module"]
+        if missing:
+            parts.append(
+                f"missing {len(missing)} key(s): {_name_list(missing)}"
+            )
+        if unexpected:
+            parts.append(
+                f"unexpected {len(unexpected)} key(s): "
+                f"{_name_list(unexpected)}"
+            )
+        parts.append(
+            "the archive was saved from a different architecture or "
+            "configuration than the module being restored"
+        )
+        raise ValueError("; ".join(parts))
+    module.load_state_dict(state)
 
 
 def state_fingerprint(state: dict[str, np.ndarray]) -> str:
@@ -65,6 +113,12 @@ def save_checkpoint(
 
     The archive is written to a temporary sibling first and renamed into
     place, so a crash mid-write never corrupts the previous checkpoint.
+
+    The temporary name ends in ``.npz`` so numpy writes exactly the file
+    we rename — probing for a name numpy *might* have produced resolved
+    to stale temporaries left by an earlier crash and installed the
+    corrupt file (the bug this replaces).  Stale temporaries from either
+    naming scheme are removed up front.
     """
     if _META_KEY in arrays:
         raise ValueError(f"array name {_META_KEY!r} is reserved")
@@ -73,11 +127,14 @@ def save_checkpoint(
         json.dumps(meta).encode("utf-8"), dtype=np.uint8
     )
     path = os.fspath(path)
-    tmp = f"{path}.tmp"
+    tmp = f"{path}.tmp.npz"
+    for stale in (f"{path}.tmp", tmp):
+        try:
+            os.remove(stale)
+        except FileNotFoundError:
+            pass
     np.savez_compressed(tmp, **payload)
-    # numpy appends .npz when the filename lacks it
-    written = tmp if os.path.exists(tmp) else f"{tmp}.npz"
-    os.replace(written, path)
+    os.replace(tmp, path)
 
 
 def load_checkpoint(

@@ -54,6 +54,12 @@ COUNTERS: frozenset[str] = frozenset(
         "pad_placement.candidates",
         "pcg.iterations",
         "pool.workers_respawned",
+        "serve.completed",
+        "serve.failed",
+        "serve.model_loads",
+        "serve.model_reloads",
+        "serve.rejected",
+        "serve.requests",
         "shm.attaches",
         "shm.bytes_adopted",
         "shm.bytes_shared",
@@ -87,6 +93,8 @@ COUNTER_FAMILIES: frozenset[str] = frozenset(
 #: Every exact gauge name ``gauge_set`` may be called with.
 GAUGES: frozenset[str] = frozenset(
     {
+        "serve.active_jobs",
+        "serve.queue_depth",
         "shm.segments_active",
     }
 )
@@ -116,6 +124,7 @@ SPANS: frozenset[str] = frozenset(
         "parse",
         "pcg",
         "run",  # Tracer default root
+        "serve.request",  # per-request root span in the serving daemon
         "shm_attach",
         "shm_externalize",
         "simulate",

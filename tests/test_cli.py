@@ -189,3 +189,54 @@ class TestErrorHandling:
         code = main(["simulate", str(deck_path)])
         assert code == 1
         assert "RuntimeError" in capsys.readouterr().err
+
+
+class TestServeForwarding:
+    """`repro serve ...` forwards its flags to `python -m repro.serve`.
+
+    argparse.REMAINDER cannot start with an option-like token
+    (bpo-17050), so `main` splits the forwarded argv off by hand —
+    these pin the split against regressions.
+    """
+
+    def test_option_first_args_reach_serve(self, monkeypatch):
+        from repro import cli
+
+        captured = {}
+
+        def fake_serve_main(argv):
+            captured["argv"] = argv
+            return 0
+
+        monkeypatch.setattr(
+            "repro.serve.__main__.main", fake_serve_main
+        )
+        code = cli.main(["serve", "--model-dir", "/nope", "--port", "0"])
+        assert code == 0
+        assert captured["argv"] == ["--model-dir", "/nope", "--port", "0"]
+
+    def test_global_flags_stay_with_repro(self, monkeypatch):
+        from repro import cli
+
+        captured = {}
+
+        def fake_serve_main(argv):
+            captured["argv"] = argv
+            return 0
+
+        monkeypatch.setattr(
+            "repro.serve.__main__.main", fake_serve_main
+        )
+        assert cli.main(["--debug", "serve", "--queue-limit", "2"]) == 0
+        assert captured["argv"] == ["--queue-limit", "2"]
+
+    def test_serve_as_positional_is_not_the_subcommand(self, capsys):
+        # A deck literally named "serve" must not trigger forwarding:
+        # analyze should fail on the missing file with exit code 2.
+        assert main(["analyze", "model.npz", "serve"]) == 2
+
+    def test_serve_help_is_forwarded(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["serve", "--help"])
+        assert excinfo.value.code == 0
+        assert "--model-dir" in capsys.readouterr().out

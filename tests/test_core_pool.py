@@ -249,6 +249,89 @@ class TestPoolLifecycle:
         finally:
             pool.shutdown()
 
+    def test_keep_alive_pins_idle_workers(self):
+        pool = WorkerPool(
+            max_workers=1, options=PoolOptions(idle_timeout=0.2)
+        )
+        try:
+            with pool.keep_alive():
+                result = pool.map(_square, [2], jobs=1)
+                assert [o.result for o in result.outcomes] == [4]
+                pids = pool.worker_pids
+                assert pids  # workers are up
+                time.sleep(1.0)  # several idle_timeout periods
+                assert pool.worker_pids == pids  # still the same workers
+            # Once released, the idle countdown resumes and retires them.
+            deadline = time.monotonic() + 30.0
+            while pool.worker_pids and time.monotonic() < deadline:
+                time.sleep(0.05)
+            assert pool.worker_pids == []
+        finally:
+            pool.shutdown()
+
+    def test_keep_alive_stacks_and_release_is_idempotent(self):
+        pool = WorkerPool(
+            max_workers=1, options=PoolOptions(idle_timeout=0.2)
+        )
+        try:
+            first = pool.keep_alive()
+            second = pool.keep_alive()
+            first.release()
+            first.release()  # double release must not release `second`
+            pool.map(_square, [3], jobs=1)
+            time.sleep(0.8)
+            assert pool.worker_pids  # second handle still pins the pool
+            second.release()
+        finally:
+            pool.shutdown()
+
+    def test_keep_alive_on_shut_down_pool_raises(self):
+        pool = WorkerPool(max_workers=1)
+        pool.shutdown()
+        with pytest.raises(PoolUnusableError, match="shut down"):
+            pool.keep_alive()
+
+    def test_idle_retirement_never_drops_racing_work(self):
+        """Regression: a map() landing exactly as the supervisor
+        idle-retires must run on the successor runtime, not lose its
+        queued work to the retiring thread's teardown.
+
+        Pre-fix, the old supervisor's ``finally`` reset ``_running`` and
+        closed the wake pipe unconditionally — clobbering a successor
+        supervisor started in the gap, whose freshly queued job then
+        stalled (PoolUnusableError) or hung.  A tiny idle timeout makes
+        the window hit constantly.
+        """
+        pool = WorkerPool(
+            max_workers=1, options=PoolOptions(idle_timeout=0.01)
+        )
+        errors: list[str] = []
+
+        def hammer(offset: int) -> None:
+            for k in range(30):
+                time.sleep(0.005 * ((offset + k) % 4))
+                try:
+                    result = pool.map(_square, [offset + k], jobs=1)
+                except PoolUnusableError as exc:
+                    errors.append(f"unusable at {offset + k}: {exc}")
+                    return
+                values = [o.result for o in result.outcomes]
+                if values != [(offset + k) ** 2]:
+                    errors.append(f"bad result at {offset + k}: {values}")
+
+        try:
+            threads = [
+                threading.Thread(target=hammer, args=(100 * t,))
+                for t in range(2)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=120.0)
+            assert errors == []
+        finally:
+            pool.shutdown()
+
     def test_shutdown_then_map_raises_unusable(self):
         pool = WorkerPool(max_workers=1)
         pool.shutdown()

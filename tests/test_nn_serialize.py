@@ -1,12 +1,19 @@
 """Unit tests for model checkpointing."""
 
+import os
+
 import numpy as np
 import pytest
 
 from repro.nn.containers import Sequential
 from repro.nn.layers import Conv2d, ReLU
 from repro.nn.module import Module
-from repro.nn.serialize import load_state, save_state
+from repro.nn.serialize import (
+    load_checkpoint,
+    load_state,
+    save_checkpoint,
+    save_state,
+)
 
 
 def test_save_load_roundtrip(tmp_path, rng):
@@ -34,6 +41,63 @@ def test_load_into_wrong_architecture_rejected(tmp_path, rng):
     save_state(a, path)
     with pytest.raises(ValueError):
         load_state(b, path)
+
+
+def test_save_checkpoint_ignores_stale_tmp(tmp_path):
+    """Regression: a stale ``.tmp`` from a crashed writer must never be
+    installed as the checkpoint.
+
+    The old implementation wrote to ``{path}.tmp`` — which numpy silently
+    turns into ``{path}.tmp.npz`` — then probed ``os.path.exists(tmp)``:
+    a leftover ``{path}.tmp`` from a previous crash made the probe
+    resolve to the *stale* file and ``os.replace`` installed garbage.
+    """
+    path = tmp_path / "ckpt.npz"
+    stale = str(path) + ".tmp"
+    with open(stale, "wb") as handle:
+        handle.write(b"half-written garbage from a crashed run")
+    arrays = {"w": np.arange(6.0).reshape(2, 3)}
+    save_checkpoint(path, arrays, {"epoch": 4})
+    loaded, meta = load_checkpoint(path)
+    assert meta == {"epoch": 4}
+    np.testing.assert_array_equal(loaded["w"], arrays["w"])
+    # the stale temp must be gone, and no new temp may linger
+    leftovers = [n for n in os.listdir(tmp_path) if ".tmp" in n]
+    assert leftovers == []
+
+
+def test_save_checkpoint_overwrite_is_atomic_and_clean(tmp_path):
+    path = tmp_path / "ckpt.npz"
+    save_checkpoint(path, {"w": np.zeros(3)}, {"epoch": 1})
+    save_checkpoint(path, {"w": np.ones(3)}, {"epoch": 2})
+    loaded, meta = load_checkpoint(path)
+    assert meta["epoch"] == 2
+    np.testing.assert_array_equal(loaded["w"], np.ones(3))
+    assert sorted(os.listdir(tmp_path)) == ["ckpt.npz"]
+
+
+def test_load_state_rejects_training_checkpoint_actionably(tmp_path, rng):
+    """Regression: loading a checkpoint archive through ``load_state``
+    must say "use load_checkpoint", not die in load_state_dict."""
+    module = Sequential(Conv2d(2, 3, 3, rng=rng))
+    path = tmp_path / "training.npz"
+    save_checkpoint(path, module.state_dict(), {"epoch": 9})
+    with pytest.raises(ValueError, match="load_checkpoint"):
+        load_state(module, path)
+
+
+def test_load_state_names_missing_and_unexpected_keys(tmp_path, rng):
+    source = Sequential(Conv2d(2, 3, 3, rng=rng))
+    target = Sequential(Conv2d(2, 3, 3, rng=rng), Conv2d(3, 3, 1, rng=rng))
+    path = tmp_path / "weights.npz"
+    state = source.state_dict()
+    state["stray.weight"] = np.zeros(2)
+    np.savez_compressed(path, **state)
+    with pytest.raises(ValueError) as excinfo:
+        load_state(target, path)
+    message = str(excinfo.value)
+    assert "missing" in message and "1.weight" in message
+    assert "unexpected" in message and "stray.weight" in message
 
 
 def test_full_model_roundtrip(tmp_path, rng):
